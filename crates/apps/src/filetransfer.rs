@@ -1,0 +1,290 @@
+//! ALF file transfer: out-of-order placement into the receiver's file.
+//!
+//! §5: "for each ADU, the sender must provide information as to its eventual
+//! location within the receiver's file. … Using this information, the
+//! receiver can copy the data into the file at the correct location, even
+//! though intervening ADUs are missing."
+//!
+//! [`FileSender`] cuts a file into [`AduName::FileRange`]-named ADUs;
+//! [`FileReceiver`] places each arriving ADU at its named offset the moment
+//! it completes — the presentation pipeline never stalls on a gap.
+
+use alf_core::adu::{Adu, AduName};
+use std::collections::BTreeMap;
+
+/// Cuts a file into placement-named ADUs.
+#[derive(Debug)]
+pub struct FileSender<'a> {
+    file: &'a [u8],
+    adu_size: usize,
+}
+
+impl<'a> FileSender<'a> {
+    /// Create a sender over `file` producing ADUs of `adu_size` bytes
+    /// (the last one may be shorter).
+    ///
+    /// # Panics
+    /// If `adu_size` is zero.
+    pub fn new(file: &'a [u8], adu_size: usize) -> Self {
+        assert!(adu_size > 0, "adu_size must be positive");
+        Self { file, adu_size }
+    }
+
+    /// Number of ADUs this file becomes.
+    pub fn adu_count(&self) -> usize {
+        self.file.len().div_ceil(self.adu_size).max(1)
+    }
+
+    /// Produce all ADUs. Each is independently placeable: its name is the
+    /// byte offset it occupies in the receiver's file.
+    pub fn adus(&self) -> Vec<Adu> {
+        if self.file.is_empty() {
+            return vec![Adu::new(AduName::FileRange { offset: 0 }, Vec::new())];
+        }
+        self.file
+            .chunks(self.adu_size)
+            .enumerate()
+            .map(|(i, chunk)| {
+                Adu::new(
+                    AduName::FileRange {
+                        offset: (i * self.adu_size) as u64,
+                    },
+                    chunk.to_vec(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Error from [`FileReceiver::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The ADU's name is not a [`AduName::FileRange`].
+    WrongNameSpace,
+    /// The ADU extends past the declared file size.
+    OutOfRange {
+        /// Offset named by the ADU.
+        offset: u64,
+        /// ADU payload length.
+        len: usize,
+        /// Declared file size.
+        file_size: usize,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::WrongNameSpace => write!(f, "ADU name is not a file range"),
+            PlaceError::OutOfRange { offset, len, file_size } => {
+                write!(f, "ADU [{offset}, +{len}) outside file of {file_size} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Assembles a file from placement-named ADUs arriving in any order.
+#[derive(Debug)]
+pub struct FileReceiver {
+    buf: Vec<u8>,
+    /// Received extents `offset -> len` (disjoint after merging).
+    extents: BTreeMap<u64, usize>,
+    bytes_placed: usize,
+    /// ADUs placed out of ascending-offset order (the ALF win made visible).
+    pub out_of_order_placements: u64,
+    highest_end: u64,
+}
+
+impl FileReceiver {
+    /// Create a receiver for a file of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self {
+            buf: vec![0u8; size],
+            extents: BTreeMap::new(),
+            bytes_placed: 0,
+            out_of_order_placements: 0,
+            highest_end: 0,
+        }
+    }
+
+    /// Place one ADU at its named offset (a single data copy, straight to
+    /// the final location). Duplicate coverage is ignored byte-for-byte.
+    ///
+    /// # Errors
+    /// [`PlaceError`] for a foreign name-space or out-of-range placement.
+    pub fn place(&mut self, adu: &Adu) -> Result<(), PlaceError> {
+        let AduName::FileRange { offset } = adu.name else {
+            return Err(PlaceError::WrongNameSpace);
+        };
+        let len = adu.payload.len();
+        let end = offset as usize + len;
+        if end > self.buf.len() {
+            return Err(PlaceError::OutOfRange {
+                offset,
+                len,
+                file_size: self.buf.len(),
+            });
+        }
+        if (offset as u64) < self.highest_end {
+            // Arrived behind data we already placed — out-of-order
+            // placement a byte-stream receiver could not have done.
+            if !self.extents.contains_key(&offset) {
+                self.out_of_order_placements += 1;
+            }
+        }
+        self.highest_end = self.highest_end.max(end as u64);
+        if let Some(&have) = self.extents.get(&offset) {
+            if have >= len {
+                return Ok(()); // duplicate
+            }
+        }
+        self.buf[offset as usize..end].copy_from_slice(&adu.payload);
+        let prev = self.extents.insert(offset, len);
+        self.bytes_placed += len - prev.unwrap_or(0);
+        Ok(())
+    }
+
+    /// True once every byte of the file has been placed.
+    pub fn is_complete(&self) -> bool {
+        self.bytes_placed >= self.buf.len()
+    }
+
+    /// Bytes placed so far.
+    pub fn bytes_placed(&self) -> usize {
+        self.bytes_placed
+    }
+
+    /// Byte ranges still missing, as `(offset, len)` holes.
+    pub fn holes(&self) -> Vec<(u64, usize)> {
+        let mut holes = Vec::new();
+        let mut cursor = 0u64;
+        for (&off, &len) in &self.extents {
+            if off > cursor {
+                holes.push((cursor, (off - cursor) as usize));
+            }
+            cursor = cursor.max(off + len as u64);
+        }
+        if (cursor as usize) < self.buf.len() {
+            holes.push((cursor, self.buf.len() - cursor as usize));
+        }
+        holes
+    }
+
+    /// Consume into the assembled file. Missing ranges remain zero-filled.
+    pub fn into_file(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the (possibly incomplete) file contents.
+    pub fn file(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i.wrapping_mul(37) ^ (i >> 3)) as u8).collect()
+    }
+
+    #[test]
+    fn in_order_transfer() {
+        let data = file(10_000);
+        let sender = FileSender::new(&data, 1024);
+        let mut rx = FileReceiver::new(data.len());
+        for adu in sender.adus() {
+            rx.place(&adu).unwrap();
+        }
+        assert!(rx.is_complete());
+        assert_eq!(rx.into_file(), data);
+    }
+
+    #[test]
+    fn reverse_order_transfer() {
+        let data = file(8_192);
+        let sender = FileSender::new(&data, 1000);
+        let mut rx = FileReceiver::new(data.len());
+        let mut adus = sender.adus();
+        adus.reverse();
+        for adu in &adus {
+            rx.place(adu).unwrap();
+        }
+        assert!(rx.is_complete());
+        assert!(rx.out_of_order_placements > 0);
+        assert_eq!(rx.into_file(), data);
+    }
+
+    #[test]
+    fn holes_reported_in_application_terms() {
+        let data = file(3000);
+        let sender = FileSender::new(&data, 1000);
+        let adus = sender.adus();
+        let mut rx = FileReceiver::new(3000);
+        rx.place(&adus[0]).unwrap();
+        rx.place(&adus[2]).unwrap();
+        assert!(!rx.is_complete());
+        // The missing piece is named as a file range — exactly the
+        // information the application needs to request recovery.
+        assert_eq!(rx.holes(), vec![(1000, 1000)]);
+        rx.place(&adus[1]).unwrap();
+        assert!(rx.is_complete());
+        assert!(rx.holes().is_empty());
+    }
+
+    #[test]
+    fn duplicates_harmless() {
+        let data = file(2048);
+        let sender = FileSender::new(&data, 512);
+        let mut rx = FileReceiver::new(2048);
+        for adu in sender.adus() {
+            rx.place(&adu).unwrap();
+            rx.place(&adu).unwrap();
+        }
+        assert!(rx.is_complete());
+        assert_eq!(rx.bytes_placed(), 2048);
+        assert_eq!(rx.into_file(), data);
+    }
+
+    #[test]
+    fn wrong_namespace_rejected() {
+        let mut rx = FileReceiver::new(100);
+        let adu = Adu::new(AduName::Seq { index: 0 }, vec![1, 2, 3]);
+        assert_eq!(rx.place(&adu), Err(PlaceError::WrongNameSpace));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut rx = FileReceiver::new(100);
+        let adu = Adu::new(AduName::FileRange { offset: 90 }, vec![0; 20]);
+        assert!(matches!(rx.place(&adu), Err(PlaceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn empty_file() {
+        let sender = FileSender::new(&[], 1024);
+        assert_eq!(sender.adu_count(), 1);
+        let mut rx = FileReceiver::new(0);
+        for adu in sender.adus() {
+            rx.place(&adu).unwrap();
+        }
+        assert!(rx.is_complete());
+    }
+
+    #[test]
+    fn uneven_tail() {
+        let data = file(2500);
+        let sender = FileSender::new(&data, 1000);
+        let adus = sender.adus();
+        assert_eq!(adus.len(), 3);
+        assert_eq!(adus[2].payload.len(), 500);
+        let mut rx = FileReceiver::new(2500);
+        for adu in &adus {
+            rx.place(adu).unwrap();
+        }
+        assert_eq!(rx.into_file(), data);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ct-apps — application substrates over ALF
+//!
+//! The applications the paper reasons about, built on `alf-core`. Each one
+//! exercises a different ADU name-space and a different answer to "what do
+//! we do about loss":
+//!
+//! * [`filetransfer`] — bulk transfer where each ADU carries its placement
+//!   in the **receiver's** file, so out-of-order ADUs land directly at
+//!   their final location (§5's file-transfer example).
+//! * [`video`] — real-time media: ADUs named by (frame, slot), a playout
+//!   deadline instead of retransmission, loss tolerated and *concealed*
+//!   (§5's "accept less than perfect delivery and continue").
+//! * [`rpc`] — remote procedure call: arguments marshalled through the
+//!   presentation layer and scattered into "different variables of some
+//!   program" on arrival (§6's general paradigm).
+//! * [`parallel`] — the §7 parallel-processor example: ADUs self-route to
+//!   processor shards, against a byte-stream + serial-resplit baseline.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod filetransfer;
+pub mod parallel;
+pub mod rpc;
+pub mod video;

@@ -1,0 +1,52 @@
+//! E3 — presentation conversion cost vs a word copy (§4: BER integer-array
+//! conversion runs a factor of 4-5 slower than a copy; more on modern CPUs).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bench::{byte_workload, u32_workload};
+use ct_presentation::{ber, lwts, xdr};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ints = u32_workload(1000);
+    let app_bytes = ints.len() * 4;
+    let src = byte_workload(app_bytes);
+    let mut dst = vec![0u8; app_bytes];
+    let ber_wire = ber::encode_u32_array(&ints);
+    let xdr_wire = xdr::encode_u32_array(&ints);
+    let lwts_wire = lwts::encode_u32_array(&ints);
+
+    let mut g = c.benchmark_group("e3_presentation");
+    g.throughput(Throughput::Bytes(app_bytes as u64));
+    g.bench_function("word_copy_baseline", |b| {
+        b.iter(|| ct_wire::copy::copy_words_unrolled(black_box(&src), black_box(&mut dst)))
+    });
+    g.bench_function("ber_encode", |b| {
+        b.iter(|| black_box(ber::encode_u32_array(black_box(&ints))))
+    });
+    g.bench_function("ber_decode", |b| {
+        b.iter(|| black_box(ber::decode_u32_array(black_box(&ber_wire)).unwrap()))
+    });
+    g.bench_function("xdr_encode", |b| {
+        b.iter(|| black_box(xdr::encode_u32_array(black_box(&ints))))
+    });
+    g.bench_function("xdr_decode", |b| {
+        b.iter(|| black_box(xdr::decode_u32_array(black_box(&xdr_wire)).unwrap()))
+    });
+    g.bench_function("lwts_encode", |b| {
+        b.iter(|| black_box(lwts::encode_u32_array(black_box(&ints))))
+    });
+    g.bench_function("lwts_decode", |b| {
+        b.iter(|| black_box(lwts::decode_u32_array(black_box(&lwts_wire)).unwrap()))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

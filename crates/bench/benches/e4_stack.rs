@@ -1,0 +1,80 @@
+//! E4 — full layered stack throughput: OCTET STRING vs BER INTEGER array
+//! (§4's ISODE experiment: presentation dominates the stack).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bench::{byte_workload, u32_workload};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_presentation::TransferSyntax;
+use ct_transport::stack::{run_layered_transfer, Record, StackConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n_records = 10;
+    let ints = 4000usize;
+    let octets: Vec<Record> = (0..n_records)
+        .map(|_| Record::Octets(byte_workload(ints * 4)))
+        .collect();
+    let arrays: Vec<Record> = (0..n_records)
+        .map(|_| Record::U32Array(u32_workload(ints)))
+        .collect();
+    let app_bytes = (n_records * ints * 4) as u64;
+
+    let mut g = c.benchmark_group("e4_stack");
+    g.throughput(Throughput::Bytes(app_bytes));
+    g.sample_size(10);
+    g.bench_function("octet_string", |b| {
+        b.iter(|| {
+            let rep = run_layered_transfer(
+                1,
+                LinkConfig::gigabit(),
+                FaultConfig::none(),
+                StackConfig::default(),
+                black_box(&octets),
+            );
+            assert!(rep.complete);
+            black_box(rep.app_bytes)
+        })
+    });
+    g.bench_function("integer_array_generic_ber", |b| {
+        b.iter(|| {
+            let rep = run_layered_transfer(
+                1,
+                LinkConfig::gigabit(),
+                FaultConfig::none(),
+                StackConfig::default(),
+                black_box(&arrays),
+            );
+            assert!(rep.complete);
+            black_box(rep.app_bytes)
+        })
+    });
+    g.bench_function("integer_array_tuned_ber", |b| {
+        b.iter(|| {
+            let rep = run_layered_transfer(
+                1,
+                LinkConfig::gigabit(),
+                FaultConfig::none(),
+                StackConfig {
+                    syntax: TransferSyntax::Ber,
+                    generic_presentation: false,
+                    ..StackConfig::default()
+                },
+                black_box(&arrays),
+            );
+            assert!(rep.complete);
+            black_box(rep.app_bytes)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

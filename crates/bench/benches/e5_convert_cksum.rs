@@ -1,0 +1,37 @@
+//! E5 — conversion fused with checksum: "converted and checksummed in one
+//! step" costs little over conversion alone (§4: 28 → 24 Mb/s).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bench::u32_workload;
+use ct_presentation::{ber, fused, xdr};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ints = u32_workload(1000);
+    let app_bytes = ints.len() * 4;
+    let mut g = c.benchmark_group("e5_convert_cksum");
+    g.throughput(Throughput::Bytes(app_bytes as u64));
+    g.bench_function("ber_encode_alone", |b| {
+        b.iter(|| black_box(ber::encode_u32_array(black_box(&ints))))
+    });
+    g.bench_function("ber_encode_checksummed", |b| {
+        b.iter(|| black_box(fused::ber_encode_u32s_checksummed(black_box(&ints))))
+    });
+    g.bench_function("xdr_encode_alone", |b| {
+        b.iter(|| black_box(xdr::encode_u32_array(black_box(&ints))))
+    });
+    g.bench_function("xdr_encode_checksummed", |b| {
+        b.iter(|| black_box(fused::xdr_encode_u32s_checksummed(black_box(&ints))))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

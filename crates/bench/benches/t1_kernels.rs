@@ -1,0 +1,53 @@
+//! T1 — Table 1: copy and checksum kernel throughput on the paper's
+//! 4000-byte packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bench::byte_workload;
+use ct_wire::checksum::{adler32, crc32, fletcher32, internet_checksum, internet_checksum_unrolled};
+use ct_wire::copy::CopyKind;
+use std::hint::black_box;
+
+const PACKET: usize = 4000;
+
+fn bench(c: &mut Criterion) {
+    let src = byte_workload(PACKET);
+    let mut dst = vec![0u8; PACKET];
+    let mut g = c.benchmark_group("t1_kernels");
+    g.throughput(Throughput::Bytes(PACKET as u64));
+    for kind in [
+        CopyKind::Memcpy,
+        CopyKind::ByteRolled,
+        CopyKind::Word,
+        CopyKind::WordUnrolled,
+    ] {
+        g.bench_function(format!("copy/{}", kind.name()), |b| {
+            b.iter(|| kind.run(black_box(&src), black_box(&mut dst)))
+        });
+    }
+    g.bench_function("checksum/internet-rolled", |b| {
+        b.iter(|| black_box(internet_checksum(black_box(&src))))
+    });
+    g.bench_function("checksum/internet-unrolled", |b| {
+        b.iter(|| black_box(internet_checksum_unrolled(black_box(&src))))
+    });
+    g.bench_function("checksum/fletcher32", |b| {
+        b.iter(|| black_box(fletcher32(black_box(&src))))
+    });
+    g.bench_function("checksum/adler32", |b| {
+        b.iter(|| black_box(adler32(black_box(&src))))
+    });
+    g.bench_function("checksum/crc32", |b| {
+        b.iter(|| black_box(crc32(black_box(&src))))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! T2 — in-band control cost (processing one ACK) vs data-manipulation cost
+//! (copy+checksum of a 4000-byte packet), §4's "tens of instructions"
+//! observation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_bench::byte_workload;
+use ct_netsim::time::SimTime;
+use ct_transport::segment::{Segment, FLAG_ACK};
+use ct_transport::stream::{StreamConfig, StreamTransport};
+use ct_wire::fused::copy_and_checksum;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut sender = StreamTransport::new(StreamConfig::default(), 1, 2);
+    sender.send(&byte_workload(1400));
+    let _ = sender.poll(SimTime::ZERO);
+    let ack = Segment {
+        src_port: 2,
+        dst_port: 1,
+        seq: 0,
+        ack: 0,
+        flags: FLAG_ACK,
+        window: 65535,
+        payload: vec![],
+    }
+    .encode();
+    c.bench_function("t2/control_process_ack", |b| {
+        b.iter(|| sender.on_segment(SimTime::ZERO, black_box(&ack)))
+    });
+
+    let src = byte_workload(4000);
+    let mut dst = vec![0u8; 4000];
+    c.bench_function("t2/manipulation_copy_checksum_4000B", |b| {
+        b.iter(|| black_box(copy_and_checksum(black_box(&src), black_box(&mut dst))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! X1 — head-of-line blocking: completion time of a byte-stream transfer vs
+//! an ALF transfer under 2% loss (simulated-time dynamics driven as fast as
+//! the host allows; the interesting output is the harness's virtual-time
+//! table, this bench tracks the host cost of the simulation itself).
+
+use alf_core::driver::{run_alf_transfer, seq_workload, Substrate};
+use alf_core::transport::AlfConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_bench::byte_workload;
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+use ct_transport::run_transfer;
+use ct_transport::stream::StreamConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let stream_payload = byte_workload(200_000);
+    let adus = seq_workload(50, 4000);
+    c.bench_function("x1/tcp_200kB_2pct_loss", |b| {
+        b.iter(|| {
+            let r = run_transfer(
+                7,
+                LinkConfig::lan(),
+                FaultConfig::loss(0.02),
+                StreamConfig::default(),
+                black_box(&stream_payload),
+            );
+            assert!(r.complete);
+            black_box(r.elapsed)
+        })
+    });
+    c.bench_function("x1/alf_200kB_2pct_loss", |b| {
+        b.iter(|| {
+            let r = run_alf_transfer(
+                7,
+                LinkConfig::lan(),
+                FaultConfig::loss(0.02),
+                AlfConfig {
+                    retransmit_timeout: SimDuration::from_millis(5),
+                    assembly_timeout: SimDuration::from_millis(2),
+                    ..AlfConfig::default()
+                },
+                Substrate::Packet,
+                black_box(&adus),
+                None,
+            );
+            assert!(r.complete && r.verified);
+            black_box(r.elapsed)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

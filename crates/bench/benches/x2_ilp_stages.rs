@@ -1,0 +1,33 @@
+//! X2 — integrated vs layered pipeline execution as manipulation stages
+//! accumulate (§6's ILP performance argument).
+
+use alf_core::pipeline::canonical_receive_chain;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_bench::byte_workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let input = byte_workload(4000);
+    for n in 1..=4usize {
+        let p = canonical_receive_chain(n, 0xC1A);
+        let mut g = c.benchmark_group(format!("x2_ilp/{n}_stages"));
+        g.throughput(Throughput::Bytes(input.len() as u64));
+        g.bench_function("layered", |b| {
+            b.iter(|| black_box(p.run_layered(black_box(&input))))
+        });
+        g.bench_function("integrated", |b| {
+            b.iter(|| black_box(p.run_integrated(black_box(&input))))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

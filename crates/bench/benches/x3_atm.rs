@@ -1,0 +1,52 @@
+//! X3 — ADUs over ATM cells: segmentation/reassembly cost and cell-loss
+//! amplification (§5's "probably too small a unit" argument).
+
+use alf_core::driver::{run_alf_transfer, seq_workload, Substrate};
+use alf_core::transport::{AlfConfig, RecoveryMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_netsim::atm::{cells_for, segment};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Raw SAR cost: cut a 4000-byte PDU into 53-byte cells.
+    let pdu = vec![0xA5u8; 4000];
+    c.bench_function("x3/segment_4000B_pdu", |b| {
+        b.iter(|| black_box(segment(1, 0, black_box(&pdu))))
+    });
+    assert_eq!(cells_for(4000), segment(1, 0, &pdu).len());
+
+    // End-to-end ADU transfer over the cell substrate with 0.1% cell loss.
+    let adus = seq_workload(30, 4000);
+    c.bench_function("x3/alf_over_atm_0.1pct_cell_loss", |b| {
+        b.iter(|| {
+            let r = run_alf_transfer(
+                9,
+                LinkConfig::gigabit(),
+                FaultConfig::loss(0.001),
+                AlfConfig {
+                    recovery: RecoveryMode::NoRetransmit,
+                    assembly_timeout: SimDuration::from_millis(20),
+                    ..AlfConfig::default()
+                },
+                Substrate::Atm,
+                black_box(&adus),
+                None,
+            );
+            assert!(r.verified);
+            black_box(r.adus_delivered)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! X4 — the three loss-recovery modes of §5, run under 2% loss.
+
+use alf_core::adu::AduName;
+use alf_core::driver::{run_alf_transfer, seq_workload, workload_payload, Substrate};
+use alf_core::transport::{AlfConfig, RecoveryMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let adus = seq_workload(40, 4000);
+    let oracle = |name: AduName| match name {
+        AduName::Seq { index } => workload_payload(index, 4000),
+        _ => unreachable!(),
+    };
+    for (label, mode) in [
+        ("transport_buffer", RecoveryMode::TransportBuffer),
+        ("app_recompute", RecoveryMode::AppRecompute),
+        ("no_retransmit", RecoveryMode::NoRetransmit),
+    ] {
+        c.bench_function(&format!("x4/{label}_2pct_loss"), |b| {
+            b.iter(|| {
+                let r = run_alf_transfer(
+                    5,
+                    LinkConfig::lan(),
+                    FaultConfig::loss(0.02),
+                    AlfConfig {
+                        recovery: mode,
+                        retransmit_timeout: SimDuration::from_millis(5),
+                        assembly_timeout: SimDuration::from_millis(2),
+                        ..AlfConfig::default()
+                    },
+                    Substrate::Packet,
+                    black_box(&adus),
+                    Some(&oracle),
+                );
+                assert!(r.verified);
+                black_box(r.adus_delivered)
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

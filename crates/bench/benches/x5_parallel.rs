@@ -1,0 +1,69 @@
+//! X5 — §7's parallel-processor delivery: self-routing ADUs vs a serial
+//! stream resplitter.
+
+use alf_core::adu::AduName;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_apps::parallel::{
+    consume_batch, for_each_record, serialize_stream, shard_workload, StreamResplitter,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let shards = 4u16;
+    let adus = shard_workload(shards, 64, 8192);
+    let total: usize = adus.iter().map(|a| a.payload.len()).sum();
+    let stream = serialize_stream(&adus);
+    let mut partitioned: Vec<Vec<(u32, &[u8])>> = vec![Vec::new(); shards as usize];
+    for adu in &adus {
+        if let AduName::Shard { shard, index } = adu.name {
+            partitioned[shard as usize].push((index, adu.payload.as_slice()));
+        }
+    }
+
+    let mut g = c.benchmark_group("x5_parallel");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("alf_self_routed_parallel", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for part in &partitioned {
+                    scope.spawn(move || {
+                        black_box(consume_batch(part.iter().copied()).digest);
+                    });
+                }
+            })
+        })
+    });
+    g.bench_function("stream_split_then_parallel", |b| {
+        b.iter(|| {
+            let mut queues: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); shards as usize];
+            for_each_record(&stream, |shard, index, body| {
+                queues[shard as usize].push((index, body.to_vec()));
+            });
+            std::thread::scope(|scope| {
+                for q in &queues {
+                    scope.spawn(move || {
+                        black_box(consume_batch(q.iter().map(|(i, b)| (*i, b.as_slice()))).digest);
+                    });
+                }
+            })
+        })
+    });
+    g.bench_function("stream_fully_serial", |b| {
+        b.iter(|| {
+            let mut splitter = StreamResplitter::new(shards as usize);
+            splitter.ingest_stream(black_box(&stream));
+            black_box(splitter.sink().total_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

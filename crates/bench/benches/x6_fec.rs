@@ -1,0 +1,60 @@
+//! X6 — ADU-level FEC (§5 footnote 10): parity encode cost and the
+//! end-to-end delivery effect under loss without retransmission.
+
+use alf_core::adu::AduName;
+use alf_core::driver::{run_alf_transfer, seq_workload, Substrate};
+use alf_core::fec::build_parity;
+use alf_core::transport::{AlfConfig, RecoveryMode};
+use alf_core::wire::fragment_adu;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Raw parity construction cost.
+    let payload = vec![0x5Au8; 8400];
+    let tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &payload, 1400);
+    let mut g = c.benchmark_group("x6_fec");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("build_parity_k4_8400B", |b| {
+        b.iter(|| black_box(build_parity(black_box(&tus), 4)))
+    });
+    g.finish();
+
+    // End-to-end: no-retransmit flow at 3% loss, FEC off vs on.
+    let adus = seq_workload(50, 8400);
+    for (label, fec_group) in [("fec_off", 0usize), ("fec_k4", 4)] {
+        c.bench_function(&format!("x6/no_retx_3pct_loss_{label}"), |b| {
+            b.iter(|| {
+                let r = run_alf_transfer(
+                    9,
+                    LinkConfig::lan(),
+                    FaultConfig::loss(0.03),
+                    AlfConfig {
+                        recovery: RecoveryMode::NoRetransmit,
+                        assembly_timeout: SimDuration::from_millis(5),
+                        fec_group,
+                        ..AlfConfig::default()
+                    },
+                    Substrate::Packet,
+                    black_box(&adus),
+                    None,
+                );
+                assert!(r.verified);
+                black_box(r.adus_delivered)
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

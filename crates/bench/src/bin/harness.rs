@@ -1,0 +1,837 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ct-bench --bin harness [t1|e2|e3|e4|e5|t2|x1|x2|x3|x4|x5|x6|all]
+//! ```
+//!
+//! Each experiment prints the paper's reference numbers next to the
+//! measurements from this implementation; EXPERIMENTS.md records a captured
+//! run. CPU-cost experiments (T1, E2, E3, E5, T2, X2, X5) use wall-clock
+//! time of release-mode kernels; protocol-dynamics experiments (E4 partly,
+//! X1, X3, X4) use the deterministic simulator's virtual clock.
+
+use alf_core::adu::AduName;
+use alf_core::driver::{run_alf_transfer, seq_workload, workload_payload, Substrate};
+use alf_core::pipeline::canonical_receive_chain;
+use alf_core::transport::{AlfConfig, RecoveryMode};
+use ct_apps::parallel::{consume_batch, for_each_record, serialize_stream, shard_workload, StreamResplitter};
+use ct_bench::{byte_workload, fmt_f, time_mbps, time_ns_per_call, u32_workload, Table};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+use ct_presentation::{ber, fused as pfused, lwts, xdr, TransferSyntax};
+use ct_transport::segment::Segment;
+use ct_transport::stack::{run_layered_transfer, Record, StackConfig};
+use ct_transport::stream::{StreamConfig, StreamTransport};
+use ct_transport::{run_transfer, TransferReport};
+use ct_wire::checksum::{
+    adler32, crc32, fletcher32, internet_checksum, internet_checksum_unrolled,
+};
+use ct_wire::copy::CopyKind;
+use ct_wire::fused::copy_and_checksum;
+use ct_wire::serial_effective_mbps;
+
+/// The paper's "typical large packet today": 4000 bytes.
+const PACKET_BYTES: usize = 4000;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = which == "all";
+    if all || which == "t1" {
+        t1_kernels();
+    }
+    if all || which == "e2" {
+        e2_fusion();
+    }
+    if all || which == "e3" {
+        e3_presentation();
+    }
+    if all || which == "e4" {
+        e4_stack();
+    }
+    if all || which == "e5" {
+        e5_convert_checksum();
+    }
+    if all || which == "t2" {
+        t2_control_vs_manipulation();
+    }
+    if all || which == "x1" {
+        x1_head_of_line();
+    }
+    if all || which == "x2" {
+        x2_ilp_stages();
+    }
+    if all || which == "x3" {
+        x3_atm();
+    }
+    if all || which == "x4" {
+        x4_recovery_modes();
+    }
+    if all || which == "x5" {
+        x5_parallel_sink();
+    }
+    if all || which == "x6" {
+        x6_fec();
+    }
+}
+
+fn heading(id: &str, title: &str, paper: &str) {
+    println!("\n=== {id}: {title} ===");
+    println!("paper: {paper}\n");
+}
+
+// ---------------------------------------------------------------------
+// T1 — Table 1: copy and checksum speeds
+// ---------------------------------------------------------------------
+
+fn t1_kernels() {
+    heading(
+        "T1",
+        "manipulation kernel speeds (Table 1)",
+        "uVax copy 42 / checksum 60 Mb/s; R2000 copy 130 / checksum 115 Mb/s \
+         — both memory-bound, same order of magnitude",
+    );
+    let src = byte_workload(PACKET_BYTES);
+    let mut dst = vec![0u8; PACKET_BYTES];
+
+    let mut t = Table::new(&["kernel", "Mb/s"]);
+    for kind in [
+        CopyKind::Memcpy,
+        CopyKind::ByteRolled,
+        CopyKind::Word,
+        CopyKind::WordUnrolled,
+    ] {
+        let rate = time_mbps(PACKET_BYTES, || kind.run(&src, &mut dst));
+        t.row(&[format!("copy/{}", kind.name()), fmt_f(rate)]);
+    }
+    let r = time_mbps(PACKET_BYTES, || {
+        std::hint::black_box(internet_checksum(&src));
+    });
+    t.row(&["checksum/internet-rolled".into(), fmt_f(r)]);
+    let r = time_mbps(PACKET_BYTES, || {
+        std::hint::black_box(internet_checksum_unrolled(&src));
+    });
+    t.row(&["checksum/internet-unrolled-4".into(), fmt_f(r)]);
+    let r = time_mbps(PACKET_BYTES, || {
+        std::hint::black_box(fletcher32(&src));
+    });
+    t.row(&["checksum/fletcher32".into(), fmt_f(r)]);
+    let r = time_mbps(PACKET_BYTES, || {
+        std::hint::black_box(adler32(&src));
+    });
+    t.row(&["checksum/adler32".into(), fmt_f(r)]);
+    let r = time_mbps(PACKET_BYTES, || {
+        std::hint::black_box(crc32(&src));
+    });
+    t.row(&["checksum/crc32".into(), fmt_f(r)]);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------------
+// E2 — fused copy+checksum vs serial passes
+// ---------------------------------------------------------------------
+
+fn e2_fusion() {
+    heading(
+        "E2",
+        "ILP fusion: copy+checksum in one pass (S4)",
+        "copy 130, checksum 115 => serial-effective ~60 Mb/s; fused loop 90 Mb/s (1.5x)",
+    );
+    // The fusion win is a *memory-pass* win: on a 1990 RISC every pass paid
+    // DRAM cost; on a modern CPU a 4 kB packet lives in L1 and extra passes
+    // are nearly free. Sweeping the working-set size recreates the paper's
+    // regime at the bottom rows (buffers past the LLC).
+    let mut t = Table::new(&[
+        "working set",
+        "copy",
+        "checksum",
+        "serial eff.",
+        "serial meas.",
+        "fused",
+        "speedup",
+    ]);
+    for (label, size) in [
+        ("4 kB (L1, paper's packet)", PACKET_BYTES),
+        ("256 kB (L2)", 256 * 1024),
+        ("8 MB (LLC)", 8 * 1024 * 1024),
+        ("128 MB (DRAM)", 128 * 1024 * 1024),
+    ] {
+        let src = byte_workload(size);
+        let mut dst = vec![0u8; size];
+        let copy = time_mbps(size, || ct_wire::copy::copy_words_unrolled(&src, &mut dst));
+        let cksum = time_mbps(size, || {
+            std::hint::black_box(internet_checksum_unrolled(&src));
+        });
+        let serial_measured = time_mbps(size, || {
+            ct_wire::copy::copy_words_unrolled(&src, &mut dst);
+            std::hint::black_box(internet_checksum_unrolled(&dst));
+        });
+        let fused = time_mbps(size, || {
+            std::hint::black_box(copy_and_checksum(&src, &mut dst));
+        });
+        t.row(&[
+            label.into(),
+            fmt_f(copy),
+            fmt_f(cksum),
+            fmt_f(serial_effective_mbps(copy, cksum)),
+            fmt_f(serial_measured),
+            fmt_f(fused),
+            format!("{}x", fmt_f(fused / serial_measured)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nAll rates in Mb/s. 'serial eff.' is the paper's 1/(1/copy + 1/checksum)\n\
+         arithmetic; 'speedup' is fused vs serial-measured. The paper's 1.5x\n\
+         appears where the working set no longer fits in cache."
+    );
+}
+
+// ---------------------------------------------------------------------
+// E3 — presentation conversion vs copy
+// ---------------------------------------------------------------------
+
+fn e3_presentation() {
+    heading(
+        "E3",
+        "presentation conversion cost (S4)",
+        "R2000: word copy 130 Mb/s vs hand-coded ASN.1 integer-array \
+         conversion 28 Mb/s — a factor of 4-5",
+    );
+    let ints = u32_workload(PACKET_BYTES / 4);
+    let app_bytes = ints.len() * 4;
+    let src = byte_workload(PACKET_BYTES);
+    let mut dst = vec![0u8; PACKET_BYTES];
+
+    let copy = time_mbps(app_bytes, || {
+        ct_wire::copy::copy_words_unrolled(&src, &mut dst)
+    });
+    let ber_wire = ber::encode_u32_array(&ints);
+    let xdr_wire = xdr::encode_u32_array(&ints);
+    let lwts_wire = lwts::encode_u32_array(&ints);
+
+    let mut t = Table::new(&["conversion", "Mb/s", "vs copy"]);
+    t.row(&["word copy (baseline)".into(), fmt_f(copy), "1.0x".into()]);
+    let mut add = |name: &str, rate: f64| {
+        t.row(&[name.into(), fmt_f(rate), format!("{}x", fmt_f(copy / rate))]);
+    };
+    add(
+        "BER encode (int array)",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(ber::encode_u32_array(&ints));
+        }),
+    );
+    add(
+        "BER decode (int array)",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(ber::decode_u32_array(&ber_wire).unwrap());
+        }),
+    );
+    add(
+        "XDR encode",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(xdr::encode_u32_array(&ints));
+        }),
+    );
+    add(
+        "XDR decode",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(xdr::decode_u32_array(&xdr_wire).unwrap());
+        }),
+    );
+    add(
+        "LWTS encode",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(lwts::encode_u32_array(&ints));
+        }),
+    );
+    add(
+        "LWTS decode",
+        time_mbps(app_bytes, || {
+            std::hint::black_box(lwts::decode_u32_array(&lwts_wire).unwrap());
+        }),
+    );
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------------
+// E4 — full layered stack: presentation dominates
+// ---------------------------------------------------------------------
+
+fn e4_stack() {
+    heading(
+        "E4",
+        "full layered stack, OCTET STRING vs INTEGER array (S4)",
+        "TCP+ISODE: ~97% of stack overhead attributable to presentation; \
+         conversion-intensive case ~30x slower",
+    );
+    let n_records = 40;
+    let ints_per_record = 8000; // 32 kB of application data per record
+    let octets: Vec<Record> = (0..n_records)
+        .map(|i| Record::Octets(byte_workload(ints_per_record * 4 + i)))
+        .collect();
+    let int_arrays: Vec<Record> = (0..n_records)
+        .map(|_| Record::U32Array(u32_workload(ints_per_record)))
+        .collect();
+
+    let base = run_layered_transfer(
+        11,
+        LinkConfig::gigabit(),
+        FaultConfig::none(),
+        StackConfig {
+            syntax: TransferSyntax::Ber,
+            ..StackConfig::default()
+        },
+        &octets,
+    );
+    let conv = run_layered_transfer(
+        11,
+        LinkConfig::gigabit(),
+        FaultConfig::none(),
+        StackConfig {
+            syntax: TransferSyntax::Ber,
+            ..StackConfig::default()
+        },
+        &int_arrays,
+    );
+    // The paper's other data point: its hand-coded conversion routine
+    // (4-5x vs copy) — our tuned array fast path plays that role.
+    let tuned = run_layered_transfer(
+        11,
+        LinkConfig::gigabit(),
+        FaultConfig::none(),
+        StackConfig {
+            syntax: TransferSyntax::Ber,
+            generic_presentation: false,
+            ..StackConfig::default()
+        },
+        &int_arrays,
+    );
+    assert!(
+        base.complete && conv.complete && tuned.complete,
+        "stack runs must complete"
+    );
+
+    let mut t = Table::new(&[
+        "workload",
+        "stack CPU Mb/s",
+        "presentation %",
+        "crypto %",
+        "transport %",
+    ]);
+    for (name, rep) in [
+        ("OCTET STRING (no conversion)", &base),
+        ("INTEGER array (generic BER)", &conv),
+        ("INTEGER array (hand-tuned BER)", &tuned),
+    ] {
+        let total = rep.times.total();
+        t.row(&[
+            name.into(),
+            fmt_f(rep.cpu_mbps),
+            format!("{:.1}%", 100.0 * rep.times.presentation / total),
+            format!("{:.1}%", 100.0 * rep.times.crypto / total),
+            format!("{:.1}%", 100.0 * rep.times.transport / total),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nconversion-intensive slowdown: generic {}x, hand-tuned {}x \
+         (paper's range: ~30x untuned ISODE ... 4-5x hand-coded)",
+        fmt_f(base.cpu_mbps / conv.cpu_mbps),
+        fmt_f(base.cpu_mbps / tuned.cpu_mbps),
+    );
+    println!(
+        "presentation share of conversion-intensive stack: {:.1}% (paper: ~97% untuned)",
+        100.0 * conv.times.presentation_fraction()
+    );
+}
+
+// ---------------------------------------------------------------------
+// E5 — conversion fused with checksum
+// ---------------------------------------------------------------------
+
+fn e5_convert_checksum() {
+    heading(
+        "E5",
+        "conversion fused with checksum (S4)",
+        "BER conversion alone 28 Mb/s; conversion+checksum in one step 24 Mb/s \
+         (~14% slower, i.e. integrity nearly free once the bytes are hot)",
+    );
+    let ints = u32_workload(PACKET_BYTES / 4);
+    let app_bytes = ints.len() * 4;
+
+    let mut t = Table::new(&["configuration", "Mb/s", "slowdown"]);
+    let mut pair = |name: &str, alone: f64, fused: f64| {
+        t.row(&[format!("{name} alone"), fmt_f(alone), String::new()]);
+        t.row(&[
+            format!("{name} + checksum fused"),
+            fmt_f(fused),
+            format!("{:.1}%", 100.0 * (1.0 - fused / alone)),
+        ]);
+    };
+
+    let ber_alone = time_mbps(app_bytes, || {
+        std::hint::black_box(ber::encode_u32_array(&ints));
+    });
+    let ber_fused = time_mbps(app_bytes, || {
+        std::hint::black_box(pfused::ber_encode_u32s_checksummed(&ints));
+    });
+    pair("BER encode", ber_alone, ber_fused);
+
+    let xdr_alone = time_mbps(app_bytes, || {
+        std::hint::black_box(xdr::encode_u32_array(&ints));
+    });
+    let xdr_fused = time_mbps(app_bytes, || {
+        std::hint::black_box(pfused::xdr_encode_u32s_checksummed(&ints));
+    });
+    pair("XDR encode", xdr_alone, xdr_fused);
+
+    // The layered alternative: conversion pass then a separate checksum pass.
+    let ber_two_pass = time_mbps(app_bytes, || {
+        let wire = ber::encode_u32_array(&ints);
+        std::hint::black_box(internet_checksum(&wire));
+    });
+    t.row(&[
+        "BER encode, separate checksum pass".into(),
+        fmt_f(ber_two_pass),
+        format!("{:.1}%", 100.0 * (1.0 - ber_two_pass / ber_alone)),
+    ]);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------------
+// T2 — control cost vs manipulation cost
+// ---------------------------------------------------------------------
+
+fn t2_control_vs_manipulation() {
+    heading(
+        "T2",
+        "in-band control vs data manipulation (S4)",
+        "control path lengths are tens of instructions; manipulation touches \
+         1000 words per 4000-byte packet — manipulation dominates",
+    );
+    // Control path: a receiver processing one pure ACK (no payload).
+    let mut sender = StreamTransport::new(StreamConfig::default(), 1, 2);
+    sender.send(&byte_workload(1400));
+    let _ = sender.poll(ct_netsim::time::SimTime::ZERO);
+    let ack = Segment {
+        src_port: 2,
+        dst_port: 1,
+        seq: 0,
+        ack: 0, // duplicate ack of nothing: cheapest valid control input
+        flags: ct_transport::segment::FLAG_ACK,
+        window: 65535,
+        payload: vec![],
+    }
+    .encode();
+    let ack_ns = time_ns_per_call(|| {
+        sender.on_segment(ct_netsim::time::SimTime::ZERO, &ack);
+    });
+    // The ACK segment itself is checksummed on arrival (30 bytes); subtract
+    // nothing — report both raw and header-checksum-free figures.
+    let hdr_ck_ns = time_ns_per_call(|| {
+        std::hint::black_box(internet_checksum(&ack));
+    });
+
+    // Manipulation path: checksum + copy of a 4000-byte packet.
+    let src = byte_workload(PACKET_BYTES);
+    let mut dst = vec![0u8; PACKET_BYTES];
+    let manip_ns = time_ns_per_call(|| {
+        std::hint::black_box(copy_and_checksum(&src, &mut dst));
+    });
+
+    let mut t = Table::new(&["operation", "ns/packet"]);
+    t.row(&["transfer control: process pure ACK".into(), fmt_f(ack_ns)]);
+    t.row(&["  (of which 30-byte header checksum)".into(), fmt_f(hdr_ck_ns)]);
+    t.row(&[
+        format!("data manipulation: copy+checksum {PACKET_BYTES} B"),
+        fmt_f(manip_ns),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\nmanipulation / control ratio: {}x (paper: 'tens of instructions' vs \
+         'thousands of memory cycles')",
+        fmt_f(manip_ns / ack_ns)
+    );
+}
+
+// ---------------------------------------------------------------------
+// X1 — head-of-line blocking: layered stream vs ALF
+// ---------------------------------------------------------------------
+
+fn x1_head_of_line() {
+    heading(
+        "X1",
+        "head-of-line blocking under loss: byte stream vs ALF (S5)",
+        "qualitative claim: 'a lost packet stops the application from \
+         performing presentation conversion'; ALF's out-of-order ADUs keep \
+         the pipeline busy",
+    );
+    let adu_bytes = 4000;
+    let n_adus = 250;
+    let stream_payload = byte_workload(adu_bytes * n_adus);
+    let adus = seq_workload(n_adus, adu_bytes);
+
+    let mut t = Table::new(&[
+        "loss",
+        "TCP time",
+        "TCP HOL total",
+        "TCP HOL max",
+        "ALF time",
+        "ALF lat max",
+        "ALF ooo",
+    ]);
+    for loss_pct in [0.0, 1.0, 2.0, 5.0, 10.0] {
+        let faults = FaultConfig::loss(loss_pct / 100.0);
+        let tcp: TransferReport = run_transfer(
+            100 + loss_pct as u64,
+            LinkConfig::lan(),
+            faults,
+            StreamConfig::default(),
+            &stream_payload,
+        );
+        let alf = run_alf_transfer(
+            100 + loss_pct as u64,
+            LinkConfig::lan(),
+            faults,
+            AlfConfig {
+                // Timers scaled to the LAN RTT (~0.3 ms), as TCP's RTT
+                // estimator does automatically.
+                retransmit_timeout: SimDuration::from_millis(5),
+                assembly_timeout: SimDuration::from_millis(2),
+                ..AlfConfig::default()
+            },
+            Substrate::Packet,
+            &adus,
+            None,
+        );
+        assert!(tcp.complete, "tcp must complete at {loss_pct}%");
+        assert!(alf.complete && alf.verified, "alf must complete at {loss_pct}%");
+        t.row(&[
+            format!("{loss_pct}%"),
+            format!("{}", tcp.elapsed),
+            format!("{}", tcp.receiver.hol_delay_total),
+            format!("{}", tcp.receiver.hol_delay_max),
+            format!("{}", alf.elapsed),
+            format!("{}", alf.latency_max),
+            format!("{}", alf.receiver.adus_delivered_out_of_order),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nTCP 'HOL' columns: total/max time in-order delivery stalled behind a gap.\n\
+         ALF 'lat max': worst single-ADU completion latency — it includes that ADU's\n\
+         own repair time but never the recovery of unrelated data. 'ooo': ADUs\n\
+         delivered out of order (each would have been a stall in the byte stream)."
+    );
+}
+
+// ---------------------------------------------------------------------
+// X2 — ILP gain vs number of stages
+// ---------------------------------------------------------------------
+
+fn x2_ilp_stages() {
+    heading(
+        "X2",
+        "integrated vs layered execution as stages accumulate (S6)",
+        "'an integrated processing loop is more efficient than several \
+         separate steps which read the data from memory, possibly convert \
+         it, and write it again' — the gap should grow with stage count",
+    );
+    let input = byte_workload(PACKET_BYTES);
+    let mut t = Table::new(&["stages", "layered Mb/s", "integrated Mb/s", "speedup"]);
+    for n in 1..=4 {
+        let p = canonical_receive_chain(n, 0xC1A);
+        let lay = time_mbps(PACKET_BYTES, || {
+            std::hint::black_box(p.run_layered(&input));
+        });
+        let int = time_mbps(PACKET_BYTES, || {
+            std::hint::black_box(p.run_integrated(&input));
+        });
+        let names: Vec<&str> = p.stages().iter().map(|s| s.name()).collect();
+        t.row(&[
+            format!("{n}: {}", names.join("+")),
+            fmt_f(lay),
+            fmt_f(int),
+            format!("{}x", fmt_f(int / lay)),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------------
+// X3 — ADUs over ATM cells: loss amplification
+// ---------------------------------------------------------------------
+
+fn x3_atm() {
+    heading(
+        "X3",
+        "ADUs over ATM cells: whole-ADU loss from single-cell loss (S5)",
+        "48-byte cells (44 net after adaptation) are 'too small a unit ... to \
+         permit manipulation operations to be synchronized on each cell'; \
+         P[ADU lost] = 1-(1-p)^cells grows with ADU size",
+    );
+    let mut t = Table::new(&[
+        "ADU bytes",
+        "cells/ADU",
+        "cell loss",
+        "predicted ADU survival",
+        "measured",
+        "goodput Mb/s",
+    ]);
+    for adu_bytes in [512usize, 4096, 16384] {
+        for cell_loss in [0.0001, 0.001, 0.01] {
+            let n_adus = 120;
+            let adus = seq_workload(n_adus, adu_bytes);
+            let cfg = AlfConfig {
+                recovery: RecoveryMode::NoRetransmit,
+                assembly_timeout: SimDuration::from_millis(20),
+                mtu_payload: 1400,
+                ..AlfConfig::default()
+            };
+            let r = run_alf_transfer(
+                (adu_bytes + (cell_loss * 1e6) as usize) as u64,
+                LinkConfig::gigabit(),
+                FaultConfig::loss(cell_loss),
+                cfg,
+                Substrate::Atm,
+                &adus,
+                None,
+            );
+            assert!(r.verified);
+            // Cells per ADU: each TU of <=1400+34 B becomes cells.
+            let tus = adu_bytes.div_ceil(1400).max(1);
+            let full_tus = adu_bytes / 1400;
+            let tail = adu_bytes - full_tus * 1400;
+            let mut cells = full_tus * ct_netsim::atm::cells_for(1400 + 34);
+            if tail > 0 || full_tus == 0 {
+                cells += ct_netsim::atm::cells_for(tail + 34);
+            }
+            let predicted = (1.0 - cell_loss).powi(cells as i32);
+            let measured = r.adus_delivered as f64 / n_adus as f64;
+            t.row(&[
+                format!("{adu_bytes}"),
+                format!("{cells} ({tus} TU)"),
+                format!("{cell_loss}"),
+                format!("{:.3}", predicted),
+                format!("{:.3}", measured),
+                fmt_f(r.goodput_mbps),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "\nWith retransmission (TransportBuffer) the same cell-loss rates deliver 100%\n\
+         at a latency cost; see X4. Framing overhead: 53/44 cell tax plus 34-byte TU\n\
+         header per 1400-byte fragment."
+    );
+}
+
+// ---------------------------------------------------------------------
+// X4 — the three recovery modes
+// ---------------------------------------------------------------------
+
+fn x4_recovery_modes() {
+    heading(
+        "X4",
+        "loss recovery: sender buffering vs app recompute vs none (S5)",
+        "'A general purpose data transfer protocol ought to permit any of \
+         these options to be selected' — each has a distinct cost signature",
+    );
+    let adu_bytes = 4000;
+    let n_adus = 150;
+    let adus = seq_workload(n_adus, adu_bytes);
+    let oracle = move |name: AduName| match name {
+        AduName::Seq { index } => workload_payload(index, adu_bytes),
+        _ => unreachable!(),
+    };
+    let mut t = Table::new(&[
+        "mode",
+        "delivered",
+        "time",
+        "sender buffer peak",
+        "whole retx",
+        "selective TUs",
+        "probes",
+        "recompute reqs",
+    ]);
+    for (name, mode) in [
+        ("TransportBuffer", RecoveryMode::TransportBuffer),
+        ("AppRecompute", RecoveryMode::AppRecompute),
+        ("NoRetransmit", RecoveryMode::NoRetransmit),
+    ] {
+        let cfg = AlfConfig {
+            recovery: mode,
+            assembly_timeout: SimDuration::from_millis(10),
+            ..AlfConfig::default()
+        };
+        let r = run_alf_transfer(
+            777,
+            LinkConfig::lan(),
+            FaultConfig::loss(0.02),
+            cfg,
+            Substrate::Packet,
+            &adus,
+            Some(&oracle),
+        );
+        assert!(r.verified, "{name}");
+        t.row(&[
+            name.into(),
+            format!("{}/{}", r.adus_delivered, n_adus),
+            format!("{}", r.elapsed),
+            format!("{} B", r.sender_buffer_peak),
+            format!("{}", r.sender.adus_retransmitted),
+            format!("{}", r.sender.tus_retransmitted_selective),
+            format!("{}", r.sender.probe_tus),
+            format!("{}", r.sender.recompute_requests),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------------
+// X5 — parallel-processor delivery
+// ---------------------------------------------------------------------
+
+fn x5_parallel_sink() {
+    heading(
+        "X5",
+        "parallel-processor delivery: self-routing ADUs vs stream resplit (S7)",
+        "'lacking such a [hot] spot, there is no place to connect a high-speed \
+         serial network' — the stream splitter is that hot spot; ADUs remove it",
+    );
+    let units_per_shard = 256;
+    let unit_bytes = 8192;
+    let mut t = Table::new(&[
+        "shards",
+        "ALF direct Mb/s",
+        "split+parallel Mb/s",
+        "fully serial Mb/s",
+        "ALF advantage",
+    ]);
+    for shards in [1u16, 2, 4, 8] {
+        let adus = shard_workload(shards, units_per_shard, unit_bytes);
+        let total_bytes: usize = adus.iter().map(|a| a.payload.len()).sum();
+        let stream = serialize_stream(&adus);
+
+        // The ALF property: the *network* already delivered each ADU to its
+        // shard (the name controlled its delivery), so partitioning is not
+        // part of the receive path. Build the per-shard views once, then
+        // measure the shards consuming in parallel.
+        let mut partitioned: Vec<Vec<(u32, &[u8])>> = vec![Vec::new(); shards as usize];
+        for adu in &adus {
+            if let AduName::Shard { shard, index } = adu.name {
+                partitioned[shard as usize].push((index, adu.payload.as_slice()));
+            }
+        }
+        let alf_rate = time_mbps(total_bytes, || {
+            std::thread::scope(|scope| {
+                for part in &partitioned {
+                    scope.spawn(move || {
+                        std::hint::black_box(consume_batch(part.iter().copied()).digest);
+                    });
+                }
+            });
+        });
+
+        // Byte-stream with the best engineering available to it: one serial
+        // splitter parses every header and copies every body into per-shard
+        // queues, then the shards consume in parallel. The splitter is the
+        // aggregate-rate hot spot.
+        let split_parallel_rate = time_mbps(total_bytes, || {
+            let mut queues: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); shards as usize];
+            for_each_record(&stream, |shard, index, body| {
+                queues[shard as usize].push((index, body.to_vec()));
+            });
+            std::thread::scope(|scope| {
+                for q in &queues {
+                    scope.spawn(move || {
+                        std::hint::black_box(
+                            consume_batch(q.iter().map(|(i, b)| (*i, b.as_slice()))).digest,
+                        );
+                    });
+                }
+            });
+        });
+
+        // And the naive fully serial resplit.
+        let serial_rate = time_mbps(total_bytes, || {
+            let mut splitter = StreamResplitter::new(shards as usize);
+            splitter.ingest_stream(&stream);
+            std::hint::black_box(splitter.sink().total_bytes());
+        });
+
+        t.row(&[
+            format!("{shards}"),
+            fmt_f(alf_rate),
+            fmt_f(split_parallel_rate),
+            fmt_f(serial_rate),
+            format!("{}x", fmt_f(alf_rate / split_parallel_rate)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nALF: the network delivered each self-routing ADU to its shard; shards\n\
+         consume in parallel with no shared stage. split+parallel: a serial splitter\n\
+         parses and copies every record before parallel consumption — its throughput\n\
+         ceiling is the splitter. fully serial: parse and consume on one core."
+    );
+}
+
+// ---------------------------------------------------------------------
+// X6 — ADU-level FEC ablation
+// ---------------------------------------------------------------------
+
+fn x6_fec() {
+    heading(
+        "X6",
+        "ADU-level FEC: parity vs retransmission vs nothing (S5 fn.10)",
+        "'lower layer recovery schemes, such as forward error correction (FEC), \
+         may be applied to these transmission units ... ADU-level FEC' — parity \
+         trades constant wire overhead for loss repair without a round trip",
+    );
+    let n_adus = 200;
+    let adu_bytes = 8400; // 6 TUs at the default MTU
+    let adus = seq_workload(n_adus, adu_bytes);
+    let mut t = Table::new(&[
+        "loss",
+        "FEC group",
+        "delivered",
+        "wire TUs",
+        "reconstructions",
+        "latency mean",
+    ]);
+    for loss in [0.01, 0.03, 0.05] {
+        for fec_group in [0usize, 8, 4, 2] {
+            let r = run_alf_transfer(
+                600 + (loss * 1000.0) as u64,
+                LinkConfig::lan(),
+                FaultConfig::loss(loss),
+                AlfConfig {
+                    recovery: RecoveryMode::NoRetransmit,
+                    assembly_timeout: SimDuration::from_millis(5),
+                    fec_group,
+                    ..AlfConfig::default()
+                },
+                Substrate::Packet,
+                &adus,
+                None,
+            );
+            assert!(r.verified);
+            t.row(&[
+                format!("{}%", loss * 100.0),
+                if fec_group == 0 { "off".into() } else { format!("1/{fec_group}") },
+                format!("{}/{}", r.adus_delivered, n_adus),
+                format!("{}", r.sender.tus_sent),
+                format!("{}", r.receiver.fec_reconstructions),
+                format!("{}", r.latency_mean),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "\nNo-retransmission (real-time) flows: FEC group 1/k adds k-th parity\n\
+         overhead ('wire TUs') and repairs single-erasure groups in place —\n\
+         delivery climbs toward 100% without any retransmission round trip."
+    );
+}

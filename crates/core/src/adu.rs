@@ -1,0 +1,299 @@
+//! Application Data Units and their names.
+//!
+//! §5's final characterisation of an ADU:
+//!
+//! 1. "the sender can compute a name for each ADU that permits the receiver
+//!    to understand its place in the sequence of ADUs produced by the
+//!    sender", and
+//! 2. "the sender uses a transfer syntax that permits the ADU to be
+//!    processed out of order."
+//!
+//! [`AduName`] is point 1 made concrete: a small algebra of application
+//! name-spaces — stream sequence, file placement, media space/time
+//! coordinates, RPC call structure, parallel-processor shards (§7). The name
+//! travels in **every transmission unit** of the ADU, so "each ADU will
+//! contain enough information to control its own delivery" even when units
+//! arrive through different paths or to different processor parts.
+
+use ct_wire::header::{HeaderReader, HeaderWriter, Truncated};
+use std::fmt;
+
+/// The application-level name of an ADU.
+///
+/// The variants are the name-spaces the paper walks through; they share one
+/// property: the *receiver* can compute the unit's disposition (where it
+/// goes and when it matters) from the name alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AduName {
+    /// A position in an abstract ordered stream (the minimal name-space:
+    /// still names the ADU, not the byte).
+    Seq {
+        /// Index in the sender's ADU sequence.
+        index: u64,
+    },
+    /// Placement in the **receiver's** file: "the sender must provide
+    /// information as to its eventual location within the receiver's file".
+    FileRange {
+        /// Byte offset in the receiver's file where this ADU's payload lands.
+        offset: u64,
+    },
+    /// Space/time placement of stream media: "each ADU must be identified
+    /// with its location, both in space (where on the screen it goes) and in
+    /// time (which video frame it is a part of)".
+    Media {
+        /// Frame number (time coordinate).
+        frame: u32,
+        /// Slot within the frame (space coordinate, e.g. a tile row).
+        slot: u16,
+    },
+    /// A piece of a remote procedure call: argument or result `part` of
+    /// call `call`.
+    Rpc {
+        /// Call identifier.
+        call: u32,
+        /// Argument/result index within the call.
+        part: u16,
+    },
+    /// Parallel-processor delivery (§7): the ADU self-routes to `shard`.
+    Shard {
+        /// Destination processor shard.
+        shard: u16,
+        /// Index within the shard's substream.
+        index: u32,
+    },
+}
+
+/// Wire size of an encoded name (tag byte + 9 value bytes, fixed so stage-1
+/// parsing never branches on name kind).
+pub const NAME_WIRE_BYTES: usize = 10;
+
+impl AduName {
+    /// Encode to the fixed 10-byte wire form.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = HeaderWriter::new(out);
+        match *self {
+            AduName::Seq { index } => {
+                w.put_u8(1).put_u64(index).put_u8(0);
+            }
+            AduName::FileRange { offset } => {
+                w.put_u8(2).put_u64(offset).put_u8(0);
+            }
+            AduName::Media { frame, slot } => {
+                w.put_u8(3).put_u32(frame).put_u16(slot).put_u8(0).put_u16(0);
+            }
+            AduName::Rpc { call, part } => {
+                w.put_u8(4).put_u32(call).put_u16(part).put_u8(0).put_u16(0);
+            }
+            AduName::Shard { shard, index } => {
+                w.put_u8(5).put_u16(shard).put_u32(index).put_u8(0).put_u16(0);
+            }
+        }
+    }
+
+    /// Decode from the wire form.
+    ///
+    /// # Errors
+    /// [`NameError::Truncated`] on short input, [`NameError::UnknownTag`]
+    /// for an unrecognised name-space.
+    pub fn decode(r: &mut HeaderReader<'_>) -> Result<AduName, NameError> {
+        let tag = r.get_u8()?;
+        let name = match tag {
+            1 => {
+                let index = r.get_u64()?;
+                let _pad = r.get_u8()?;
+                AduName::Seq { index }
+            }
+            2 => {
+                let offset = r.get_u64()?;
+                let _pad = r.get_u8()?;
+                AduName::FileRange { offset }
+            }
+            3 => {
+                let frame = r.get_u32()?;
+                let slot = r.get_u16()?;
+                let _pad = (r.get_u8()?, r.get_u16()?);
+                AduName::Media { frame, slot }
+            }
+            4 => {
+                let call = r.get_u32()?;
+                let part = r.get_u16()?;
+                let _pad = (r.get_u8()?, r.get_u16()?);
+                AduName::Rpc { call, part }
+            }
+            5 => {
+                let shard = r.get_u16()?;
+                let index = r.get_u32()?;
+                let _pad = (r.get_u8()?, r.get_u16()?);
+                AduName::Shard { shard, index }
+            }
+            other => return Err(NameError::UnknownTag(other)),
+        };
+        Ok(name)
+    }
+}
+
+impl fmt::Display for AduName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AduName::Seq { index } => write!(f, "seq:{index}"),
+            AduName::FileRange { offset } => write!(f, "file@{offset}"),
+            AduName::Media { frame, slot } => write!(f, "media:f{frame}/s{slot}"),
+            AduName::Rpc { call, part } => write!(f, "rpc:{call}.{part}"),
+            AduName::Shard { shard, index } => write!(f, "shard:{shard}#{index}"),
+        }
+    }
+}
+
+/// Errors from [`AduName::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameError {
+    /// Input too short.
+    Truncated(Truncated),
+    /// Unknown name-space tag.
+    UnknownTag(u8),
+}
+
+impl From<Truncated> for NameError {
+    fn from(t: Truncated) -> Self {
+        NameError::Truncated(t)
+    }
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::Truncated(t) => write!(f, "name {t}"),
+            NameError::UnknownTag(t) => write!(f, "unknown ADU name tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// An Application Data Unit: a named aggregate that can be processed out of
+/// order with respect to other ADUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adu {
+    /// The application-level name.
+    pub name: AduName,
+    /// Payload bytes, already in the association's transfer syntax.
+    pub payload: Vec<u8>,
+}
+
+impl Adu {
+    /// Construct an ADU.
+    pub fn new(name: AduName, payload: Vec<u8>) -> Self {
+        Self { name, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty (legal: a name can carry meaning alone).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_NAMES: [AduName; 5] = [
+        AduName::Seq { index: 0x1122334455667788 },
+        AduName::FileRange { offset: 9_999_999_999 },
+        AduName::Media { frame: 1_000_000, slot: 42 },
+        AduName::Rpc { call: 77, part: 3 },
+        AduName::Shard { shard: 15, index: 123_456 },
+    ];
+
+    #[test]
+    fn names_roundtrip() {
+        for name in ALL_NAMES {
+            let mut wire = Vec::new();
+            name.encode(&mut wire);
+            assert_eq!(wire.len(), NAME_WIRE_BYTES, "{name}");
+            let mut r = HeaderReader::new(&wire);
+            assert_eq!(AduName::decode(&mut r).unwrap(), name);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let wire = [0xFFu8; NAME_WIRE_BYTES];
+        let mut r = HeaderReader::new(&wire);
+        assert_eq!(AduName::decode(&mut r), Err(NameError::UnknownTag(0xFF)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut wire = Vec::new();
+        ALL_NAMES[0].encode(&mut wire);
+        for cut in 0..wire.len() {
+            let mut r = HeaderReader::new(&wire[..cut]);
+            assert!(AduName::decode(&mut r).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AduName::Seq { index: 5 }.to_string(), "seq:5");
+        assert_eq!(AduName::FileRange { offset: 100 }.to_string(), "file@100");
+        assert_eq!(AduName::Media { frame: 2, slot: 3 }.to_string(), "media:f2/s3");
+        assert_eq!(AduName::Rpc { call: 1, part: 0 }.to_string(), "rpc:1.0");
+        assert_eq!(AduName::Shard { shard: 1, index: 9 }.to_string(), "shard:1#9");
+    }
+
+    #[test]
+    fn adu_basics() {
+        let a = Adu::new(AduName::Seq { index: 1 }, vec![1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Adu::new(AduName::Seq { index: 2 }, vec![]).is_empty());
+    }
+
+    #[test]
+    fn names_order_deterministically() {
+        // BTreeMap-friendly ordering for receiver-side dispatch tables.
+        let mut v = ALL_NAMES.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = AduName> {
+        prop_oneof![
+            any::<u64>().prop_map(|index| AduName::Seq { index }),
+            any::<u64>().prop_map(|offset| AduName::FileRange { offset }),
+            (any::<u32>(), any::<u16>()).prop_map(|(frame, slot)| AduName::Media { frame, slot }),
+            (any::<u32>(), any::<u16>()).prop_map(|(call, part)| AduName::Rpc { call, part }),
+            (any::<u16>(), any::<u32>()).prop_map(|(shard, index)| AduName::Shard { shard, index }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_name_roundtrip(name in arb_name()) {
+            let mut wire = Vec::new();
+            name.encode(&mut wire);
+            prop_assert_eq!(wire.len(), NAME_WIRE_BYTES);
+            let mut r = HeaderReader::new(&wire);
+            prop_assert_eq!(AduName::decode(&mut r).unwrap(), name);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut r = HeaderReader::new(&bytes);
+            let _ = AduName::decode(&mut r);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Receive stage 1: transmission units → complete ADUs.
+//!
+//! §6's first manipulation stage: arriving TUs "are then examined to
+//! determine which ADU they belong to (the demultiplexing control
+//! operation) and where in the ADU they go (the re-ordering control
+//! operation)". No data manipulation happens here beyond placement — the
+//! integrated stage-2 pipeline runs once the ADU is whole.
+//!
+//! A complete ADU is released **immediately**, regardless of the state of
+//! other ADUs: this is the out-of-order release that removes head-of-line
+//! blocking. Incomplete ADUs are abandoned after a deadline (or when the
+//! reassembly budget overflows) and reported lost — per §5, "it will almost
+//! certainly need to assume the whole ADU is lost, even if parts exist."
+
+use crate::adu::{Adu, AduName};
+use crate::wire::Tu;
+use ct_netsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One ADU under reassembly.
+#[derive(Debug)]
+struct Assembly {
+    name: AduName,
+    buf: Vec<u8>,
+    /// Sorted, disjoint received intervals `(offset, len)`.
+    intervals: Vec<(u32, u32)>,
+    bytes_received: u32,
+    total: u32,
+    first_tu_at: SimTime,
+    /// Last instant a TU contributed new bytes — the progress clock the
+    /// expiry deadline runs against (a large ADU still streaming in is not
+    /// "overdue" just because it is large).
+    last_progress_at: SimTime,
+    /// Selective-NACK rounds already spent on this assembly.
+    nack_rounds: u32,
+}
+
+impl Assembly {
+    fn new(name: AduName, total: u32, now: SimTime) -> Self {
+        Self {
+            name,
+            buf: vec![0u8; total as usize],
+            intervals: Vec::new(),
+            bytes_received: 0,
+            total,
+            first_tu_at: now,
+            last_progress_at: now,
+            nack_rounds: 0,
+        }
+    }
+
+    /// Insert a fragment; returns bytes newly covered (0 for duplicates).
+    fn insert(&mut self, off: u32, data: &[u8]) -> u32 {
+        let len = data.len() as u32;
+        if len == 0 {
+            return 0;
+        }
+        // Find uncovered sub-ranges of [off, off+len) and copy only those.
+        let mut newly = 0u32;
+        let mut cursor = off;
+        let end = off + len;
+        for &(io, il) in &self.intervals {
+            let iend = io + il;
+            if iend <= cursor {
+                continue;
+            }
+            if io >= end {
+                break;
+            }
+            if io > cursor {
+                let take = io - cursor;
+                let src = (cursor - off) as usize;
+                self.buf[cursor as usize..(cursor + take) as usize]
+                    .copy_from_slice(&data[src..src + take as usize]);
+                newly += take;
+            }
+            cursor = cursor.max(iend);
+            if cursor >= end {
+                break;
+            }
+        }
+        if cursor < end {
+            let take = end - cursor;
+            let src = (cursor - off) as usize;
+            self.buf[cursor as usize..end as usize]
+                .copy_from_slice(&data[src..src + take as usize]);
+            newly += take;
+        }
+        if newly > 0 {
+            self.intervals.push((off, len));
+            self.intervals.sort_unstable();
+            // Merge.
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.intervals.len());
+            for &(o, l) in &self.intervals {
+                if let Some(last) = merged.last_mut() {
+                    if o <= last.0 + last.1 {
+                        let new_end = (o + l).max(last.0 + last.1);
+                        last.1 = new_end - last.0;
+                        continue;
+                    }
+                }
+                merged.push((o, l));
+            }
+            self.intervals = merged;
+            self.bytes_received += newly;
+        }
+        newly
+    }
+
+    fn is_complete(&self) -> bool {
+        self.bytes_received == self.total
+    }
+
+    /// The byte ranges still missing, as `(offset, len)`.
+    fn missing_ranges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u32;
+        for &(o, l) in &self.intervals {
+            if o > cursor {
+                out.push((cursor, o - cursor));
+            }
+            cursor = o + l;
+        }
+        if cursor < self.total {
+            out.push((cursor, self.total - cursor));
+        }
+        out
+    }
+}
+
+/// What the deadline sweep decided for overdue assemblies.
+#[derive(Debug, Default)]
+pub struct ExpiryActions {
+    /// Assemblies worth another selective-recovery round: the missing
+    /// `(offset, len)` ranges to NACK, per ADU.
+    pub request_frags: Vec<(u64, Vec<(u32, u32)>)>,
+    /// Assemblies abandoned for good (whole-ADU loss).
+    pub abandoned: Vec<(u64, AduName)>,
+}
+
+/// Statistics for stage-1 reassembly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssemblerStats {
+    /// TUs accepted.
+    pub tus_in: u64,
+    /// TUs that contributed no new bytes (duplicates/overlaps).
+    pub duplicate_tus: u64,
+    /// ADUs completed and released.
+    pub adus_completed: u64,
+    /// ADUs abandoned (deadline or budget) — §5's whole-ADU loss.
+    pub adus_abandoned: u64,
+}
+
+/// Stage-1 reassembler: turns TUs into complete ADUs, out of order.
+#[derive(Debug)]
+pub struct Assembler {
+    pending: BTreeMap<u64, Assembly>,
+    /// Completed ADU ids ready for release (kept ordered only for
+    /// determinism of iteration; release order is completion order).
+    ready: Vec<(u64, Adu, SimTime)>,
+    /// ADU ids already released — suppresses late duplicate TUs.
+    released: BTreeMap<u64, ()>,
+    deadline: SimDuration,
+    max_pending: usize,
+    /// Counters.
+    pub stats: AssemblerStats,
+}
+
+impl Assembler {
+    /// Create with an abandonment `deadline` (time an incomplete ADU may
+    /// wait for its missing fragments) and a budget of concurrent
+    /// assemblies.
+    pub fn new(deadline: SimDuration, max_pending: usize) -> Self {
+        Self {
+            pending: BTreeMap::new(),
+            ready: Vec::new(),
+            released: BTreeMap::new(),
+            deadline,
+            max_pending,
+            stats: AssemblerStats::default(),
+        }
+    }
+
+    /// Offer one verified TU. Completed ADUs become available via
+    /// [`Assembler::pop_ready`].
+    pub fn on_tu(&mut self, now: SimTime, tu: &Tu) {
+        if self.released.contains_key(&tu.adu_id) {
+            self.stats.duplicate_tus += 1;
+            return;
+        }
+        self.stats.tus_in += 1;
+        let assembly = self
+            .pending
+            .entry(tu.adu_id)
+            .or_insert_with(|| Assembly::new(tu.name, tu.adu_len, now));
+        // A TU whose metadata disagrees with the first-seen TU of this ADU
+        // is either corruption that survived the checksum (vanishingly rare)
+        // or a protocol error: ignore it rather than corrupt the buffer.
+        if assembly.total != tu.adu_len || assembly.name != tu.name {
+            self.stats.duplicate_tus += 1;
+            return;
+        }
+        let newly = assembly.insert(tu.frag_off, &tu.payload);
+        if newly > 0 {
+            assembly.last_progress_at = now;
+            // Recovery rounds measure *stalls*, not total repairs: as long
+            // as each round brings new bytes, keep going.
+            assembly.nack_rounds = 0;
+        } else if tu.adu_len != 0 {
+            self.stats.duplicate_tus += 1;
+        }
+        if assembly.is_complete() {
+            let done = self.pending.remove(&tu.adu_id).expect("present");
+            self.stats.adus_completed += 1;
+            self.released.insert(tu.adu_id, ());
+            self.trim_released();
+            self.ready.push((
+                tu.adu_id,
+                Adu::new(done.name, done.buf),
+                done.first_tu_at,
+            ));
+        } else if self.pending.len() > self.max_pending {
+            // Budget overflow: abandon the oldest assembly.
+            let oldest = self
+                .pending
+                .iter()
+                .min_by_key(|(_, a)| a.first_tu_at)
+                .map(|(&id, _)| id)
+                .expect("non-empty");
+            self.pending.remove(&oldest);
+            self.stats.adus_abandoned += 1;
+        }
+    }
+
+    /// Abandon assemblies whose deadline has passed; returns the
+    /// `(adu_id, name)` of each so the transport can NACK them.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(u64, AduName)> {
+        self.expire_policy(now, 0).abandoned
+    }
+
+    /// Deadline sweep with selective recovery: an overdue assembly gets up
+    /// to `max_nack_rounds` rounds of missing-range NACKs (its deadline
+    /// restarting each round) before being abandoned — §5's "artificial set
+    /// of subunits ... for error recovery", as an independent module.
+    pub fn expire_policy(&mut self, now: SimTime, max_nack_rounds: u32) -> ExpiryActions {
+        let deadline = self.deadline;
+        let overdue: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, a)| now.saturating_since(a.last_progress_at) > deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut actions = ExpiryActions::default();
+        for id in overdue {
+            let a = self.pending.get_mut(&id).expect("listed");
+            if a.nack_rounds < max_nack_rounds {
+                a.nack_rounds += 1;
+                a.last_progress_at = now; // restart the deadline for this round
+                actions.request_frags.push((id, a.missing_ranges()));
+            } else {
+                let a = self.pending.remove(&id).expect("listed");
+                self.stats.adus_abandoned += 1;
+                actions.abandoned.push((id, a.name));
+            }
+        }
+        actions
+    }
+
+    /// Whether `adu_id` was already completed and released (duplicate TUs
+    /// for it mean the peer missed our ACK and needs another).
+    pub fn was_released(&self, adu_id: u64) -> bool {
+        self.released.contains_key(&adu_id)
+    }
+
+    /// The declared total length of a pending ADU, if under reassembly.
+    pub fn declared_len(&self, adu_id: u64) -> Option<u32> {
+        self.pending.get(&adu_id).map(|a| a.total)
+    }
+
+    /// The bytes of `[off, off+len)` of a pending ADU, if that range is
+    /// fully covered — the lookup FEC reconstruction uses.
+    pub fn fragment_if_present(&self, adu_id: u64, off: u32, len: usize) -> Option<Vec<u8>> {
+        let a = self.pending.get(&adu_id)?;
+        let end = off as u64 + len as u64;
+        if end > a.total as u64 {
+            return None;
+        }
+        let covered = a
+            .intervals
+            .iter()
+            .any(|&(io, il)| io <= off && (io + il) as u64 >= end);
+        if covered {
+            Some(a.buf[off as usize..off as usize + len].to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// Pop the next completed ADU: `(adu_id, adu, first_tu_arrival)`.
+    pub fn pop_ready(&mut self) -> Option<(u64, Adu, SimTime)> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Number of ADUs currently under reassembly.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes currently buffered in incomplete assemblies.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.values().map(|a| a.buf.len()).sum()
+    }
+
+    fn trim_released(&mut self) {
+        // Bound the duplicate-suppression memory.
+        while self.released.len() > 4096 {
+            let (&first, _) = self.released.iter().next().expect("non-empty");
+            self.released.remove(&first);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::fragment_adu;
+
+    fn asm() -> Assembler {
+        Assembler::new(SimDuration::from_millis(100), 64)
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i.wrapping_mul(31) ^ 5) as u8).collect()
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let mut a = asm();
+        let data = payload(3000);
+        let name = AduName::Seq { index: 0 };
+        for tu in fragment_adu(1, 0, name, &data, 1000) {
+            a.on_tu(SimTime::ZERO, &tu);
+        }
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(adu.payload, data);
+        assert_eq!(adu.name, name);
+        assert_eq!(a.stats.adus_completed, 1);
+    }
+
+    #[test]
+    fn reversed_fragments_reassemble() {
+        let mut a = asm();
+        let data = payload(5000);
+        let mut tus = fragment_adu(1, 3, AduName::Seq { index: 3 }, &data, 700);
+        tus.reverse();
+        for tu in &tus {
+            a.on_tu(SimTime::ZERO, tu);
+        }
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn interleaved_adus_release_out_of_order() {
+        let mut a = asm();
+        let d0 = payload(2000);
+        let d1 = payload(900);
+        let tus0 = fragment_adu(1, 0, AduName::Seq { index: 0 }, &d0, 1000);
+        let tus1 = fragment_adu(1, 1, AduName::Seq { index: 1 }, &d1, 1000);
+        // ADU 0 is missing its first fragment; ADU 1 completes: ADU 1 must
+        // be released immediately — no head-of-line blocking.
+        a.on_tu(SimTime::ZERO, &tus0[1]);
+        a.on_tu(SimTime::ZERO, &tus1[0]);
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(adu.payload, d1);
+        assert!(a.pop_ready().is_none());
+        // ADU 0's missing fragment arrives later.
+        a.on_tu(SimTime::from_millis(1), &tus0[0]);
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(adu.payload, d0);
+    }
+
+    #[test]
+    fn duplicates_counted_not_corrupting() {
+        let mut a = asm();
+        let data = payload(1500);
+        let tus = fragment_adu(1, 5, AduName::Seq { index: 5 }, &data, 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        a.on_tu(SimTime::ZERO, &tus[1]);
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+        assert_eq!(a.stats.duplicate_tus, 1);
+    }
+
+    #[test]
+    fn late_tu_after_release_suppressed() {
+        let mut a = asm();
+        let data = payload(500);
+        let tus = fragment_adu(1, 9, AduName::Seq { index: 9 }, &data, 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        assert!(a.pop_ready().is_some());
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        assert!(a.pop_ready().is_none());
+        assert_eq!(a.stats.duplicate_tus, 1);
+    }
+
+    #[test]
+    fn overlapping_fragments_reassemble() {
+        // Overlaps happen when a whole-ADU retransmission races surviving
+        // originals; coverage must stay exact.
+        let mut a = asm();
+        let data = payload(1000);
+        let name = AduName::Seq { index: 1 };
+        let t1 = Tu {
+            flags: 0,
+            assoc: 1,
+            timestamp_us: 0,
+            adu_id: 1,
+            adu_len: 1000,
+            frag_off: 0,
+            name,
+            payload: data[0..600].to_vec(),
+        };
+        let t2 = Tu {
+            flags: 0,
+            assoc: 1,
+            timestamp_us: 0,
+            adu_id: 1,
+            adu_len: 1000,
+            frag_off: 400,
+            name,
+            payload: data[400..1000].to_vec(),
+        };
+        a.on_tu(SimTime::ZERO, &t1);
+        a.on_tu(SimTime::ZERO, &t2);
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+    }
+
+    use crate::wire::Tu;
+
+    #[test]
+    fn expiry_reports_lost_adus() {
+        let mut a = asm();
+        let data = payload(2000);
+        let tus = fragment_adu(1, 4, AduName::Media { frame: 1, slot: 0 }, &data, 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]); // second fragment never arrives
+        assert!(a.expire(SimTime::from_millis(50)).is_empty());
+        let lost = a.expire(SimTime::from_millis(200));
+        assert_eq!(lost, vec![(4, AduName::Media { frame: 1, slot: 0 })]);
+        assert_eq!(a.stats.adus_abandoned, 1);
+        assert_eq!(a.pending_count(), 0);
+    }
+
+    #[test]
+    fn budget_overflow_abandons_oldest() {
+        let mut a = Assembler::new(SimDuration::from_secs(10), 2);
+        for id in 0..4u64 {
+            let data = payload(2000);
+            let tus = fragment_adu(1, id, AduName::Seq { index: id }, &data, 1000);
+            a.on_tu(SimTime::from_millis(id), &tus[0]); // all incomplete
+        }
+        assert!(a.pending_count() <= 3);
+        assert!(a.stats.adus_abandoned >= 1);
+    }
+
+    #[test]
+    fn zero_length_adu_completes() {
+        let mut a = asm();
+        let tus = fragment_adu(1, 8, AduName::Rpc { call: 1, part: 0 }, &[], 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 8);
+        assert!(adu.payload.is_empty());
+    }
+
+    #[test]
+    fn metadata_conflict_ignored() {
+        let mut a = asm();
+        let name = AduName::Seq { index: 0 };
+        let t1 = Tu {
+            flags: 0,
+            assoc: 1,
+            timestamp_us: 0,
+            adu_id: 1,
+            adu_len: 1000,
+            frag_off: 0,
+            name,
+            payload: vec![1; 500],
+        };
+        let t2 = Tu {
+            adu_len: 800, // disagrees
+            frag_off: 500,
+            payload: vec![2; 300],
+            ..t1.clone()
+        };
+        a.on_tu(SimTime::ZERO, &t1);
+        a.on_tu(SimTime::ZERO, &t2);
+        assert_eq!(a.pending_count(), 1);
+        assert!(a.pop_ready().is_none());
+    }
+
+    #[test]
+    fn pending_bytes_tracks() {
+        let mut a = asm();
+        let tus = fragment_adu(1, 2, AduName::Seq { index: 2 }, &payload(5000), 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        assert_eq!(a.pending_bytes(), 5000); // buffer sized to the whole ADU
+    }
+}

@@ -1,0 +1,544 @@
+//! Drivers: ALF workloads over simulated packet and ATM cell networks.
+//!
+//! These functions are the measurement harness for the X-series experiments:
+//! they move a list of ADUs from one node to another under configurable
+//! loss/reordering, over either a classic packet substrate (each TU is one
+//! network frame) or an ATM substrate (each TU travels as a PDU of 53-byte
+//! cells through `ct-netsim`'s adaptation layer) — demonstrating §5's claim
+//! that the ADU, not the packet or cell, is the stable unit of manipulation
+//! while "the network technology of the day ... can and will change".
+
+use crate::adu::{Adu, AduName};
+use crate::transport::{AduTransport, AlfConfig, AlfStats, RecoveryMode};
+use ct_netsim::atm::{AtmConfig, AtmEndpoint};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::net::Network;
+use ct_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Which network substrate carries the TUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// Each TU is one network frame (classic packet switching).
+    Packet,
+    /// Each TU is segmented into 53-byte ATM cells with AAL-style
+    /// reassembly; per-cell faults, lost cell ⇒ lost TU.
+    Atm,
+}
+
+/// Outcome of an ALF transfer run.
+#[derive(Debug, Clone)]
+pub struct AlfReport {
+    /// All offered ADUs were either delivered intact or explicitly reported
+    /// lost (no silent corruption, no unaccounted ADU).
+    pub complete: bool,
+    /// Every delivered payload matched the sender's bytes for that name.
+    pub verified: bool,
+    /// ADUs offered by the sending application.
+    pub adus_offered: usize,
+    /// ADUs delivered complete to the receiving application.
+    pub adus_delivered: u64,
+    /// ADUs lost for good (sender gave up / no-retransmit losses).
+    pub adus_lost: u64,
+    /// Simulated time from first send to completion.
+    pub elapsed: SimDuration,
+    /// Application goodput over delivered ADUs, Mb per simulated second.
+    pub goodput_mbps: f64,
+    /// Mean per-ADU delivery latency (first TU arrival → completion).
+    pub latency_mean: SimDuration,
+    /// Max per-ADU delivery latency.
+    pub latency_max: SimDuration,
+    /// Sender-side transport stats.
+    pub sender: AlfStats,
+    /// Receiver-side transport stats.
+    pub receiver: AlfStats,
+    /// Peak bytes the sender held for retransmission.
+    pub sender_buffer_peak: usize,
+    /// Peak bytes the receiver held in partial reassemblies.
+    pub reassembly_peak: usize,
+    /// Observed network loss rate (frames or cells, per substrate).
+    pub net_loss_rate: f64,
+}
+
+/// A recompute oracle for [`RecoveryMode::AppRecompute`] runs: given an ADU
+/// name, regenerate its payload ("the sending application to provide the
+/// data", §5).
+pub type RecomputeFn<'a> = &'a dyn Fn(AduName) -> Vec<u8>;
+
+/// Run `adus` from node A to node B and return the report.
+///
+/// `recompute` must be provided for [`RecoveryMode::AppRecompute`]; it is
+/// ignored otherwise.
+pub fn run_alf_transfer(
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+    cfg: AlfConfig,
+    substrate: Substrate,
+    adus: &[Adu],
+    recompute: Option<RecomputeFn<'_>>,
+) -> AlfReport {
+    let mut net = Network::new(seed);
+    let node_a = net.add_node();
+    let node_b = net.add_node();
+    net.connect(node_a, node_b, link, faults);
+    // Out-of-band rate computation (§3): derive the TU pace from the
+    // substrate's per-TU wire time unless the caller fixed one.
+    let mut cfg = cfg;
+    if cfg.pace_per_tu == SimDuration::ZERO && link.bandwidth_bps > 0 {
+        let wire_bytes = match substrate {
+            Substrate::Packet => cfg.mtu_payload + crate::wire::TU_HEADER_BYTES,
+            // On ATM, each TU becomes ceil(len/44)+framing cells of 53 B.
+            Substrate::Atm => {
+                ct_netsim::atm::cells_for(cfg.mtu_payload + crate::wire::TU_HEADER_BYTES)
+                    * ct_netsim::atm::CELL_SIZE_BYTES
+            }
+        };
+        let ser = SimDuration::serialization(wire_bytes, link.bandwidth_bps);
+        // 5% headroom so control traffic fits alongside data.
+        cfg.pace_per_tu = SimDuration::from_nanos(ser.as_nanos() + ser.as_nanos() / 20);
+    }
+    let mut a = AduTransport::new(cfg);
+    let mut b = AduTransport::new(cfg);
+    // ATM endpoints (used only when substrate == Atm).
+    let mut atm_a = AtmEndpoint::new(node_a, AtmConfig::default());
+    let mut atm_b = AtmEndpoint::new(node_b, AtmConfig::default());
+
+    let expected: HashMap<AduName, &[u8]> = adus
+        .iter()
+        .map(|adu| (adu.name, adu.payload.as_slice()))
+        .collect();
+
+    let start = net.now();
+    let mut next_offer = 0usize;
+    let mut delivered_ok = 0u64;
+    let mut delivered_bytes = 0u64;
+    let mut corrupt_deliveries = 0u64;
+    let mut lost_names = 0u64;
+    let mut sender_buffer_peak = 0usize;
+    let mut reassembly_peak = 0usize;
+
+    let total_bytes: usize = adus.iter().map(Adu::len).sum();
+    let max_iters = 2_000_000 + total_bytes / 8;
+    let mut complete = false;
+    let mut quiet_deadline: Option<SimTime> = None;
+
+    for _ in 0..max_iters {
+        // Offer ADUs while the window accepts them.
+        while next_offer < adus.len() {
+            let adu = &adus[next_offer];
+            match a.send_adu(adu.name, adu.payload.clone()) {
+                Ok(_) => next_offer += 1,
+                Err(_) => break,
+            }
+        }
+
+        // Recompute requests from the previous round (AppRecompute runs):
+        // answered before the poll so the regenerated payload flows out in
+        // this iteration and never lingers as sender state.
+        if cfg.recovery == RecoveryMode::AppRecompute {
+            let reqs = a.take_recompute_requests();
+            if !reqs.is_empty() {
+                let oracle = recompute.expect("AppRecompute run needs a recompute oracle");
+                for req in reqs {
+                    a.provide_recomputed(req.adu_id, oracle(req.name));
+                }
+            }
+        }
+
+        // Sender → network.
+        let mut moved = false;
+        let now = net.now();
+        for msg in a.poll(now) {
+            moved = true;
+            match substrate {
+                Substrate::Packet => {
+                    let _ = net.send(node_a, node_b, msg);
+                }
+                Substrate::Atm => {
+                    let _ = atm_a.send_pdu(&mut net, node_b, &msg);
+                }
+            }
+        }
+        // Receiver → network (control traffic).
+        for msg in b.poll(now) {
+            moved = true;
+            match substrate {
+                Substrate::Packet => {
+                    let _ = net.send(node_b, node_a, msg);
+                }
+                Substrate::Atm => {
+                    let _ = atm_b.send_pdu(&mut net, node_a, &msg);
+                }
+            }
+        }
+
+        // Network → endpoints.
+        match substrate {
+            Substrate::Packet => {
+                while let Some(frame) = net.recv(node_b) {
+                    moved = true;
+                    b.on_message(net.now(), &frame.payload);
+                }
+                while let Some(frame) = net.recv(node_a) {
+                    moved = true;
+                    a.on_message(net.now(), &frame.payload);
+                }
+            }
+            Substrate::Atm => {
+                atm_b.pump(&mut net);
+                while let Some((_, pdu)) = atm_b.recv_pdu() {
+                    moved = true;
+                    b.on_message(net.now(), &pdu);
+                }
+                atm_a.pump(&mut net);
+                while let Some((_, pdu)) = atm_a.recv_pdu() {
+                    moved = true;
+                    a.on_message(net.now(), &pdu);
+                }
+            }
+        }
+
+        // Application drains out-of-order deliveries.
+        while let Some((adu, _latency)) = b.recv_adu() {
+            delivered_bytes += adu.len() as u64;
+            match expected.get(&adu.name) {
+                Some(want) if *want == adu.payload.as_slice() => delivered_ok += 1,
+                _ => {
+                    #[cfg(feature = "debug-loss")]
+                    eprintln!(
+                        "corrupt delivery: {} len {} expected {:?}",
+                        adu.name,
+                        adu.len(),
+                        expected.get(&adu.name).map(|w| w.len())
+                    );
+                    corrupt_deliveries += 1;
+                }
+            }
+        }
+        lost_names += a.take_loss_reports().len() as u64;
+
+        sender_buffer_peak = sender_buffer_peak.max(a.retransmit_buffer_bytes());
+        reassembly_peak = reassembly_peak.max(b.reassembly_bytes());
+
+        // Completion check.
+        let accounted = delivered_ok + corrupt_deliveries + lost_names;
+        if next_offer == adus.len() && a.send_complete() && accounted >= adus.len() as u64 {
+            complete = true;
+            break;
+        }
+        // NoRetransmit: the sender is done instantly, but the receiver may
+        // be waiting on partial ADUs that will never complete. Run the
+        // clock past the assembly deadline once the wire is quiet.
+        if cfg.recovery == RecoveryMode::NoRetransmit
+            && next_offer == adus.len()
+            && a.send_complete()
+            && net.is_idle()
+        {
+            match quiet_deadline {
+                None => {
+                    quiet_deadline =
+                        Some(net.now() + cfg.assembly_timeout + SimDuration::from_millis(1));
+                    net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
+                }
+                Some(d) if net.now() >= d => {
+                    // Expire leftovers and finish.
+                    let _ = b.poll(net.now());
+                    complete = true;
+                    break;
+                }
+                Some(_) => {
+                    net.advance(SimDuration::from_millis(1));
+                }
+            }
+            continue;
+        }
+
+        // Advance the world — but never jump the clock while an endpoint
+        // just produced or consumed something: it may have queued control
+        // traffic (e.g. an ACK) that must leave at the current instant.
+        if !net.is_idle() {
+            net.step();
+        } else if moved {
+            // Loop again at the same instant so queued output gets polled.
+        } else {
+            let now = net.now();
+            let next = [a.next_timeout(), b.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            match next {
+                Some(t) if t > now => net.advance(t.saturating_since(now)),
+                Some(_) => {}
+                None => {
+                    // Nothing pending anywhere. A question to the sending
+                    // application still counts as pending work; so do
+                    // receiver partials (let them expire).
+                    if a.pending_recompute_requests() > 0 {
+                        // Answered at the top of the next iteration.
+                    } else if b.reassembly_bytes() > 0 {
+                        net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
+                    } else if a.send_complete() && next_offer == adus.len() {
+                        // All sent; any unaccounted ADUs are silent losses
+                        // (NoRetransmit ACK losses etc.).
+                        complete = true;
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let elapsed = net.now().saturating_since(start);
+    let stats_b = b.stats;
+    let delivered = stats_b.adus_delivered;
+    let latency_mean = if delivered > 0 {
+        SimDuration::from_nanos(stats_b.delivery_latency_total.as_nanos() / delivered)
+    } else {
+        SimDuration::ZERO
+    };
+    AlfReport {
+        complete,
+        verified: corrupt_deliveries == 0,
+        adus_offered: adus.len(),
+        adus_delivered: delivered,
+        adus_lost: lost_names + a.stats.adus_given_up.saturating_sub(lost_names),
+        elapsed,
+        goodput_mbps: ct_wire::mbps(delivered_bytes, elapsed.as_secs_f64()),
+        latency_mean,
+        latency_max: stats_b.delivery_latency_max,
+        sender: a.stats,
+        receiver: stats_b,
+        sender_buffer_peak,
+        reassembly_peak,
+        net_loss_rate: net.stats().loss_rate(),
+    }
+}
+
+/// Build a simple sequential ADU workload: `count` ADUs of `size` bytes
+/// each, named by sequence index, with deterministic contents.
+pub fn seq_workload(count: usize, size: usize) -> Vec<Adu> {
+    (0..count)
+        .map(|i| {
+            Adu::new(
+                AduName::Seq { index: i as u64 },
+                workload_payload(i as u64, size),
+            )
+        })
+        .collect()
+}
+
+/// The deterministic payload generator shared by workloads and recompute
+/// oracles: regenerating ADU `index` always yields the same bytes — which
+/// is what makes application recomputation a *valid* recovery strategy.
+pub fn workload_payload(index: u64, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|j| ((index as usize).wrapping_mul(31) ^ j.wrapping_mul(131) ^ (j >> 7)) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg(recovery: RecoveryMode) -> AlfConfig {
+        AlfConfig {
+            recovery,
+            ..AlfConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_packet_transfer() {
+        let adus = seq_workload(50, 4000);
+        let r = run_alf_transfer(
+            1,
+            LinkConfig::lan(),
+            FaultConfig::none(),
+            base_cfg(RecoveryMode::TransportBuffer),
+            Substrate::Packet,
+            &adus,
+            None,
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 50);
+        assert_eq!(r.adus_lost, 0);
+        assert_eq!(r.sender.adus_retransmitted, 0);
+    }
+
+    #[test]
+    fn lossy_packet_transfer_buffer_mode() {
+        let adus = seq_workload(60, 4000);
+        let r = run_alf_transfer(
+            2,
+            LinkConfig::lan(),
+            FaultConfig::loss(0.05),
+            base_cfg(RecoveryMode::TransportBuffer),
+            Substrate::Packet,
+            &adus,
+            None,
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 60, "buffer mode repairs all losses");
+        assert!(
+            r.sender.adus_retransmitted
+                + r.sender.tus_retransmitted_selective
+                + r.sender.probe_tus
+                > 0,
+            "loss must have forced some repair traffic"
+        );
+        assert!(r.sender_buffer_peak > 0);
+    }
+
+    #[test]
+    fn lossy_recompute_mode() {
+        let adus = seq_workload(40, 3000);
+        let oracle = |name: AduName| match name {
+            AduName::Seq { index } => workload_payload(index, 3000),
+            _ => panic!("unexpected name"),
+        };
+        let r = run_alf_transfer(
+            3,
+            LinkConfig::lan(),
+            FaultConfig::loss(0.05),
+            base_cfg(RecoveryMode::AppRecompute),
+            Substrate::Packet,
+            &adus,
+            Some(&oracle),
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 40);
+        assert!(r.sender.recompute_requests > 0, "app must have been asked");
+        // The defining property: no standing retransmission buffer.
+        assert_eq!(r.sender_buffer_peak, 0);
+    }
+
+    #[test]
+    fn lossy_no_retransmit_mode() {
+        let adus = seq_workload(100, 2000);
+        let r = run_alf_transfer(
+            4,
+            LinkConfig::lan(),
+            FaultConfig::loss(0.10),
+            AlfConfig {
+                assembly_timeout: SimDuration::from_millis(5),
+                ..base_cfg(RecoveryMode::NoRetransmit)
+            },
+            Substrate::Packet,
+            &adus,
+            None,
+        );
+        assert!(r.verified);
+        assert!(r.adus_delivered < 100, "10% TU loss must kill some ADUs");
+        assert!(r.adus_delivered > 50, "most ADUs should survive");
+        assert_eq!(r.sender.adus_retransmitted, 0);
+        assert_eq!(r.sender_buffer_peak, 0);
+    }
+
+    #[test]
+    fn atm_substrate_clean() {
+        let adus = seq_workload(20, 3000);
+        let r = run_alf_transfer(
+            5,
+            LinkConfig::ideal(),
+            FaultConfig::none(),
+            base_cfg(RecoveryMode::TransportBuffer),
+            Substrate::Atm,
+            &adus,
+            None,
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 20);
+    }
+
+    #[test]
+    fn atm_substrate_cell_loss_recovered() {
+        let adus = seq_workload(20, 2000);
+        let r = run_alf_transfer(
+            6,
+            LinkConfig::ideal(),
+            FaultConfig::loss(0.002), // per-cell loss
+            base_cfg(RecoveryMode::TransportBuffer),
+            Substrate::Atm,
+            &adus,
+            None,
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 20);
+    }
+
+    #[test]
+    fn out_of_order_adus_dont_block() {
+        let adus = seq_workload(80, 3000);
+        let r = run_alf_transfer(
+            7,
+            LinkConfig::lan(),
+            FaultConfig::reordering(0.3, SimDuration::from_millis(1)),
+            base_cfg(RecoveryMode::TransportBuffer),
+            Substrate::Packet,
+            &adus,
+            None,
+        );
+        assert!(r.complete && r.verified, "{r:?}");
+        assert_eq!(r.adus_delivered, 80);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let adus = seq_workload(30, 2500);
+        let run = |seed| {
+            run_alf_transfer(
+                seed,
+                LinkConfig::lan(),
+                FaultConfig::loss(0.03),
+                base_cfg(RecoveryMode::TransportBuffer),
+                Substrate::Packet,
+                &adus,
+                None,
+            )
+        };
+        let r1 = run(42);
+        let r2 = run(42);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.sender.tus_sent, r2.sender.tus_sent);
+    }
+
+    #[test]
+    fn fec_lifts_no_retransmit_delivery_under_loss() {
+        let adus = seq_workload(100, 4000); // 3 TUs each
+        let run = |fec_group| {
+            let r = run_alf_transfer(
+                55,
+                LinkConfig::lan(),
+                FaultConfig::loss(0.05),
+                AlfConfig {
+                    recovery: RecoveryMode::NoRetransmit,
+                    assembly_timeout: SimDuration::from_millis(5),
+                    fec_group,
+                    ..AlfConfig::default()
+                },
+                Substrate::Packet,
+                &adus,
+                None,
+            );
+            assert!(r.verified);
+            r.adus_delivered
+        };
+        let plain = run(0);
+        let fec = run(4);
+        assert!(
+            fec > plain,
+            "FEC must deliver more ADUs without retransmission: {fec} !> {plain}"
+        );
+        assert!(fec >= 95, "single-erasure parity should repair most losses, got {fec}");
+    }
+
+    #[test]
+    fn workload_payload_is_reproducible() {
+        assert_eq!(workload_payload(5, 100), workload_payload(5, 100));
+        assert_ne!(workload_payload(5, 100), workload_payload(6, 100));
+    }
+}

@@ -1,0 +1,265 @@
+//! Association multiplexing.
+//!
+//! §3 lists multiplexing among the universal transfer controls: "several
+//! data streams may interleave entering or leaving a host. These must be
+//! delivered properly, both to insure basic function, and to prevent
+//! security problems arising from mis-delivery." [`Mux`] owns one
+//! [`AduTransport`] per association id and dispatches arriving wire
+//! messages by the association field — one checksum-verified decode of the
+//! demultiplexing key, then delivery to exactly one endpoint.
+//!
+//! Note §6's caveat: demultiplexing is an *ordering constraint* — "at least
+//! some part of the data must be extracted from the network before it can
+//! be demultiplexed" — which is why the association id sits in the fixed
+//! header prefix where stage-1 control can read it without touching the
+//! payload.
+
+use crate::transport::{AduTransport, AlfConfig};
+use ct_netsim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Where the association id sits in every wire message (see
+/// [`crate::wire`]): type, flags, checksum, then `assoc`.
+const ASSOC_OFFSET: usize = 4;
+
+/// Read the association id out of a wire message without decoding it.
+/// Returns `None` for messages too short to carry one.
+pub fn peek_assoc(buf: &[u8]) -> Option<u16> {
+    if buf.len() < ASSOC_OFFSET + 2 {
+        return None;
+    }
+    Some(u16::from_be_bytes([buf[ASSOC_OFFSET], buf[ASSOC_OFFSET + 1]]))
+}
+
+/// Counters for the demultiplexer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Messages dispatched to an owning association.
+    pub dispatched: u64,
+    /// Messages for unknown associations (dropped — never delivered to a
+    /// wrong endpoint, the §3 security property).
+    pub misdelivered: u64,
+    /// Messages too short to carry an association id.
+    pub malformed: u64,
+}
+
+/// Error from [`Mux::add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateAssoc(
+    /// The association id already in use.
+    pub u16,
+);
+
+impl std::fmt::Display for DuplicateAssoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "association {} already exists", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateAssoc {}
+
+/// A bank of ALF transport endpoints sharing one wire, demultiplexed by
+/// association id.
+#[derive(Debug, Default)]
+pub struct Mux {
+    endpoints: BTreeMap<u16, AduTransport>,
+    /// Counters.
+    pub stats: MuxStats,
+}
+
+impl Mux {
+    /// An empty demultiplexer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an endpoint for `assoc` (the config's own `assoc` field is
+    /// overridden to match).
+    ///
+    /// # Errors
+    /// [`DuplicateAssoc`] if the id is taken.
+    pub fn add(&mut self, assoc: u16, mut cfg: AlfConfig) -> Result<(), DuplicateAssoc> {
+        if self.endpoints.contains_key(&assoc) {
+            return Err(DuplicateAssoc(assoc));
+        }
+        cfg.assoc = assoc;
+        self.endpoints.insert(assoc, AduTransport::new(cfg));
+        Ok(())
+    }
+
+    /// Remove an association's endpoint, returning it (e.g. to drain final
+    /// deliveries).
+    pub fn remove(&mut self, assoc: u16) -> Option<AduTransport> {
+        self.endpoints.remove(&assoc)
+    }
+
+    /// Borrow one association's endpoint.
+    pub fn get(&self, assoc: u16) -> Option<&AduTransport> {
+        self.endpoints.get(&assoc)
+    }
+
+    /// Mutably borrow one association's endpoint (to send / receive ADUs).
+    pub fn get_mut(&mut self, assoc: u16) -> Option<&mut AduTransport> {
+        self.endpoints.get_mut(&assoc)
+    }
+
+    /// The association ids currently registered.
+    pub fn associations(&self) -> impl Iterator<Item = u16> + '_ {
+        self.endpoints.keys().copied()
+    }
+
+    /// Dispatch one arriving wire message to its owning association.
+    /// Unknown or unreadable associations are counted and dropped —
+    /// never delivered elsewhere.
+    pub fn on_message(&mut self, now: SimTime, buf: &[u8]) {
+        let Some(assoc) = peek_assoc(buf) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        match self.endpoints.get_mut(&assoc) {
+            Some(ep) => {
+                self.stats.dispatched += 1;
+                ep.on_message(now, buf);
+            }
+            None => self.stats.misdelivered += 1,
+        }
+    }
+
+    /// Poll every endpoint, collecting all wire output (already stamped
+    /// with each association's id).
+    pub fn poll_all(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for ep in self.endpoints.values_mut() {
+            out.extend(ep.poll(now));
+        }
+        out
+    }
+
+    /// The earliest timer across all endpoints.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.endpoints.values().filter_map(|e| e.next_timeout()).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adu::AduName;
+    use ct_netsim::time::SimDuration;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 17 % 251) as u8).collect()
+    }
+
+    fn wired_pair(assocs: &[u16]) -> (Mux, Mux) {
+        let mut a = Mux::new();
+        let mut b = Mux::new();
+        for &id in assocs {
+            a.add(id, AlfConfig::default()).unwrap();
+            b.add(id, AlfConfig::default()).unwrap();
+        }
+        (a, b)
+    }
+
+    fn pump(a: &mut Mux, b: &mut Mux) {
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            now += SimDuration::from_micros(50);
+            let fa = a.poll_all(now);
+            let fb = b.poll_all(now);
+            if fa.is_empty() && fb.is_empty() {
+                return;
+            }
+            for f in fa {
+                b.on_message(now, &f);
+            }
+            for f in fb {
+                a.on_message(now, &f);
+            }
+        }
+        panic!("did not quiesce");
+    }
+
+    #[test]
+    fn peek_assoc_reads_header() {
+        let mut ep = AduTransport::new(AlfConfig {
+            assoc: 0xBEEF,
+            ..AlfConfig::default()
+        });
+        ep.send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        let frames = ep.poll(SimTime::ZERO);
+        assert_eq!(peek_assoc(&frames[0]), Some(0xBEEF));
+        assert_eq!(peek_assoc(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn associations_isolated() {
+        let (mut a, mut b) = wired_pair(&[1, 2]);
+        let d1 = payload(3000);
+        let d2 = payload(777);
+        a.get_mut(1).unwrap().send_adu(AduName::Seq { index: 0 }, d1.clone()).unwrap();
+        a.get_mut(2).unwrap().send_adu(AduName::Seq { index: 0 }, d2.clone()).unwrap();
+        pump(&mut a, &mut b);
+        let (adu1, _) = b.get_mut(1).unwrap().recv_adu().expect("assoc 1 delivery");
+        let (adu2, _) = b.get_mut(2).unwrap().recv_adu().expect("assoc 2 delivery");
+        assert_eq!(adu1.payload, d1);
+        assert_eq!(adu2.payload, d2);
+        // The security property: nothing crossed.
+        assert!(b.get_mut(1).unwrap().recv_adu().is_none());
+        assert!(b.get_mut(2).unwrap().recv_adu().is_none());
+        assert_eq!(b.stats.misdelivered, 0);
+    }
+
+    #[test]
+    fn unknown_association_dropped_and_counted() {
+        let (mut a, _) = wired_pair(&[1]);
+        let mut b = Mux::new();
+        b.add(9, AlfConfig::default()).unwrap();
+        a.get_mut(1).unwrap().send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        for f in a.poll_all(SimTime::ZERO) {
+            b.on_message(SimTime::ZERO, &f);
+        }
+        assert_eq!(b.stats.misdelivered, 1);
+        assert!(b.get_mut(9).unwrap().recv_adu().is_none());
+    }
+
+    #[test]
+    fn duplicate_assoc_rejected() {
+        let mut m = Mux::new();
+        m.add(5, AlfConfig::default()).unwrap();
+        assert_eq!(m.add(5, AlfConfig::default()), Err(DuplicateAssoc(5)));
+        assert_eq!(m.associations().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn malformed_counted() {
+        let mut m = Mux::new();
+        m.on_message(SimTime::ZERO, &[1, 2]);
+        assert_eq!(m.stats.malformed, 1);
+    }
+
+    #[test]
+    fn remove_returns_endpoint() {
+        let mut m = Mux::new();
+        m.add(3, AlfConfig::default()).unwrap();
+        assert!(m.remove(3).is_some());
+        assert!(m.remove(3).is_none());
+        assert!(m.get(3).is_none());
+    }
+
+    #[test]
+    fn config_assoc_overridden() {
+        let mut m = Mux::new();
+        m.add(7, AlfConfig { assoc: 999, ..AlfConfig::default() }).unwrap();
+        assert_eq!(m.get(7).unwrap().config().assoc, 7);
+    }
+
+    #[test]
+    fn next_timeout_spans_endpoints() {
+        let (mut a, _) = wired_pair(&[1, 2]);
+        assert!(a.next_timeout().is_none());
+        a.get_mut(2).unwrap().send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        let _ = a.poll_all(SimTime::ZERO);
+        assert!(a.next_timeout().is_some());
+    }
+}

@@ -1,0 +1,590 @@
+//! The ILP pipeline: manipulation chains with layered or integrated execution.
+//!
+//! A [`Pipeline`] is an ordered chain of [`Manipulation`] stages applied to
+//! one data unit (an ADU in stage-2 receive processing). It can execute two
+//! ways:
+//!
+//! * [`Pipeline::run_layered`] — the conventional engineering: one full
+//!   memory pass per stage, materialising an intermediate buffer between
+//!   stages. N stages ⇒ N traversals (reads *and* writes).
+//! * [`Pipeline::run_integrated`] — the ILP engineering: a single traversal
+//!   in which each 4-byte group passes through the whole chain while in
+//!   registers. N stages ⇒ 1 traversal.
+//!
+//! The two are **bit-identical by construction and by property test**: the
+//! integrated loop is an implementation option, exactly as §6 frames it
+//! ("ILP is just an engineering principle, to be applied only when useful").
+//!
+//! Stage semantics are order-sensitive — a `Checksum` stage observes the
+//! data *as transformed by the stages before it* — which is how the
+//! pipeline expresses both "checksum the ciphertext" (checksum before
+//! decrypt) and "checksum the plaintext" (checksum after decrypt).
+//!
+//! [`Pipeline::check_alf_compatible`] is the ordering-constraint analysis of
+//! §6: a chain containing a stage whose [`OrderingConstraint`] forbids
+//! out-of-order units (e.g. a cipher chained across units) cannot be used as
+//! an ALF stage-2 processor, and the library says so at configuration time
+//! rather than corrupting data at run time.
+
+use ct_crypto::stream::XorStream;
+use ct_crypto::OrderingConstraint;
+use ct_wire::checksum::InternetChecksum;
+
+/// One data-manipulation stage.
+#[derive(Debug, Clone)]
+pub enum Manipulation {
+    /// Fold the Internet checksum of the data *at this point in the chain*
+    /// into the output checksum list. Reads every byte, writes none.
+    Checksum,
+    /// XOR with a seekable keystream ([`XorStream`]) starting at stream
+    /// position `offset` (typically the unit's byte offset in the
+    /// association). Reads and writes every byte.
+    Xor {
+        /// Cipher key.
+        key: u64,
+        /// Keystream position of this unit's first byte.
+        offset: u64,
+    },
+    /// Byte-swap each aligned 32-bit word (the minimal presentation
+    /// conversion). The tail (len % 4) passes through unswapped.
+    Swap32,
+    /// An explicit copy (models "moving to/from application address space"
+    /// when run layered; free when integrated, which is the point).
+    Copy,
+}
+
+impl Manipulation {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Manipulation::Checksum => "checksum",
+            Manipulation::Xor { .. } => "xor",
+            Manipulation::Swap32 => "swap32",
+            Manipulation::Copy => "copy",
+        }
+    }
+
+    /// The ordering constraint this stage imposes across data units.
+    pub fn constraint(&self) -> OrderingConstraint {
+        match self {
+            // All four are position-pure: unit processing order is free.
+            Manipulation::Checksum
+            | Manipulation::Xor { .. }
+            | Manipulation::Swap32
+            | Manipulation::Copy => OrderingConstraint::Seekable,
+        }
+    }
+}
+
+/// The result of running a pipeline over one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineOutput {
+    /// The transformed data.
+    pub data: Vec<u8>,
+    /// One checksum per `Checksum` stage, in chain order.
+    pub checksums: Vec<u16>,
+}
+
+/// Errors from pipeline construction / compatibility checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A stage's ordering constraint forbids out-of-order unit processing,
+    /// so the pipeline cannot serve as an ALF stage-2 processor.
+    OrderConflict {
+        /// Index of the offending stage.
+        stage: usize,
+        /// The stage's constraint.
+        constraint: OrderingConstraint,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::OrderConflict { stage, constraint } => write!(
+                f,
+                "stage {stage} imposes {constraint:?}, which forbids out-of-order ADU processing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// An ordered chain of manipulations over one data unit.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    stages: Vec<Manipulation>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage (builder style).
+    pub fn stage(mut self, m: Manipulation) -> Self {
+        self.stages.push(m);
+        self
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Manipulation] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the pipeline is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Verify every stage permits out-of-order unit processing — required
+    /// before installing this pipeline as an ALF stage-2 processor. Also
+    /// verify constraints from externally supplied stages (e.g. a chained
+    /// cipher wrapper) passed in `extra`.
+    ///
+    /// # Errors
+    /// [`PipelineError::OrderConflict`] naming the first offending stage.
+    pub fn check_alf_compatible(
+        &self,
+        extra: &[OrderingConstraint],
+    ) -> Result<(), PipelineError> {
+        for (i, s) in self.stages.iter().enumerate() {
+            if !s.constraint().allows_out_of_order_units() {
+                return Err(PipelineError::OrderConflict {
+                    stage: i,
+                    constraint: s.constraint(),
+                });
+            }
+        }
+        for (i, c) in extra.iter().enumerate() {
+            if !c.allows_out_of_order_units() {
+                return Err(PipelineError::OrderConflict {
+                    stage: self.stages.len() + i,
+                    constraint: *c,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute conventionally: one full memory pass per stage, with an
+    /// intermediate buffer materialised between stages.
+    pub fn run_layered(&self, input: &[u8]) -> PipelineOutput {
+        let mut data = input.to_vec(); // the unavoidable first move
+        let mut checksums = Vec::new();
+        for s in &self.stages {
+            match s {
+                Manipulation::Checksum => {
+                    // A dedicated read-only pass (the unrolled kernel — the
+                    // layered baseline is competently implemented).
+                    checksums.push(ct_wire::checksum::internet_checksum_unrolled(&data));
+                }
+                Manipulation::Xor { key, offset } => {
+                    // A dedicated read-write pass into a fresh buffer
+                    // (layered implementations move between layer buffers).
+                    let cipher = XorStream::new(*key);
+                    let mut out = vec![0u8; data.len()];
+                    cipher.apply(*offset, &data, &mut out);
+                    data = out;
+                }
+                Manipulation::Swap32 => {
+                    let mut out = vec![0u8; data.len()];
+                    ct_wire::swap::swap32_copy(&data, &mut out);
+                    data = out;
+                }
+                Manipulation::Copy => {
+                    let mut out = vec![0u8; data.len()];
+                    ct_wire::copy::copy_bytes(&data, &mut out);
+                    data = out;
+                }
+            }
+        }
+        PipelineOutput { data, checksums }
+    }
+
+    /// Execute integrated: one traversal; each aligned word runs through
+    /// the entire chain while in registers. Bit-identical to
+    /// [`Pipeline::run_layered`].
+    ///
+    /// The canonical receive chains are dispatched to *compiled* fused
+    /// kernels (monomorphic loops — §8's "'compiled' implementation of a
+    /// protocol suite"); any other chain runs on a generic one-pass
+    /// interpreter that is still a single traversal but pays per-word
+    /// dispatch.
+    pub fn run_integrated(&self, input: &[u8]) -> PipelineOutput {
+        use Manipulation as M;
+        match self.stages.as_slice() {
+            [M::Checksum] => {
+                let mut out = vec![0u8; input.len()];
+                let ck = ct_wire::fused::copy_and_checksum(input, &mut out);
+                return PipelineOutput {
+                    data: out,
+                    checksums: vec![ck],
+                };
+            }
+            [M::Checksum, M::Xor { key, offset }] => {
+                let (out, ck) = fused_ck_xor(input, *key, *offset, false);
+                return PipelineOutput {
+                    data: out,
+                    checksums: vec![ck],
+                };
+            }
+            [M::Checksum, M::Xor { key, offset }, M::Swap32]
+            | [M::Checksum, M::Xor { key, offset }, M::Swap32, M::Copy] => {
+                let (out, ck) = fused_ck_xor(input, *key, *offset, true);
+                return PipelineOutput {
+                    data: out,
+                    checksums: vec![ck],
+                };
+            }
+            _ => {}
+        }
+        self.run_integrated_generic(input)
+    }
+
+    /// The generic single-traversal interpreter behind
+    /// [`Pipeline::run_integrated`].
+    fn run_integrated_generic(&self, input: &[u8]) -> PipelineOutput {
+        let n_checksums = self
+            .stages
+            .iter()
+            .filter(|s| matches!(s, Manipulation::Checksum))
+            .count();
+        let mut sums = vec![0u64; n_checksums];
+        let mut out = vec![0u8; input.len()];
+        // Pre-instantiate ciphers so the hot loop does no setup.
+        let ciphers: Vec<Option<(XorStream, u64)>> = self
+            .stages
+            .iter()
+            .map(|s| match s {
+                Manipulation::Xor { key, offset } => Some((XorStream::new(*key), *offset)),
+                _ => None,
+            })
+            .collect();
+
+        // Hot loop: 8-byte groups held in a register while the whole chain
+        // runs over them — the "compiled" ILP form of §8. Word order is
+        // big-endian-loaded so checksum halves and 32-bit swaps fall out of
+        // shifts.
+        let full8 = input.len() / 8 * 8;
+        let mut pos = 0usize;
+        while pos < full8 {
+            let mut g = u64::from_be_bytes(input[pos..pos + 8].try_into().expect("sized"));
+            let mut ck_idx = 0usize;
+            for (si, s) in self.stages.iter().enumerate() {
+                match s {
+                    Manipulation::Checksum => {
+                        sums[ck_idx] +=
+                            (g >> 48) + ((g >> 32) & 0xFFFF) + ((g >> 16) & 0xFFFF) + (g & 0xFFFF);
+                        ck_idx += 1;
+                    }
+                    Manipulation::Xor { .. } => {
+                        let (cipher, offset) = ciphers[si].as_ref().expect("xor slot");
+                        g ^= cipher.keystream_be_u64(offset + pos as u64);
+                    }
+                    Manipulation::Swap32 => {
+                        let hi = ((g >> 32) as u32).swap_bytes();
+                        let lo = (g as u32).swap_bytes();
+                        g = (u64::from(hi) << 32) | u64::from(lo);
+                    }
+                    Manipulation::Copy => {}
+                }
+            }
+            out[pos..pos + 8].copy_from_slice(&g.to_be_bytes());
+            pos += 8;
+        }
+        // One aligned 4-byte word may remain before the byte tail.
+        if input.len() - pos >= 4 {
+            let mut g = u32::from_be_bytes(input[pos..pos + 4].try_into().expect("sized"));
+            let mut ck_idx = 0usize;
+            for (si, s) in self.stages.iter().enumerate() {
+                match s {
+                    Manipulation::Checksum => {
+                        sums[ck_idx] += u64::from(g >> 16) + u64::from(g & 0xFFFF);
+                        ck_idx += 1;
+                    }
+                    Manipulation::Xor { .. } => {
+                        let (cipher, offset) = ciphers[si].as_ref().expect("xor slot");
+                        g ^= cipher.keystream_be_u32(offset + pos as u64);
+                    }
+                    Manipulation::Swap32 => g = g.swap_bytes(),
+                    Manipulation::Copy => {}
+                }
+            }
+            out[pos..pos + 4].copy_from_slice(&g.to_be_bytes());
+            pos += 4;
+        }
+        let full = pos;
+        // Tail: byte stages apply; Swap32 passes the tail through (same as
+        // the layered kernel); checksums absorb the tail with odd-byte
+        // padding handled by the incremental checksum below.
+        let tail_len = input.len() - full;
+        if tail_len > 0 {
+            let mut tail = [0u8; 3];
+            tail[..tail_len].copy_from_slice(&input[full..]);
+            let mut ck_idx = 0usize;
+            for (si, s) in self.stages.iter().enumerate() {
+                match s {
+                    Manipulation::Checksum => {
+                        let mut ck = InternetChecksum::new();
+                        ck.update(&tail[..tail_len]);
+                        sums[ck_idx] += u64::from(!ck.finish());
+                        ck_idx += 1;
+                    }
+                    Manipulation::Xor { .. } => {
+                        let (cipher, offset) = ciphers[si].as_ref().expect("xor slot");
+                        for (k, b) in tail[..tail_len].iter_mut().enumerate() {
+                            *b ^= cipher.keystream_byte(offset + (full + k) as u64);
+                        }
+                    }
+                    Manipulation::Swap32 | Manipulation::Copy => {}
+                }
+            }
+            out[full..].copy_from_slice(&tail[..tail_len]);
+        }
+        let checksums = sums
+            .into_iter()
+            .map(|mut s| {
+                while s >> 16 != 0 {
+                    s = (s & 0xFFFF) + (s >> 16);
+                }
+                !(s as u16)
+            })
+            .collect();
+        PipelineOutput {
+            data: out,
+            checksums,
+        }
+    }
+
+    /// Number of memory passes the layered execution makes (for reports):
+    /// the initial move plus one per stage.
+    pub fn layered_passes(&self) -> usize {
+        1 + self.stages.len()
+    }
+}
+
+/// Compiled fused kernel for the `checksum → xor[ → swap32[ → copy]]`
+/// chains: checksum the wire bytes, XOR-decrypt, optionally swap each
+/// 32-bit word — one load and one store per 8-byte group.
+fn fused_ck_xor(input: &[u8], key: u64, offset: u64, swap: bool) -> (Vec<u8>, u16) {
+    let cipher = XorStream::new(key);
+    let mut out = vec![0u8; input.len()];
+    let mut sum: u64 = 0;
+    let full8 = input.len() / 8 * 8;
+    let mut pos = 0usize;
+    while pos < full8 {
+        let g = u64::from_be_bytes(input[pos..pos + 8].try_into().expect("sized"));
+        sum += (g >> 48) + ((g >> 32) & 0xFFFF) + ((g >> 16) & 0xFFFF) + (g & 0xFFFF);
+        let mut p = g ^ cipher.keystream_be_u64(offset + pos as u64);
+        if swap {
+            let hi = ((p >> 32) as u32).swap_bytes();
+            let lo = (p as u32).swap_bytes();
+            p = (u64::from(hi) << 32) | u64::from(lo);
+        }
+        out[pos..pos + 8].copy_from_slice(&p.to_be_bytes());
+        pos += 8;
+    }
+    if input.len() - pos >= 4 {
+        let g = u32::from_be_bytes(input[pos..pos + 4].try_into().expect("sized"));
+        sum += u64::from(g >> 16) + u64::from(g & 0xFFFF);
+        let mut p = g ^ cipher.keystream_be_u32(offset + pos as u64);
+        if swap {
+            p = p.swap_bytes();
+        }
+        out[pos..pos + 4].copy_from_slice(&p.to_be_bytes());
+        pos += 4;
+    }
+    // Byte tail: checksummed (odd byte zero-padded), decrypted, unswapped.
+    let tail_len = input.len() - pos;
+    if tail_len > 0 {
+        let mut ck = InternetChecksum::new();
+        ck.update(&input[pos..]);
+        sum += u64::from(!ck.finish());
+        for (k, (&s, d)) in input[pos..].iter().zip(out[pos..].iter_mut()).enumerate() {
+            *d = s ^ cipher.keystream_byte(offset + (pos + k) as u64);
+        }
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    (out, !(sum as u16))
+}
+
+/// Convenience: the canonical receive chain the X2 experiment sweeps —
+/// `checksum → xor-decrypt → swap32 → copy`, truncated to `n` stages.
+pub fn canonical_receive_chain(n: usize, key: u64) -> Pipeline {
+    let all = [
+        Manipulation::Checksum,
+        Manipulation::Xor { key, offset: 0 },
+        Manipulation::Swap32,
+        Manipulation::Copy,
+    ];
+    let mut p = Pipeline::new();
+    for m in all.into_iter().take(n) {
+        p = p.stage(m);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i.wrapping_mul(197) ^ (i >> 2)) as u8).collect()
+    }
+
+    const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 4000, 4001, 4002, 4003];
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let p = Pipeline::new();
+        let input = pattern(100);
+        let lay = p.run_layered(&input);
+        let int = p.run_integrated(&input);
+        assert_eq!(lay.data, input);
+        assert_eq!(int.data, input);
+        assert!(lay.checksums.is_empty());
+    }
+
+    #[test]
+    fn integrated_equals_layered_canonical_chains() {
+        for n in 0..=4 {
+            let p = canonical_receive_chain(n, 0xFEED);
+            for &len in LENS {
+                let input = pattern(len);
+                let lay = p.run_layered(&input);
+                let int = p.run_integrated(&input);
+                assert_eq!(int, lay, "n={n} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_position_matters() {
+        // checksum-then-xor observes ciphertext; xor-then-checksum observes
+        // plaintext. They must differ (and each must match layered).
+        let input = pattern(256);
+        let pre = Pipeline::new()
+            .stage(Manipulation::Checksum)
+            .stage(Manipulation::Xor { key: 9, offset: 0 });
+        let post = Pipeline::new()
+            .stage(Manipulation::Xor { key: 9, offset: 0 })
+            .stage(Manipulation::Checksum);
+        let a = pre.run_integrated(&input);
+        let b = post.run_integrated(&input);
+        assert_eq!(a.data, b.data, "same transformation either way");
+        assert_ne!(a.checksums[0], b.checksums[0]);
+        assert_eq!(a, pre.run_layered(&input));
+        assert_eq!(b, post.run_layered(&input));
+    }
+
+    #[test]
+    fn double_checksum_chain() {
+        // Ciphertext checksum AND plaintext checksum in one pipeline.
+        let p = Pipeline::new()
+            .stage(Manipulation::Checksum)
+            .stage(Manipulation::Xor { key: 4, offset: 16 })
+            .stage(Manipulation::Checksum);
+        let input = pattern(1000);
+        let lay = p.run_layered(&input);
+        let int = p.run_integrated(&input);
+        assert_eq!(lay, int);
+        assert_eq!(lay.checksums.len(), 2);
+        assert_ne!(lay.checksums[0], lay.checksums[1]);
+    }
+
+    #[test]
+    fn double_swap_is_identity_on_aligned() {
+        let p = Pipeline::new().stage(Manipulation::Swap32).stage(Manipulation::Swap32);
+        let input = pattern(64);
+        assert_eq!(p.run_integrated(&input).data, input);
+    }
+
+    #[test]
+    fn xor_offset_respected() {
+        let input = pattern(128);
+        let p0 = Pipeline::new().stage(Manipulation::Xor { key: 1, offset: 0 });
+        let p9 = Pipeline::new().stage(Manipulation::Xor { key: 1, offset: 9 });
+        assert_ne!(p0.run_integrated(&input).data, p9.run_integrated(&input).data);
+        assert_eq!(p9.run_integrated(&input), p9.run_layered(&input));
+    }
+
+    #[test]
+    fn alf_compat_accepts_seekable_chain() {
+        let p = canonical_receive_chain(4, 1);
+        assert!(p.check_alf_compatible(&[]).is_ok());
+        assert!(p
+            .check_alf_compatible(&[OrderingConstraint::ChainedWithinUnit])
+            .is_ok());
+    }
+
+    #[test]
+    fn alf_compat_rejects_cross_unit_chaining() {
+        let p = canonical_receive_chain(2, 1);
+        let err = p
+            .check_alf_compatible(&[OrderingConstraint::ChainedAcrossUnits])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::OrderConflict {
+                stage: 2,
+                constraint: OrderingConstraint::ChainedAcrossUnits
+            }
+        );
+        assert!(err.to_string().contains("out-of-order"));
+        let err2 = p.check_alf_compatible(&[OrderingConstraint::Stream]).unwrap_err();
+        assert!(matches!(err2, PipelineError::OrderConflict { .. }));
+    }
+
+    #[test]
+    fn layered_pass_count() {
+        assert_eq!(Pipeline::new().layered_passes(), 1);
+        assert_eq!(canonical_receive_chain(4, 0).layered_passes(), 5);
+    }
+
+    #[test]
+    fn stage_names() {
+        let p = canonical_receive_chain(4, 0);
+        let names: Vec<_> = p.stages().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["checksum", "xor", "swap32", "copy"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_stage() -> impl Strategy<Value = Manipulation> {
+        prop_oneof![
+            Just(Manipulation::Checksum),
+            (any::<u64>(), 0u64..10_000)
+                .prop_map(|(key, offset)| Manipulation::Xor { key, offset }),
+            Just(Manipulation::Swap32),
+            Just(Manipulation::Copy),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_integrated_equals_layered(
+            stages in proptest::collection::vec(arb_stage(), 0..6),
+            input in proptest::collection::vec(any::<u8>(), 0..1024),
+        ) {
+            let mut p = Pipeline::new();
+            for s in stages {
+                p = p.stage(s);
+            }
+            prop_assert_eq!(p.run_integrated(&input), p.run_layered(&input));
+        }
+    }
+}

@@ -1,0 +1,1342 @@
+//! The ALF transport endpoint.
+//!
+//! [`AduTransport`] sends and receives **whole ADUs**. The contrasts with a
+//! byte-stream transport are exactly the paper's:
+//!
+//! * the unit of transmission framing, error detection, acknowledgement and
+//!   retransmission is the ADU (sub-ADU fragmentation into TUs is invisible
+//!   above stage 1);
+//! * complete ADUs are delivered to the application **as they complete**,
+//!   out of order — no head-of-line blocking;
+//! * losses are reported in application terms: the ADU's *name*, never a
+//!   byte range ("losses must be expressed in terms meaningful to the
+//!   application", §5);
+//! * recovery policy is the application's choice ([`RecoveryMode`]):
+//!   sender-transport buffering, sending-application recomputation, or no
+//!   retransmission at all.
+//!
+//! Like [`ct_transport::StreamTransport`], the endpoint is synchronous and
+//! poll-driven: `poll(now)` emits wire messages and recompute requests;
+//! `on_message(now, bytes)` ingests them.
+//!
+//! [`ct_transport::StreamTransport`]: ../../ct_transport/stream/struct.StreamTransport.html
+
+use crate::adu::{Adu, AduName};
+use crate::assembler::Assembler;
+use crate::fec;
+use crate::wire::{fragment_adu, Message, WireError, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP};
+use ct_netsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The per-ADU retransmission deadline with exponential backoff: the base
+/// timeout doubled per retry (capped at 2^6) — the NACK path does the
+/// fine-grained work; the sender timer is the coarse fallback.
+fn rto_for(base: SimDuration, retries: u32) -> SimDuration {
+    base.saturating_mul(1u64 << retries.min(6))
+}
+
+/// Simulated time as wrapping microseconds (the TU timestamp clock).
+fn micros_wrapping(t: SimTime) -> u32 {
+    ((t.as_nanos() / 1_000) & 0xFFFF_FFFF) as u32
+}
+
+/// §5's three options for dealing with a lost ADU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// "buffering by the sender transport": the transport keeps a copy of
+    /// every unacknowledged ADU and retransmits the whole ADU on timeout or
+    /// NACK. Costs sender memory proportional to the window.
+    TransportBuffer,
+    /// "recomputation by the sending application": the transport keeps only
+    /// the ADU's name; on loss it asks the application to regenerate the
+    /// payload (via [`AduTransport::take_recompute_requests`] /
+    /// [`AduTransport::provide_recomputed`]).
+    AppRecompute,
+    /// "proceeding without retransmission": real-time traffic; losses are
+    /// reported to the receiving application by name and never repaired.
+    NoRetransmit,
+}
+
+/// Static configuration of an [`AduTransport`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlfConfig {
+    /// Association identifier carried in every message.
+    pub assoc: u16,
+    /// Maximum TU payload (fragment) size.
+    pub mtu_payload: usize,
+    /// Loss-recovery policy.
+    pub recovery: RecoveryMode,
+    /// Maximum unacknowledged ADUs before `send_adu` refuses
+    /// (ignored — effectively unlimited — under [`RecoveryMode::NoRetransmit`]).
+    pub window_adus: usize,
+    /// Sender retransmission deadline per ADU.
+    pub retransmit_timeout: SimDuration,
+    /// Give up after this many whole-ADU retransmissions and declare the
+    /// ADU lost (sender side).
+    pub max_retries: u32,
+    /// Receiver reassembly deadline: an incomplete ADU older than this is
+    /// abandoned and NACKed.
+    pub assembly_timeout: SimDuration,
+    /// Receiver reassembly budget (concurrent partial ADUs).
+    pub max_partial_adus: usize,
+    /// Maximum data TUs released per `poll` — a burst cap on top of
+    /// `pace_per_tu`.
+    pub burst_tus: usize,
+    /// Stamp each outgoing TU with a sender timestamp (µs, wrapping) so the
+    /// receiver can regenerate inter-packet timing — §3's *timestamping*
+    /// transfer control. The receiver then maintains an RTP-style
+    /// interarrival jitter estimate in [`AlfStats::jitter_us`].
+    pub timestamps: bool,
+    /// Forward error correction: group size `k` for single-erasure XOR
+    /// parity across an ADU's TUs (one parity TU per `k` data TUs).
+    /// 0 disables FEC. See [`crate::fec`].
+    pub fec_group: usize,
+    /// Selective-recovery rounds: how many times the receiver NACKs an
+    /// overdue ADU's *missing fragments* (deadline restarting each round)
+    /// before declaring the whole ADU lost. 0 disables sub-ADU recovery.
+    pub nack_frag_rounds: u32,
+    /// Minimum spacing between consecutive TU releases (token pacing).
+    /// `ZERO` disables pacing. The paper puts transfer-rate computation
+    /// out of band (§3); the driver plays that role by deriving the pace
+    /// from the link's serialization time.
+    pub pace_per_tu: SimDuration,
+}
+
+impl Default for AlfConfig {
+    fn default() -> Self {
+        Self {
+            assoc: 1,
+            mtu_payload: 1400,
+            recovery: RecoveryMode::TransportBuffer,
+            window_adus: 64,
+            retransmit_timeout: SimDuration::from_millis(50),
+            max_retries: 10,
+            assembly_timeout: SimDuration::from_millis(30),
+            max_partial_adus: 256,
+            timestamps: false,
+            fec_group: 0,
+            nack_frag_rounds: 3,
+            burst_tus: 12,
+            pace_per_tu: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters for an [`AduTransport`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlfStats {
+    /// ADUs accepted from the sending application.
+    pub adus_sent: u64,
+    /// TUs transmitted (data only; control excluded).
+    pub tus_sent: u64,
+    /// Control messages (ACK/NACK) transmitted.
+    pub control_sent: u64,
+    /// ADUs delivered complete to the receiving application.
+    pub adus_delivered: u64,
+    /// ADUs delivered whose id is lower than an already-delivered id —
+    /// i.e. delivered out of order (the ALF win: these would have stalled a
+    /// byte stream).
+    pub adus_delivered_out_of_order: u64,
+    /// Whole-ADU retransmissions performed.
+    pub adus_retransmitted: u64,
+    /// TUs retransmitted selectively in response to fragment NACKs.
+    pub tus_retransmitted_selective: u64,
+    /// First-TU probes sent by the timeout fallback for multi-TU ADUs.
+    pub probe_tus: u64,
+    /// Data TUs that carried a sender timestamp.
+    pub timestamped_tus: u64,
+    /// RTP-style (RFC 3550 §6.4.1) smoothed interarrival jitter estimate in
+    /// microseconds, maintained from TU timestamps.
+    pub jitter_us: f64,
+    /// Parity TUs transmitted (FEC).
+    pub fec_parity_sent: u64,
+    /// Fragments rebuilt from parity without retransmission (FEC).
+    pub fec_reconstructions: u64,
+    /// Recompute requests issued to the sending application.
+    pub recompute_requests: u64,
+    /// ADUs the *sender* gave up on (max retries / no-retransmit loss).
+    pub adus_given_up: u64,
+    /// Sender-side losses reported to the application by name.
+    pub losses_reported: u64,
+    /// Arriving messages dropped for checksum/parse failure.
+    pub bad_messages: u64,
+    /// Sum of per-ADU delivery latency (first TU arrival → release).
+    pub delivery_latency_total: SimDuration,
+    /// Maximum per-ADU delivery latency.
+    pub delivery_latency_max: SimDuration,
+}
+
+/// Sender-side record of an unacknowledged ADU.
+#[derive(Debug)]
+struct SentAdu {
+    name: AduName,
+    /// Payload copy ([`RecoveryMode::TransportBuffer`] only).
+    payload: Option<Vec<u8>>,
+    total_len: u32,
+    deadline: SimTime,
+    retries: u32,
+    /// Waiting for the application to deliver a recomputed payload.
+    awaiting_recompute: bool,
+    /// TUs of this ADU still sitting in the pacing queue. The retransmit
+    /// deadline is live only once this reaches zero — a queued-but-unsent
+    /// ADU cannot have been lost yet.
+    tus_unreleased: usize,
+}
+
+/// A loss the sender reports to its application, in application terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossReport {
+    /// The lost ADU's id.
+    pub adu_id: u64,
+    /// The lost ADU's application-level name.
+    pub name: AduName,
+}
+
+/// The ALF transport endpoint (symmetric: both ends run the same code).
+#[derive(Debug)]
+pub struct AduTransport {
+    cfg: AlfConfig,
+    next_adu_id: u64,
+    /// Unacknowledged ADUs (sender side).
+    unacked: BTreeMap<u64, SentAdu>,
+    /// ADUs queued for first transmission: `(id, name, payload)`.
+    queue: Vec<(u64, AduName, Vec<u8>)>,
+    /// ADUs to (re)transmit this poll: `(id, full)` — `full` resends the
+    /// whole ADU, otherwise only a first-TU probe goes out and the
+    /// receiver's selective NACKs fetch the rest.
+    retransmit_now: Vec<(u64, bool)>,
+    /// Pending outbound ACK ids.
+    ack_queue: Vec<u64>,
+    /// Pending outbound NACK ids.
+    nack_queue: Vec<u64>,
+    /// Pending outbound selective NACKs: `(adu_id, missing ranges)`.
+    nack_frag_out: Vec<(u64, Vec<(u32, u32)>)>,
+    /// Recompute requests awaiting `take_recompute_requests`.
+    recompute_out: Vec<LossReport>,
+    /// Losses to report to the local application.
+    loss_reports: Vec<LossReport>,
+    /// Encoded data TUs awaiting a transmit slot (pacing queue), tagged
+    /// with their ADU id so the retransmission deadline can be refreshed
+    /// when the TU actually leaves.
+    txq: std::collections::VecDeque<(u64, Vec<u8>)>,
+    /// Earliest instant the pacer will release the next TU.
+    next_tx_at: SimTime,
+    /// Receive stage 1.
+    assembler: Assembler,
+    /// Parity TUs held per pending ADU (FEC).
+    parities: BTreeMap<u64, Vec<fec::Parity>>,
+    /// Jitter estimator state: (previous arrival µs, previous timestamp µs).
+    prev_timing: Option<(u32, u32)>,
+    /// Completed ADUs awaiting the application: `(id, adu, latency)`.
+    deliver: Vec<(u64, Adu, SimDuration)>,
+    highest_delivered: Option<u64>,
+    /// Counters.
+    pub stats: AlfStats,
+}
+
+/// Error from [`AduTransport::send_adu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendRefused {
+    /// The unacknowledged-ADU window is full; poll and retry.
+    WindowFull,
+    /// ADU larger than the u32 length field permits.
+    TooBig,
+}
+
+impl std::fmt::Display for SendRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendRefused::WindowFull => write!(f, "ADU window full"),
+            SendRefused::TooBig => write!(f, "ADU exceeds 4 GiB limit"),
+        }
+    }
+}
+
+impl std::error::Error for SendRefused {}
+
+impl AduTransport {
+    /// Create an endpoint.
+    pub fn new(cfg: AlfConfig) -> Self {
+        Self {
+            cfg,
+            next_adu_id: 0,
+            unacked: BTreeMap::new(),
+            queue: Vec::new(),
+            retransmit_now: Vec::new(),
+            ack_queue: Vec::new(),
+            nack_queue: Vec::new(),
+            nack_frag_out: Vec::new(),
+            recompute_out: Vec::new(),
+            loss_reports: Vec::new(),
+            txq: std::collections::VecDeque::new(),
+            next_tx_at: SimTime::ZERO,
+            assembler: Assembler::new(cfg.assembly_timeout, cfg.max_partial_adus),
+            parities: BTreeMap::new(),
+            prev_timing: None,
+            deliver: Vec::new(),
+            highest_delivered: None,
+            stats: AlfStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AlfConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Sending application interface
+    // ------------------------------------------------------------------
+
+    /// Submit one ADU for transmission. Returns its transport id.
+    ///
+    /// # Errors
+    /// [`SendRefused::WindowFull`] when too many ADUs are unacknowledged
+    /// (buffered modes only), [`SendRefused::TooBig`] for > u32 payloads.
+    pub fn send_adu(&mut self, name: AduName, payload: Vec<u8>) -> Result<u64, SendRefused> {
+        if payload.len() > u32::MAX as usize {
+            return Err(SendRefused::TooBig);
+        }
+        if self.cfg.recovery != RecoveryMode::NoRetransmit
+            && self.unacked.len() + self.queue.len() >= self.cfg.window_adus
+        {
+            return Err(SendRefused::WindowFull);
+        }
+        let id = self.next_adu_id;
+        self.next_adu_id += 1;
+        self.stats.adus_sent += 1;
+        self.queue.push((id, name, payload));
+        Ok(id)
+    }
+
+    /// Losses the transport has given up on, in application terms (name,
+    /// not byte range). Draining.
+    pub fn take_loss_reports(&mut self) -> Vec<LossReport> {
+        std::mem::take(&mut self.loss_reports)
+    }
+
+    /// Recompute requests for the sending application
+    /// ([`RecoveryMode::AppRecompute`] only). Draining. The application
+    /// answers each via [`AduTransport::provide_recomputed`].
+    pub fn take_recompute_requests(&mut self) -> Vec<LossReport> {
+        std::mem::take(&mut self.recompute_out)
+    }
+
+    /// Recompute requests waiting to be taken (drivers use this to avoid
+    /// declaring the sender stuck while a question to the application is
+    /// outstanding).
+    pub fn pending_recompute_requests(&self) -> usize {
+        self.recompute_out.len()
+    }
+
+    /// Deliver a recomputed payload for a previously requested ADU. The
+    /// payload is retransmitted as the same ADU id. Returns false if the
+    /// request is no longer live (e.g. ACKed in the meantime).
+    pub fn provide_recomputed(&mut self, adu_id: u64, payload: Vec<u8>) -> bool {
+        match self.unacked.get_mut(&adu_id) {
+            Some(sent) if sent.awaiting_recompute => {
+                sent.payload = Some(payload);
+                sent.awaiting_recompute = false;
+                self.retransmit_now.push((adu_id, true));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when nothing is queued, paced, or unacknowledged (sender drained).
+    pub fn send_complete(&self) -> bool {
+        self.queue.is_empty()
+            && self.txq.is_empty()
+            && self.unacked.is_empty()
+            && self.retransmit_now.is_empty()
+    }
+
+    /// Sender memory held for retransmission (X4's buffering cost).
+    pub fn retransmit_buffer_bytes(&self) -> usize {
+        self.unacked
+            .values()
+            .map(|s| s.payload.as_ref().map_or(0, Vec::len))
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving application interface
+    // ------------------------------------------------------------------
+
+    /// Pop the next complete ADU, with its delivery latency (first TU
+    /// arrival → completion). Delivery order is completion order, NOT name
+    /// or id order — out-of-order by design.
+    pub fn recv_adu(&mut self) -> Option<(Adu, SimDuration)> {
+        if self.deliver.is_empty() {
+            return None;
+        }
+        let (id, adu, latency) = self.deliver.remove(0);
+        if let Some(hi) = self.highest_delivered {
+            if id < hi {
+                self.stats.adus_delivered_out_of_order += 1;
+            }
+        }
+        self.highest_delivered = Some(self.highest_delivered.map_or(id, |h| h.max(id)));
+        Some((adu, latency))
+    }
+
+    /// Complete ADUs waiting for the application.
+    pub fn recv_available(&self) -> usize {
+        self.deliver.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Wire interface
+    // ------------------------------------------------------------------
+
+    /// Advance the machine: expire assemblies, fire retransmission timers,
+    /// emit data and control messages.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+
+        // Receiver: overdue assemblies get selective-fragment NACKs for a
+        // few rounds, then a whole-ADU NACK and abandonment.
+        let actions = self
+            .assembler
+            .expire_policy(now, self.cfg.nack_frag_rounds);
+        for (id, ranges) in actions.request_frags {
+            self.nack_frag_out.push((id, ranges));
+        }
+        for (id, _name) in actions.abandoned {
+            self.nack_queue.push(id);
+        }
+
+        // Sender: retransmission deadlines.
+        let overdue: Vec<u64> = self
+            .unacked
+            .iter()
+            .filter(|(_, s)| now >= s.deadline && !s.awaiting_recompute && s.tus_unreleased == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            self.handle_loss_event(id, now);
+        }
+
+        // Sender: explicit retransmissions (timeout-, NACK- or recompute-
+        // triggered).
+        let retx = std::mem::take(&mut self.retransmit_now);
+        for (id, full) in retx {
+            if let Some(sent) = self.unacked.get_mut(&id) {
+                // Buffer mode keeps its copy for further losses; recompute
+                // mode hands the regenerated payload straight through — the
+                // transport holds no standing copy ("recompute the lost
+                // data values, rather than buffering them", §5).
+                let payload = if self.cfg.recovery == RecoveryMode::TransportBuffer {
+                    sent.payload.clone()
+                } else {
+                    sent.payload.take()
+                };
+                if let Some(payload) = payload {
+                    sent.deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+                    let name = sent.name;
+                    let queued = if full || payload.len() <= self.cfg.mtu_payload {
+                        self.stats.adus_retransmitted += 1;
+                        self.emit_adu(now, id, name, &payload)
+                    } else {
+                        // Probe: resend only the first TU; the receiver's
+                        // missing-range NACKs drive the rest of the repair.
+                        self.stats.probe_tus += 1;
+                        let tu = crate::wire::Tu {
+                            flags: 0,
+                            assoc: self.cfg.assoc,
+                            timestamp_us: 0,
+                            adu_id: id,
+                            adu_len: payload.len() as u32,
+                            frag_off: 0,
+                            name,
+                            payload: payload[..self.cfg.mtu_payload].to_vec(),
+                        };
+                        self.txq.push_back((id, Message::Tu(tu).encode()));
+                        1
+                    };
+                    if let Some(sent) = self.unacked.get_mut(&id) {
+                        sent.tus_unreleased += queued;
+                    }
+                }
+            }
+        }
+
+        // Sender: first transmissions.
+        let queue = std::mem::take(&mut self.queue);
+        for (id, name, payload) in queue {
+            let keep_payload = self.cfg.recovery == RecoveryMode::TransportBuffer;
+            if self.cfg.recovery != RecoveryMode::NoRetransmit {
+                self.unacked.insert(
+                    id,
+                    SentAdu {
+                        name,
+                        payload: keep_payload.then(|| payload.clone()),
+                        total_len: payload.len() as u32,
+                        deadline: now + self.cfg.retransmit_timeout,
+                        retries: 0,
+                        awaiting_recompute: false,
+                        tus_unreleased: 0,
+                    },
+                );
+            }
+            let queued = self.emit_adu(now, id, name, &payload);
+            if let Some(sent) = self.unacked.get_mut(&id) {
+                sent.tus_unreleased += queued;
+            }
+        }
+
+        // Release paced data TUs up to the burst budget and the token
+        // pacer. The owning ADU's retransmission clock starts from the
+        // moment its TUs actually leave, not from when they were queued
+        // behind the pacer.
+        let pace = self.cfg.pace_per_tu;
+        for _ in 0..self.cfg.burst_tus {
+            if pace > SimDuration::ZERO && now < self.next_tx_at {
+                break;
+            }
+            let Some((id, frame)) = self.txq.pop_front() else {
+                break;
+            };
+            if pace > SimDuration::ZERO {
+                self.next_tx_at = self.next_tx_at.max(now) + pace;
+            }
+            if let Some(sent) = self.unacked.get_mut(&id) {
+                let retries = sent.retries;
+                sent.tus_unreleased = sent.tus_unreleased.saturating_sub(1);
+                sent.deadline = now + rto_for(self.cfg.retransmit_timeout, retries);
+            }
+            self.stats.tus_sent += 1;
+            out.push(frame);
+        }
+
+        // Control: coalesced ACKs / NACKs.
+        if !self.ack_queue.is_empty() {
+            let ids = std::mem::take(&mut self.ack_queue);
+            out.push(
+                Message::Ack {
+                    assoc: self.cfg.assoc,
+                    ids,
+                }
+                .encode(),
+            );
+            self.stats.control_sent += 1;
+        }
+        if !self.nack_queue.is_empty() {
+            let ids = std::mem::take(&mut self.nack_queue);
+            out.push(
+                Message::Nack {
+                    assoc: self.cfg.assoc,
+                    ids,
+                }
+                .encode(),
+            );
+            self.stats.control_sent += 1;
+        }
+        for (adu_id, ranges) in std::mem::take(&mut self.nack_frag_out) {
+            out.push(
+                Message::NackFrags {
+                    assoc: self.cfg.assoc,
+                    adu_id,
+                    ranges,
+                }
+                .encode(),
+            );
+            self.stats.control_sent += 1;
+        }
+        out
+    }
+
+    /// Ingest one wire message.
+    pub fn on_message(&mut self, now: SimTime, buf: &[u8]) {
+        let msg = match Message::decode(buf) {
+            Ok(m) => m,
+            Err(WireError::BadChecksum) | Err(_) => {
+                self.stats.bad_messages += 1;
+                return;
+            }
+        };
+        match msg {
+            Message::Tu(tu) => {
+                if tu.assoc != self.cfg.assoc {
+                    self.stats.bad_messages += 1;
+                    return;
+                }
+                if self.assembler.was_released(tu.adu_id) {
+                    // The sender is retransmitting an ADU we already
+                    // delivered: our ACK was lost. Repair it.
+                    self.ack_queue.push(tu.adu_id);
+                    return;
+                }
+                if tu.flags & TU_FLAG_TIMESTAMP != 0 {
+                    self.update_jitter(now, tu.timestamp_us);
+                }
+                if tu.flags & TU_FLAG_PARITY != 0 {
+                    if let Some(p) = fec::parse_parity(&tu) {
+                        self.parities.entry(tu.adu_id).or_default().push(p);
+                    } else {
+                        self.stats.bad_messages += 1;
+                    }
+                } else {
+                    self.assembler.on_tu(now, &tu);
+                }
+                self.try_fec_reconstruct(now, tu.adu_id, tu.name);
+                while let Some((id, adu, first_at)) = self.assembler.pop_ready() {
+                    self.parities.remove(&id);
+                    #[cfg(feature = "debug-loss")]
+                    eprintln!("adu {id} complete at {now}");
+                    let latency = now.saturating_since(first_at);
+                    self.stats.adus_delivered += 1;
+                    self.stats.delivery_latency_total += latency;
+                    self.stats.delivery_latency_max =
+                        self.stats.delivery_latency_max.max(latency);
+                    self.ack_queue.push(id);
+                    self.deliver.push((id, adu, latency));
+                }
+            }
+            Message::Ack { assoc, ids } => {
+                if assoc != self.cfg.assoc {
+                    return;
+                }
+                #[cfg(feature = "debug-loss")]
+                eprintln!("ack in: {ids:?} at {now}");
+                for id in ids {
+                    self.unacked.remove(&id);
+                }
+            }
+            Message::Nack { assoc, ids } => {
+                if assoc != self.cfg.assoc {
+                    return;
+                }
+                for id in ids {
+                    if self.unacked.contains_key(&id) {
+                        self.handle_loss_event(id, now);
+                    }
+                }
+            }
+            Message::NackFrags { assoc, adu_id, ranges } => {
+                if assoc != self.cfg.assoc {
+                    return;
+                }
+                self.retransmit_fragments(now, adu_id, &ranges);
+            }
+        }
+    }
+
+    /// The earliest pending sender timer (retransmission deadline or
+    /// pacing wake-up).
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        let retx = self
+            .unacked
+            .values()
+            .filter(|s| !s.awaiting_recompute && s.tus_unreleased == 0)
+            .map(|s| s.deadline)
+            .min();
+        let pace = (!self.txq.is_empty() && self.cfg.pace_per_tu > SimDuration::ZERO)
+            .then_some(self.next_tx_at);
+        match (retx, pace) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Receiver memory currently invested in partial ADUs.
+    pub fn reassembly_bytes(&self) -> usize {
+        self.assembler.pending_bytes()
+    }
+
+    /// Stage-1 statistics.
+    pub fn assembler_stats(&self) -> crate::assembler::AssemblerStats {
+        self.assembler.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Fragment and queue an ADU's TUs (plus FEC parity when configured);
+    /// returns how many were queued.
+    fn emit_adu(&mut self, now: SimTime, id: u64, name: AduName, payload: &[u8]) -> usize {
+        let mut tus = fragment_adu(self.cfg.assoc, id, name, payload, self.cfg.mtu_payload);
+        if self.cfg.timestamps {
+            let stamp = micros_wrapping(now);
+            for tu in &mut tus {
+                tu.timestamp_us = stamp;
+                tu.flags |= TU_FLAG_TIMESTAMP;
+            }
+        }
+        let mut n = 0usize;
+        // Parity follows the data it protects: by the time a parity TU
+        // arrives, its group's data TUs have either arrived or been lost,
+        // so reconstruction fires only for real erasures.
+        let parities = if self.cfg.fec_group > 0 {
+            fec::build_parity(&tus, self.cfg.fec_group)
+        } else {
+            Vec::new()
+        };
+        for tu in tus {
+            self.txq.push_back((id, Message::Tu(tu).encode()));
+            n += 1;
+        }
+        for parity in parities {
+            self.txq.push_back((id, Message::Tu(parity).encode()));
+            self.stats.fec_parity_sent += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// RFC 3550 §6.4.1 interarrival jitter: `J += (|D| - J) / 16` where
+    /// `D` is the difference in relative transit time between consecutive
+    /// stamped TUs (all arithmetic wrapping, µs).
+    fn update_jitter(&mut self, now: SimTime, ts_us: u32) {
+        let arrival = micros_wrapping(now);
+        self.stats.timestamped_tus += 1;
+        if let Some((prev_arrival, prev_ts)) = self.prev_timing {
+            let d = (arrival.wrapping_sub(prev_arrival) as i32)
+                .wrapping_sub(ts_us.wrapping_sub(prev_ts) as i32);
+            let d = (d as f64).abs();
+            self.stats.jitter_us += (d - self.stats.jitter_us) / 16.0;
+        }
+        self.prev_timing = Some((arrival, ts_us));
+    }
+
+    /// Try to rebuild missing fragments of `adu_id` from held parity TUs,
+    /// feeding reconstructions back into stage 1 (which may complete the
+    /// ADU and let `pop_ready` release it).
+    fn try_fec_reconstruct(&mut self, now: SimTime, adu_id: u64, name: AduName) {
+        let Some(plist) = self.parities.get(&adu_id) else {
+            return;
+        };
+        let Some(adu_len) = self.assembler.declared_len(adu_id) else {
+            return;
+        };
+        let mut rebuilt: Vec<(u32, Vec<u8>)> = Vec::new();
+        for p in plist {
+            let mtu = p.xor.len();
+            if mtu == 0 {
+                continue;
+            }
+            if let Some(hit) = fec::reconstruct(p, mtu, adu_len, |j| {
+                let off = p.group_off as u64 + (j * mtu) as u64;
+                if off >= adu_len as u64 {
+                    // Group slot past the ADU end (malformed k): treat as
+                    // present-empty so it cannot count as the erasure.
+                    return Some(Vec::new());
+                }
+                let len = ((adu_len as u64 - off) as usize).min(mtu);
+                self.assembler.fragment_if_present(adu_id, off as u32, len)
+            }) {
+                rebuilt.push(hit);
+            }
+        }
+        if rebuilt.is_empty() {
+            return;
+        }
+        for (frag_off, payload) in rebuilt {
+            self.stats.fec_reconstructions += 1;
+            let tu = crate::wire::Tu {
+                flags: 0,
+                assoc: self.cfg.assoc,
+                timestamp_us: 0,
+                adu_id,
+                adu_len,
+                frag_off,
+                name,
+                payload,
+            };
+            self.assembler.on_tu(now, &tu);
+        }
+    }
+
+    /// Selective retransmission: resend just the NACKed byte ranges of one
+    /// ADU (requires the payload at hand — buffer mode, or a still-cached
+    /// recomputed payload). Falls back to the whole-ADU loss path when the
+    /// payload is gone.
+    fn retransmit_fragments(&mut self, now: SimTime, adu_id: u64, ranges: &[(u32, u32)]) {
+        let Some(sent) = self.unacked.get_mut(&adu_id) else {
+            return; // already ACKed — the NACK raced the final TU
+        };
+        if sent.tus_unreleased > 0 {
+            // Repairs (or the original transmission) are still draining
+            // through the pacer; answering this NACK round would only queue
+            // duplicates behind them.
+            return;
+        }
+        if sent.retries >= self.cfg.max_retries {
+            // Selective recovery is still bounded by the give-up budget.
+            self.handle_loss_event(adu_id, now);
+            return;
+        }
+        let Some(payload) = sent.payload.as_ref() else {
+            // No copy to cut from: treat as a loss event (recompute / give up).
+            self.handle_loss_event(adu_id, now);
+            return;
+        };
+        let name = sent.name;
+        let total = payload.len() as u32;
+        let mut tus = Vec::new();
+        for &(off, len) in ranges {
+            let end = off.saturating_add(len).min(total);
+            let mut cursor = off.min(total);
+            while cursor < end {
+                let take = (end - cursor).min(self.cfg.mtu_payload as u32) as usize;
+                tus.push(crate::wire::Tu {
+                    flags: 0,
+                    assoc: self.cfg.assoc,
+                    timestamp_us: 0,
+                    adu_id,
+                    adu_len: total,
+                    frag_off: cursor,
+                    name,
+                    payload: payload[cursor as usize..cursor as usize + take].to_vec(),
+                });
+                cursor += take as u32;
+            }
+        }
+        if tus.is_empty() {
+            return;
+        }
+        sent.retries += 1;
+        let deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+        sent.deadline = deadline;
+        sent.tus_unreleased += tus.len();
+        self.stats.tus_retransmitted_selective += tus.len() as u64;
+        for tu in tus {
+            self.txq.push_back((adu_id, Message::Tu(tu).encode()));
+        }
+    }
+
+    /// An ADU was (probably) lost: apply the recovery policy.
+    fn handle_loss_event(&mut self, id: u64, now: SimTime) {
+        let Some(sent) = self.unacked.get_mut(&id) else {
+            return;
+        };
+        #[cfg(feature = "debug-loss")]
+        eprintln!("loss event: adu {id} now {now} deadline {} retries {}", sent.deadline, sent.retries);
+        if sent.retries >= self.cfg.max_retries {
+            let name = sent.name;
+            self.unacked.remove(&id);
+            self.stats.adus_given_up += 1;
+            self.stats.losses_reported += 1;
+            self.loss_reports.push(LossReport { adu_id: id, name });
+            return;
+        }
+        sent.retries += 1;
+        let deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+        sent.deadline = deadline;
+        match self.cfg.recovery {
+            RecoveryMode::TransportBuffer => {
+                self.retransmit_now.push((id, false));
+            }
+            RecoveryMode::AppRecompute => {
+                if !sent.awaiting_recompute && sent.payload.is_none() {
+                    sent.awaiting_recompute = true;
+                    let name = sent.name;
+                    self.stats.recompute_requests += 1;
+                    self.recompute_out.push(LossReport { adu_id: id, name });
+                } else if sent.payload.is_some() {
+                    // A recomputed payload is still cached from a previous
+                    // round: reuse it.
+                    self.retransmit_now.push((id, true));
+                }
+            }
+            RecoveryMode::NoRetransmit => unreachable!("no unacked in NoRetransmit"),
+        }
+        let _ = sent.total_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(recovery: RecoveryMode) -> AlfConfig {
+        AlfConfig {
+            recovery,
+            ..AlfConfig::default()
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 13 % 251) as u8).collect()
+    }
+
+    /// Wire both endpoints directly (lossless, zero-delay) until quiet.
+    fn pump(a: &mut AduTransport, b: &mut AduTransport, mut now: SimTime) -> SimTime {
+        for _ in 0..1000 {
+            now += SimDuration::from_micros(50);
+            let fa = a.poll(now);
+            let fb = b.poll(now);
+            if fa.is_empty() && fb.is_empty() {
+                return now;
+            }
+            for f in fa {
+                b.on_message(now, &f);
+            }
+            for f in fb {
+                a.on_message(now, &f);
+            }
+        }
+        panic!("did not quiesce");
+    }
+
+    #[test]
+    fn single_adu_roundtrip() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let data = payload(5000);
+        let name = AduName::FileRange { offset: 4096 };
+        a.send_adu(name, data.clone()).unwrap();
+        pump(&mut a, &mut b, SimTime::ZERO);
+        let (adu, _latency) = b.recv_adu().unwrap();
+        assert_eq!(adu.name, name);
+        assert_eq!(adu.payload, data);
+        assert!(a.send_complete(), "ACK must clear the sender buffer");
+        assert_eq!(a.retransmit_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn many_adus_all_delivered() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut now = SimTime::ZERO;
+        let mut delivered = 0;
+        for batch in 0..5 {
+            for i in 0..20u64 {
+                a.send_adu(
+                    AduName::Seq { index: batch * 20 + i },
+                    payload(100 + i as usize * 37),
+                )
+                .unwrap();
+            }
+            now = pump(&mut a, &mut b, now);
+            while b.recv_adu().is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 100);
+        assert_eq!(b.stats.adus_delivered, 100);
+    }
+
+    #[test]
+    fn window_refuses_when_full() {
+        let mut a = AduTransport::new(AlfConfig {
+            window_adus: 2,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        a.send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        a.send_adu(AduName::Seq { index: 1 }, payload(10)).unwrap();
+        assert_eq!(
+            a.send_adu(AduName::Seq { index: 2 }, payload(10)),
+            Err(SendRefused::WindowFull)
+        );
+    }
+
+    #[test]
+    fn no_retransmit_mode_has_no_window() {
+        let mut a = AduTransport::new(AlfConfig {
+            window_adus: 1,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        for i in 0..100 {
+            a.send_adu(AduName::Seq { index: i }, payload(10)).unwrap();
+        }
+        for round in 0..20 {
+            let _ = a.poll(SimTime::from_micros(round));
+            if a.send_complete() {
+                break;
+            }
+        }
+        assert!(a.send_complete(), "fire-and-forget keeps no state");
+        assert_eq!(a.retransmit_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn buffer_mode_recovers_from_total_loss() {
+        // All first-copy TUs vanish. The sender's timeout fires a cheap
+        // first-TU probe; the receiver's missing-range NACKs then fetch the
+        // rest — the full repair loop, driven by hand.
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(AlfConfig {
+            assembly_timeout: SimDuration::from_millis(5),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let data = payload(2000); // 2 TUs
+        a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+        let lost = a.poll(SimTime::ZERO);
+        assert_eq!(lost.len(), 2); // dropped on the floor
+        // Timeout: probe goes out.
+        let t1 = SimTime::from_millis(100);
+        let probe = a.poll(t1);
+        assert_eq!(probe.len(), 1, "first-TU probe only");
+        assert_eq!(a.stats.probe_tus, 1);
+        for f in probe {
+            b.on_message(t1, &f);
+        }
+        // Receiver now has 1400/2000 bytes; its deadline expires and it
+        // NACKs the missing range.
+        let t2 = SimTime::from_millis(110);
+        let nacks = b.poll(t2);
+        assert_eq!(nacks.len(), 1);
+        for f in nacks {
+            a.on_message(t2, &f);
+        }
+        let repair = a.poll(t2);
+        assert_eq!(repair.len(), 1, "just the missing fragment");
+        assert_eq!(a.stats.tus_retransmitted_selective, 1);
+        for f in repair {
+            b.on_message(t2, &f);
+        }
+        let (adu, _) = b.recv_adu().unwrap();
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn single_tu_adu_timeout_resends_whole() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(500)).unwrap();
+        let _ = a.poll(SimTime::ZERO);
+        let retx = a.poll(SimTime::from_millis(100));
+        assert_eq!(retx.len(), 1);
+        assert_eq!(a.stats.adus_retransmitted, 1);
+        assert_eq!(a.stats.probe_tus, 0);
+    }
+
+    #[test]
+    fn recompute_mode_asks_application() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::AppRecompute));
+        let mut b = AduTransport::new(cfg(RecoveryMode::AppRecompute));
+        let data = payload(900);
+        let id = a.send_adu(AduName::Rpc { call: 1, part: 0 }, data.clone()).unwrap();
+        let _lost = a.poll(SimTime::ZERO); // dropped on the floor
+        assert_eq!(a.retransmit_buffer_bytes(), 0, "recompute mode buffers nothing");
+        // Timeout fires: transport must ask the app, not retransmit.
+        let later = SimTime::from_millis(100);
+        let out = a.poll(later);
+        assert!(out.is_empty(), "nothing to send without the payload");
+        let reqs = a.take_recompute_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].adu_id, id);
+        assert_eq!(reqs[0].name, AduName::Rpc { call: 1, part: 0 });
+        // App regenerates the data.
+        assert!(a.provide_recomputed(id, data.clone()));
+        let retx = a.poll(later);
+        assert!(!retx.is_empty());
+        for f in retx {
+            b.on_message(later, &f);
+        }
+        let (adu, _) = b.recv_adu().unwrap();
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn sender_gives_up_and_reports_by_name() {
+        let mut a = AduTransport::new(AlfConfig {
+            max_retries: 2,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let name = AduName::Media { frame: 9, slot: 1 };
+        a.send_adu(name, payload(100)).unwrap();
+        let mut now = SimTime::ZERO;
+        // Let every (re)transmission vanish.
+        for _ in 0..5 {
+            now += SimDuration::from_millis(100);
+            let _ = a.poll(now);
+        }
+        let losses = a.take_loss_reports();
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].name, name, "loss reported in application terms");
+        assert!(a.send_complete());
+        assert_eq!(a.stats.adus_given_up, 1);
+    }
+
+    #[test]
+    fn out_of_order_delivery_counted() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        a.send_adu(AduName::Seq { index: 1 }, payload(500)).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        // ADU 0 = 3 TUs, ADU 1 = 1 TU. Drop ADU 0's first TU initially.
+        assert_eq!(frames.len(), 4);
+        let now = SimTime::from_micros(10);
+        b.on_message(now, &frames[1]);
+        b.on_message(now, &frames[2]);
+        b.on_message(now, &frames[3]); // ADU 1 completes first
+        let (adu, _) = b.recv_adu().unwrap();
+        assert_eq!(adu.name, AduName::Seq { index: 1 });
+        // Now ADU 0's missing TU arrives.
+        b.on_message(SimTime::from_micros(20), &frames[0]);
+        let (adu0, _) = b.recv_adu().unwrap();
+        assert_eq!(adu0.name, AduName::Seq { index: 0 });
+        assert_eq!(b.stats.adus_delivered_out_of_order, 1);
+    }
+
+    #[test]
+    fn nack_triggers_selective_recovery() {
+        let mut a = AduTransport::new(AlfConfig {
+            retransmit_timeout: SimDuration::from_secs(10), // timer too slow to matter
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            assembly_timeout: SimDuration::from_millis(5),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let data = payload(3000); // 3 TUs at the default 1400-byte MTU
+        a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        assert_eq!(frames.len(), 3);
+        // Deliver only the first TU: b starts an assembly that will expire.
+        b.on_message(SimTime::from_micros(10), &frames[0]);
+        let nacks = b.poll(SimTime::from_millis(10));
+        assert!(!nacks.is_empty(), "expired assembly must be NACKed");
+        for f in nacks {
+            a.on_message(SimTime::from_millis(10), &f);
+        }
+        // The first recovery round is selective: only the two missing TUs
+        // are resent, not the whole ADU.
+        let retx = a.poll(SimTime::from_millis(10));
+        assert_eq!(retx.len(), 2, "exactly the missing fragments");
+        assert_eq!(a.stats.tus_retransmitted_selective, 2);
+        assert_eq!(a.stats.adus_retransmitted, 0);
+        for f in retx {
+            b.on_message(SimTime::from_millis(11), &f);
+        }
+        let (adu, _) = b.recv_adu().expect("completed after selective repair");
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn selective_rounds_exhaust_to_whole_adu_nack() {
+        let mut b = AduTransport::new(AlfConfig {
+            assembly_timeout: SimDuration::from_millis(5),
+            nack_frag_rounds: 2,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        b.on_message(SimTime::from_micros(10), &frames[0]);
+        // Round 1 and 2: selective NACKs. Round 3: abandoned + whole NACK.
+        let mut whole_nack_seen = false;
+        for round in 1..=3u64 {
+            let out = b.poll(SimTime::from_millis(10 * round));
+            for f in &out {
+                match crate::wire::Message::decode(f).unwrap() {
+                    crate::wire::Message::NackFrags { ranges, .. } => {
+                        assert!(round <= 2);
+                        assert_eq!(ranges, vec![(1400, 1600)]);
+                    }
+                    crate::wire::Message::Nack { ids, .. } => {
+                        assert_eq!(round, 3);
+                        assert_eq!(ids, vec![0]);
+                        whole_nack_seen = true;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert!(whole_nack_seen);
+        assert_eq!(b.assembler_stats().adus_abandoned, 1);
+    }
+
+    #[test]
+    fn bidirectional_adu_exchange() {
+        // Both ends send ADUs at once over the same association: data TUs
+        // and control messages interleave without interference.
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        for i in 0..10u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(2000 + i as usize)).unwrap();
+            b.send_adu(AduName::Media { frame: i as u32, slot: 0 }, payload(900 + i as usize))
+                .unwrap();
+        }
+        pump(&mut a, &mut b, SimTime::ZERO);
+        let mut from_a = 0;
+        while let Some((adu, _)) = b.recv_adu() {
+            assert!(matches!(adu.name, AduName::Seq { .. }));
+            from_a += 1;
+        }
+        let mut from_b = 0;
+        while let Some((adu, _)) = a.recv_adu() {
+            assert!(matches!(adu.name, AduName::Media { .. }));
+            from_b += 1;
+        }
+        assert_eq!(from_a, 10);
+        assert_eq!(from_b, 10);
+        assert!(a.send_complete() && b.send_complete());
+    }
+
+    #[test]
+    fn corrupt_messages_counted() {
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        b.on_message(SimTime::ZERO, &[0u8; 40]);
+        b.on_message(SimTime::ZERO, &[1, 2, 3]);
+        assert_eq!(b.stats.bad_messages, 2);
+    }
+
+    #[test]
+    fn wrong_assoc_ignored() {
+        let mut a = AduTransport::new(AlfConfig {
+            assoc: 1,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            assoc: 2,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        a.send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        for f in a.poll(SimTime::ZERO) {
+            b.on_message(SimTime::ZERO, &f);
+        }
+        assert!(b.recv_adu().is_none());
+    }
+
+    #[test]
+    fn fec_repairs_single_tu_loss_without_retransmission() {
+        let mut a = AduTransport::new(AlfConfig {
+            fec_group: 4,
+            recovery: RecoveryMode::NoRetransmit,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+        let data = payload(4000); // 3 data TUs
+        a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        assert_eq!(frames.len(), 4, "3 data + 1 parity");
+        assert_eq!(a.stats.fec_parity_sent, 1);
+        // Drop one data TU (the middle one); parity travels last.
+        for (i, f) in frames.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            b.on_message(SimTime::from_micros(i as u64), f);
+        }
+        let (adu, _) = b.recv_adu().expect("FEC must complete the ADU");
+        assert_eq!(adu.payload, data);
+        assert_eq!(b.stats.fec_reconstructions, 1);
+    }
+
+    #[test]
+    fn fec_parity_loss_harmless() {
+        let mut a = AduTransport::new(AlfConfig {
+            fec_group: 4,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let data = payload(4000);
+        a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        // Drop the parity (last frame), deliver all data.
+        for f in &frames[..frames.len() - 1] {
+            b.on_message(SimTime::ZERO, f);
+        }
+        let (adu, _) = b.recv_adu().unwrap();
+        assert_eq!(adu.payload, data);
+        assert_eq!(b.stats.fec_reconstructions, 0);
+    }
+
+    #[test]
+    fn fec_two_losses_fall_back_to_retransmission() {
+        let mut a = AduTransport::new(AlfConfig {
+            fec_group: 4,
+            retransmit_timeout: SimDuration::from_millis(5),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            assembly_timeout: SimDuration::from_millis(2),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let data = payload(4000);
+        a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        // Drop two data TUs: parity can't help; NACK path must.
+        b.on_message(SimTime::ZERO, &frames[0]); // first data TU
+        b.on_message(SimTime::ZERO, &frames[3]); // parity (travels last)
+        assert!(b.recv_adu().is_none());
+        let nacks = b.poll(SimTime::from_millis(5));
+        assert!(!nacks.is_empty());
+        for f in nacks {
+            a.on_message(SimTime::from_millis(5), &f);
+        }
+        for f in a.poll(SimTime::from_millis(5)) {
+            b.on_message(SimTime::from_millis(6), &f);
+        }
+        let (adu, _) = b.recv_adu().expect("selective repair completes it");
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn timestamps_off_by_default_zero_jitter() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        for (i, f) in a.poll(SimTime::ZERO).iter().enumerate() {
+            b.on_message(SimTime::from_micros(100 * i as u64), f);
+        }
+        assert_eq!(b.stats.timestamped_tus, 0);
+        assert_eq!(b.stats.jitter_us, 0.0);
+    }
+
+    #[test]
+    fn steady_arrivals_converge_to_low_jitter() {
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+        // Send many single-TU ADUs stamped at a perfectly regular cadence,
+        // delivered with constant latency: D = 0 every step.
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 1000);
+            a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+            for f in a.poll(t) {
+                b.on_message(t + SimDuration::from_micros(40), &f);
+            }
+        }
+        assert_eq!(b.stats.timestamped_tus, 50);
+        assert!(
+            b.stats.jitter_us < 1.0,
+            "constant transit must give ~zero jitter, got {}",
+            b.stats.jitter_us
+        );
+    }
+
+    #[test]
+    fn variable_delay_raises_jitter() {
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 1000);
+            a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+            // Alternate 40 µs and 640 µs transit: |D| = 600 µs.
+            let transit = if i % 2 == 0 { 40 } else { 640 };
+            for f in a.poll(t) {
+                b.on_message(t + SimDuration::from_micros(transit), &f);
+            }
+        }
+        assert!(
+            b.stats.jitter_us > 100.0,
+            "alternating transit must register, got {}",
+            b.stats.jitter_us
+        );
+    }
+
+    #[test]
+    fn delivery_latency_recorded() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        b.on_message(SimTime::from_millis(1), &frames[0]);
+        b.on_message(SimTime::from_millis(2), &frames[1]);
+        b.on_message(SimTime::from_millis(4), &frames[2]);
+        let (_, latency) = b.recv_adu().unwrap();
+        assert_eq!(latency, SimDuration::from_millis(3));
+        assert_eq!(b.stats.delivery_latency_max, SimDuration::from_millis(3));
+    }
+}

@@ -1,0 +1,467 @@
+//! The ALF transport wire format: transmission units and control messages.
+//!
+//! "We assume that ADUs may be broken into smaller units suitable for
+//! transmission across physical links" (§5, footnote 10). A **transmission
+//! unit (TU)** carries one fragment of one ADU, and is *self-describing*:
+//! every TU carries the ADU's id, total length, the fragment's offset, and
+//! the full application-level name — §7's "each ADU will contain enough
+//! information to control its own delivery", pushed down to each TU so even
+//! a single surviving fragment identifies what it belongs to.
+//!
+//! Control traffic is per-ADU, never per-byte: ACKs and NACKs carry ADU
+//! ids, because the ADU is the unit of error recovery.
+
+use crate::adu::{AduName, NameError, NAME_WIRE_BYTES};
+use ct_wire::checksum::internet_checksum;
+use ct_wire::header::{HeaderReader, HeaderWriter};
+
+/// Fixed TU header length (type, flags, checksum, assoc, adu id, adu len,
+/// frag offset, frag length, timestamp, name).
+pub const TU_HEADER_BYTES: usize = 1 + 1 + 2 + 2 + 8 + 4 + 4 + 2 + 4 + NAME_WIRE_BYTES;
+
+/// Message type codes.
+const T_TU: u8 = 1;
+const T_ACK: u8 = 2;
+const T_NACK: u8 = 3;
+const T_NACK_FRAGS: u8 = 4;
+
+/// TU flag bit: this TU carries FEC parity, not data. Its payload is
+/// `[k: u8][xor bytes]` covering the `k` data fragments starting at
+/// `frag_off` (see [`crate::fec`]).
+pub const TU_FLAG_PARITY: u8 = 0x01;
+
+/// TU flag bit: `timestamp_us` carries a valid sender timestamp.
+pub const TU_FLAG_TIMESTAMP: u8 = 0x02;
+
+/// One transmission unit: a fragment of an ADU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tu {
+    /// Flag bits (`TU_FLAG_*`).
+    pub flags: u8,
+    /// Association identifier (demultiplexing key).
+    pub assoc: u16,
+    /// Sender timestamp in microseconds (wrapping) — §3's *timestamping*
+    /// transfer control: "some real-time protocols rely on packet
+    /// timestamps to support the regeneration of inter-packet timing."
+    /// Zero when the sender does not stamp.
+    pub timestamp_us: u32,
+    /// The ADU this fragment belongs to (sender-assigned, monotone).
+    pub adu_id: u64,
+    /// Total ADU payload length (same in every TU of the ADU).
+    pub adu_len: u32,
+    /// This fragment's byte offset within the ADU payload.
+    pub frag_off: u32,
+    /// The ADU's application-level name (repeated in every TU).
+    pub name: AduName,
+    /// Fragment payload.
+    pub payload: Vec<u8>,
+}
+
+/// A parsed ALF wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A data fragment.
+    Tu(Tu),
+    /// Positive acknowledgement of complete ADUs.
+    Ack {
+        /// Association identifier.
+        assoc: u16,
+        /// Acknowledged ADU ids.
+        ids: Vec<u64>,
+    },
+    /// Negative acknowledgement: the receiver declared these ADUs lost
+    /// (incomplete past its reassembly deadline).
+    Nack {
+        /// Association identifier.
+        assoc: u16,
+        /// Lost ADU ids.
+        ids: Vec<u64>,
+    },
+    /// Selective negative acknowledgement: the receiver holds part of the
+    /// ADU and asks for just the missing byte ranges — §5's "artificial set
+    /// of subunits into which an ADU is broken for error recovery".
+    NackFrags {
+        /// Association identifier.
+        assoc: u16,
+        /// The incomplete ADU.
+        adu_id: u64,
+        /// Missing `(offset, len)` byte ranges within the ADU.
+        ranges: Vec<(u32, u32)>,
+    },
+}
+
+/// Errors from [`Message::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than any valid message.
+    Truncated,
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// Checksum failed (corrupted in transit).
+    BadChecksum,
+    /// Fragment length disagrees with buffer size.
+    LengthMismatch,
+    /// Bad ADU name field.
+    Name(NameError),
+    /// A fragment that would extend past the declared ADU length.
+    FragmentOutOfRange,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadChecksum => write!(f, "message checksum failed"),
+            WireError::LengthMismatch => write!(f, "fragment length mismatch"),
+            WireError::Name(e) => write!(f, "bad ADU name: {e}"),
+            WireError::FragmentOutOfRange => write!(f, "fragment exceeds ADU length"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn seal_checksum(buf: &mut [u8]) {
+    let ck = internet_checksum(buf);
+    buf[2] = (ck >> 8) as u8;
+    buf[3] = (ck & 0xFF) as u8;
+}
+
+fn verify_checksum(buf: &[u8]) -> bool {
+    let mut copy = buf.to_vec();
+    let stored = u16::from_be_bytes([buf[2], buf[3]]);
+    copy[2] = 0;
+    copy[3] = 0;
+    internet_checksum(&copy) == stored
+}
+
+impl Message {
+    /// Encode to wire bytes (checksum sealed).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Tu(tu) => {
+                let mut out = Vec::with_capacity(TU_HEADER_BYTES + tu.payload.len());
+                let mut w = HeaderWriter::new(&mut out);
+                w.put_u8(T_TU)
+                    .put_u8(tu.flags)
+                    .put_u16(0) // checksum placeholder
+                    .put_u16(tu.assoc)
+                    .put_u64(tu.adu_id)
+                    .put_u32(tu.adu_len)
+                    .put_u32(tu.frag_off)
+                    .put_u16(tu.payload.len() as u16)
+                    .put_u32(tu.timestamp_us);
+                tu.name.encode(&mut out);
+                out.extend_from_slice(&tu.payload);
+                seal_checksum(&mut out);
+                out
+            }
+            Message::NackFrags { assoc, adu_id, ranges } => {
+                let mut out = Vec::with_capacity(16 + ranges.len() * 8);
+                let mut w = HeaderWriter::new(&mut out);
+                w.put_u8(T_NACK_FRAGS)
+                    .put_u8(0)
+                    .put_u16(0)
+                    .put_u16(*assoc)
+                    .put_u64(*adu_id)
+                    .put_u16(ranges.len() as u16);
+                for (off, len) in ranges {
+                    out.extend_from_slice(&off.to_be_bytes());
+                    out.extend_from_slice(&len.to_be_bytes());
+                }
+                seal_checksum(&mut out);
+                out
+            }
+            Message::Ack { assoc, ids } | Message::Nack { assoc, ids } => {
+                let ty = if matches!(self, Message::Ack { .. }) {
+                    T_ACK
+                } else {
+                    T_NACK
+                };
+                let mut out = Vec::with_capacity(8 + ids.len() * 8);
+                let mut w = HeaderWriter::new(&mut out);
+                w.put_u8(ty).put_u8(0).put_u16(0).put_u16(*assoc).put_u16(ids.len() as u16);
+                for id in ids {
+                    out.extend_from_slice(&id.to_be_bytes());
+                }
+                seal_checksum(&mut out);
+                out
+            }
+        }
+    }
+
+    /// Decode and verify a wire message.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, corruption, or malformed fields.
+    pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if !verify_checksum(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        let mut r = HeaderReader::new(buf);
+        let ty = r.get_u8().expect("sized");
+        let flags = r.get_u8().expect("sized");
+        let _ck = r.get_u16().expect("sized");
+        let assoc = r.get_u16().expect("sized");
+        match ty {
+            T_TU => {
+                if buf.len() < TU_HEADER_BYTES {
+                    return Err(WireError::Truncated);
+                }
+                let adu_id = r.get_u64().map_err(|_| WireError::Truncated)?;
+                let adu_len = r.get_u32().map_err(|_| WireError::Truncated)?;
+                let frag_off = r.get_u32().map_err(|_| WireError::Truncated)?;
+                let frag_len = r.get_u16().map_err(|_| WireError::Truncated)? as usize;
+                let timestamp_us = r.get_u32().map_err(|_| WireError::Truncated)?;
+                let name = AduName::decode(&mut r).map_err(WireError::Name)?;
+                let payload = r.rest();
+                if payload.len() != frag_len {
+                    return Err(WireError::LengthMismatch);
+                }
+                // Data fragments must fit inside the ADU; parity TUs cover
+                // positions, not content, and may extend past a short tail.
+                if flags & TU_FLAG_PARITY == 0
+                    && frag_off as u64 + frag_len as u64 > adu_len as u64
+                {
+                    return Err(WireError::FragmentOutOfRange);
+                }
+                Ok(Message::Tu(Tu {
+                    flags,
+                    assoc,
+                    timestamp_us,
+                    adu_id,
+                    adu_len,
+                    frag_off,
+                    name,
+                    payload: payload.to_vec(),
+                }))
+            }
+            T_NACK_FRAGS => {
+                let adu_id = r.get_u64().map_err(|_| WireError::Truncated)?;
+                let count = r.get_u16().map_err(|_| WireError::Truncated)? as usize;
+                let mut ranges = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let off = r.get_u32().map_err(|_| WireError::Truncated)?;
+                    let len = r.get_u32().map_err(|_| WireError::Truncated)?;
+                    ranges.push((off, len));
+                }
+                if r.remaining() != 0 {
+                    return Err(WireError::LengthMismatch);
+                }
+                Ok(Message::NackFrags { assoc, adu_id, ranges })
+            }
+            T_ACK | T_NACK => {
+                let count = r.get_u16().map_err(|_| WireError::Truncated)? as usize;
+                let mut ids = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    ids.push(r.get_u64().map_err(|_| WireError::Truncated)?);
+                }
+                if r.remaining() != 0 {
+                    return Err(WireError::LengthMismatch);
+                }
+                if ty == T_ACK {
+                    Ok(Message::Ack { assoc, ids })
+                } else {
+                    Ok(Message::Nack { assoc, ids })
+                }
+            }
+            other => Err(WireError::UnknownType(other)),
+        }
+    }
+}
+
+/// Split an ADU payload into TUs of at most `mtu_payload` fragment bytes.
+/// Zero-length ADUs produce a single empty TU (the name still travels).
+pub fn fragment_adu(
+    assoc: u16,
+    adu_id: u64,
+    name: AduName,
+    payload: &[u8],
+    mtu_payload: usize,
+) -> Vec<Tu> {
+    assert!(mtu_payload > 0, "mtu_payload must be positive");
+    let adu_len = payload.len() as u32;
+    if payload.is_empty() {
+        return vec![Tu {
+            flags: 0,
+            assoc,
+            timestamp_us: 0,
+            adu_id,
+            adu_len,
+            frag_off: 0,
+            name,
+            payload: Vec::new(),
+        }];
+    }
+    payload
+        .chunks(mtu_payload)
+        .enumerate()
+        .map(|(i, chunk)| Tu {
+            flags: 0,
+            assoc,
+            timestamp_us: 0,
+            adu_id,
+            adu_len,
+            frag_off: (i * mtu_payload) as u32,
+            name,
+            payload: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tu() -> Tu {
+        Tu {
+            flags: 0,
+            assoc: 7,
+            timestamp_us: 123_456,
+            adu_id: 42,
+            adu_len: 1000,
+            frag_off: 500,
+            name: AduName::FileRange { offset: 123_456 },
+            payload: vec![0xAB; 250],
+        }
+    }
+
+    #[test]
+    fn tu_roundtrip() {
+        let m = Message::Tu(sample_tu());
+        let wire = m.encode();
+        assert_eq!(wire.len(), TU_HEADER_BYTES + 250);
+        assert_eq!(Message::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_nack_roundtrip() {
+        for m in [
+            Message::Ack { assoc: 1, ids: vec![] },
+            Message::Ack { assoc: 1, ids: vec![5, 6, 7] },
+            Message::Nack { assoc: 2, ids: vec![u64::MAX] },
+            Message::NackFrags { assoc: 3, adu_id: 9, ranges: vec![] },
+            Message::NackFrags {
+                assoc: 3,
+                adu_id: 9,
+                ranges: vec![(0, 100), (1400, 2800), (u32::MAX - 8, 8)],
+            },
+        ] {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn corruption_caught() {
+        let wire = Message::Tu(sample_tu()).encode();
+        for i in (0..wire.len()).step_by(7) {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x08;
+            assert!(Message::decode(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_caught() {
+        let wire = Message::Tu(sample_tu()).encode();
+        assert_eq!(Message::decode(&wire[..4]), Err(WireError::Truncated));
+        assert!(Message::decode(&wire[..TU_HEADER_BYTES - 1]).is_err());
+    }
+
+    #[test]
+    fn fragment_out_of_range_rejected() {
+        let tu = Tu {
+            frag_off: 900,
+            payload: vec![0; 250], // 900+250 > 1000
+            ..sample_tu()
+        };
+        let wire = Message::Tu(tu).encode();
+        assert_eq!(Message::decode(&wire), Err(WireError::FragmentOutOfRange));
+    }
+
+    #[test]
+    fn fragmentation_covers_exactly() {
+        let payload: Vec<u8> = (0..2500u32).map(|i| i as u8).collect();
+        let tus = fragment_adu(1, 9, AduName::Seq { index: 9 }, &payload, 1000);
+        assert_eq!(tus.len(), 3);
+        assert_eq!(tus[0].payload.len(), 1000);
+        assert_eq!(tus[2].payload.len(), 500);
+        let mut rebuilt = vec![0u8; 2500];
+        for tu in &tus {
+            assert_eq!(tu.adu_len, 2500);
+            assert_eq!(tu.name, AduName::Seq { index: 9 });
+            rebuilt[tu.frag_off as usize..tu.frag_off as usize + tu.payload.len()]
+                .copy_from_slice(&tu.payload);
+        }
+        assert_eq!(rebuilt, payload);
+    }
+
+    #[test]
+    fn empty_adu_single_tu() {
+        let tus = fragment_adu(1, 2, AduName::Seq { index: 2 }, &[], 1000);
+        assert_eq!(tus.len(), 1);
+        assert!(tus[0].payload.is_empty());
+        assert_eq!(tus[0].adu_len, 0);
+        // And it survives the wire.
+        let wire = Message::Tu(tus[0].clone()).encode();
+        assert!(Message::decode(&wire).is_ok());
+    }
+
+    #[test]
+    fn every_tu_self_describes() {
+        // §7: any single TU identifies its ADU, name, and placement.
+        let payload = vec![1u8; 5000];
+        let name = AduName::Media { frame: 30, slot: 2 };
+        for tu in fragment_adu(3, 77, name, &payload, 1400) {
+            let wire = Message::Tu(tu.clone()).encode();
+            match Message::decode(&wire).unwrap() {
+                Message::Tu(got) => {
+                    assert_eq!(got.adu_id, 77);
+                    assert_eq!(got.name, name);
+                    assert_eq!(got.adu_len, 5000);
+                }
+                _ => panic!("wrong type"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu_payload must be positive")]
+    fn zero_mtu_panics() {
+        fragment_adu(1, 1, AduName::Seq { index: 1 }, &[1], 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Message::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_fragment_reassembles(
+            payload in proptest::collection::vec(any::<u8>(), 0..5000),
+            mtu in 1usize..2000,
+        ) {
+            let tus = fragment_adu(1, 1, AduName::Seq { index: 1 }, &payload, mtu);
+            let mut rebuilt = vec![0u8; payload.len()];
+            let mut covered = 0usize;
+            for tu in &tus {
+                let off = tu.frag_off as usize;
+                rebuilt[off..off + tu.payload.len()].copy_from_slice(&tu.payload);
+                covered += tu.payload.len();
+            }
+            prop_assert_eq!(covered, payload.len());
+            prop_assert_eq!(rebuilt, payload);
+        }
+    }
+}

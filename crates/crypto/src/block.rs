@@ -1,0 +1,297 @@
+//! A chained block cipher (CBC-style) over a toy 64-bit Feistel permutation.
+//!
+//! The point is the *chaining*, not the cipher: in CBC each plaintext block
+//! is XORed with the previous ciphertext block before encryption, so blocks
+//! within a unit must be processed strictly in order. Whether two *units*
+//! (ADUs) chain to each other depends on where the IV comes from:
+//!
+//! * [`IvMode::PerUnit`] — every unit gets a fresh IV derived from its name;
+//!   units are independent ([`OrderingConstraint::ChainedWithinUnit`]) and
+//!   ALF out-of-order processing works.
+//! * [`IvMode::Carried`] — the IV for unit *n* is the last ciphertext block
+//!   of unit *n−1*, the "chaining … used to guard against malicious
+//!   reordering" of §5 — and exactly the design that forbids out-of-order
+//!   processing ([`OrderingConstraint::ChainedAcrossUnits`]).
+
+use crate::OrderingConstraint;
+
+/// Cipher block size in bytes.
+pub const BLOCK_BYTES: usize = 8;
+
+/// How unit IVs are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvMode {
+    /// Fresh IV per unit, derived from `(key, unit_id)`.
+    PerUnit,
+    /// IV carried from the previous unit's final ciphertext block.
+    Carried,
+}
+
+/// A toy 4-round Feistel permutation on 64 bits, keyed by `u64`.
+/// Invertible by running rounds backwards. NOT secure.
+fn permute(key: u64, block: u64) -> u64 {
+    let mut l = (block >> 32) as u32;
+    let mut r = block as u32;
+    for round in 0..4u32 {
+        let k = (key >> (16 * (round % 4))) as u32 ^ round.wrapping_mul(0x9E37_79B9);
+        let f = r
+            .rotate_left(5)
+            .wrapping_add(k)
+            .wrapping_mul(0x85EB_CA6B)
+            .rotate_right(13)
+            ^ r;
+        let new_r = l ^ f;
+        l = r;
+        r = new_r;
+    }
+    ((l as u64) << 32) | r as u64
+}
+
+/// Inverse of [`permute`].
+fn unpermute(key: u64, block: u64) -> u64 {
+    let mut l = (block >> 32) as u32;
+    let mut r = block as u32;
+    for round in (0..4u32).rev() {
+        let k = (key >> (16 * (round % 4))) as u32 ^ round.wrapping_mul(0x9E37_79B9);
+        let prev_r = l;
+        let f = prev_r
+            .rotate_left(5)
+            .wrapping_add(k)
+            .wrapping_mul(0x85EB_CA6B)
+            .rotate_right(13)
+            ^ prev_r;
+        let prev_l = r ^ f;
+        l = prev_l;
+        r = prev_r;
+    }
+    ((l as u64) << 32) | r as u64
+}
+
+/// A CBC-chained block cipher instance.
+#[derive(Debug, Clone)]
+pub struct ChainedBlock {
+    key: u64,
+    iv_mode: IvMode,
+    /// Last ciphertext block, for [`IvMode::Carried`].
+    carried_iv: u64,
+}
+
+impl ChainedBlock {
+    /// Create with a key and IV derivation mode.
+    pub fn new(key: u64, iv_mode: IvMode) -> Self {
+        Self {
+            key,
+            iv_mode,
+            carried_iv: key ^ 0xA5A5_A5A5_5A5A_5A5A,
+        }
+    }
+
+    /// This instance's ordering constraint.
+    pub fn constraint(&self) -> OrderingConstraint {
+        match self.iv_mode {
+            IvMode::PerUnit => OrderingConstraint::ChainedWithinUnit,
+            IvMode::Carried => OrderingConstraint::ChainedAcrossUnits,
+        }
+    }
+
+    fn unit_iv(&self, unit_id: u64) -> u64 {
+        match self.iv_mode {
+            IvMode::PerUnit => {
+                // IV = permute(key, unit_id): both peers can derive it from
+                // the ADU name alone — the key ALF property.
+                permute(self.key, unit_id ^ 0x1234_5678_9ABC_DEF0)
+            }
+            IvMode::Carried => self.carried_iv,
+        }
+    }
+
+    /// Encrypt one unit in place. Length must be a multiple of
+    /// [`BLOCK_BYTES`] (the transport pads ADUs; padding policy lives a
+    /// layer up so the cost stays visible).
+    ///
+    /// # Panics
+    /// If `data.len() % BLOCK_BYTES != 0`.
+    pub fn encrypt_unit(&mut self, unit_id: u64, data: &mut [u8]) {
+        assert_eq!(data.len() % BLOCK_BYTES, 0, "unit not block-aligned");
+        let mut prev = self.unit_iv(unit_id);
+        for chunk in data.chunks_exact_mut(BLOCK_BYTES) {
+            let p = u64::from_be_bytes(chunk.try_into().expect("block"));
+            let c = permute(self.key, p ^ prev);
+            chunk.copy_from_slice(&c.to_be_bytes());
+            prev = c;
+        }
+        if self.iv_mode == IvMode::Carried {
+            self.carried_iv = prev;
+        }
+    }
+
+    /// Decrypt one unit in place (inverse of [`Self::encrypt_unit`]).
+    ///
+    /// # Panics
+    /// If `data.len() % BLOCK_BYTES != 0`.
+    pub fn decrypt_unit(&mut self, unit_id: u64, data: &mut [u8]) {
+        assert_eq!(data.len() % BLOCK_BYTES, 0, "unit not block-aligned");
+        let mut prev = self.unit_iv(unit_id);
+        for chunk in data.chunks_exact_mut(BLOCK_BYTES) {
+            let c = u64::from_be_bytes(chunk.try_into().expect("block"));
+            let p = unpermute(self.key, c) ^ prev;
+            chunk.copy_from_slice(&p.to_be_bytes());
+            prev = c;
+        }
+        if self.iv_mode == IvMode::Carried {
+            self.carried_iv = prev;
+        }
+    }
+}
+
+/// Pad `data` to a multiple of [`BLOCK_BYTES`] (zero padding plus an
+/// explicit length is the transport's job; this helper pads with the pad
+/// length in every pad byte, PKCS#7-style, always adding 1..=8 bytes).
+pub fn pad(data: &mut Vec<u8>) {
+    let pad = BLOCK_BYTES - data.len() % BLOCK_BYTES;
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+}
+
+/// Remove PKCS#7-style padding added by [`pad`]. Returns `false` (leaving
+/// `data` unchanged) if the padding is inconsistent.
+pub fn unpad(data: &mut Vec<u8>) -> bool {
+    let Some(&last) = data.last() else {
+        return false;
+    };
+    let pad = last as usize;
+    if pad == 0 || pad > BLOCK_BYTES || pad > data.len() {
+        return false;
+    }
+    if data[data.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return false;
+    }
+    data.truncate(data.len() - pad);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_inverts() {
+        for (k, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 0xDEADBEEF), (42, u64::MAX)] {
+            assert_eq!(unpermute(k, permute(k, b)), b, "k={k} b={b}");
+        }
+    }
+
+    #[test]
+    fn per_unit_roundtrip() {
+        let mut enc = ChainedBlock::new(77, IvMode::PerUnit);
+        let mut dec = ChainedBlock::new(77, IvMode::PerUnit);
+        let msg = vec![0x42u8; 64];
+        let mut buf = msg.clone();
+        enc.encrypt_unit(9, &mut buf);
+        assert_ne!(buf, msg);
+        dec.decrypt_unit(9, &mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn per_unit_is_out_of_order_safe() {
+        let mut enc = ChainedBlock::new(3, IvMode::PerUnit);
+        let mut u0 = vec![0x10u8; 32];
+        let mut u1 = vec![0x20u8; 32];
+        enc.encrypt_unit(0, &mut u0);
+        enc.encrypt_unit(1, &mut u1);
+        // Receiver gets unit 1 first.
+        let mut dec = ChainedBlock::new(3, IvMode::PerUnit);
+        dec.decrypt_unit(1, &mut u1);
+        dec.decrypt_unit(0, &mut u0);
+        assert_eq!(u0, vec![0x10u8; 32]);
+        assert_eq!(u1, vec![0x20u8; 32]);
+    }
+
+    #[test]
+    fn carried_mode_breaks_out_of_order() {
+        let mut enc = ChainedBlock::new(3, IvMode::Carried);
+        let mut u0 = vec![0x10u8; 32];
+        let mut u1 = vec![0x20u8; 32];
+        enc.encrypt_unit(0, &mut u0);
+        enc.encrypt_unit(1, &mut u1);
+        // Out-of-order decryption corrupts the first block of u1.
+        let mut dec = ChainedBlock::new(3, IvMode::Carried);
+        let mut got1 = u1.clone();
+        dec.decrypt_unit(1, &mut got1);
+        assert_ne!(got1, vec![0x20u8; 32]);
+        // In-order decryption works.
+        let mut dec2 = ChainedBlock::new(3, IvMode::Carried);
+        let mut got0 = u0.clone();
+        let mut got1b = u1.clone();
+        dec2.decrypt_unit(0, &mut got0);
+        dec2.decrypt_unit(1, &mut got1b);
+        assert_eq!(got0, vec![0x10u8; 32]);
+        assert_eq!(got1b, vec![0x20u8; 32]);
+    }
+
+    #[test]
+    fn identical_blocks_encrypt_differently_under_chaining() {
+        // The CBC property: repeated plaintext blocks yield distinct
+        // ciphertext blocks.
+        let mut enc = ChainedBlock::new(5, IvMode::PerUnit);
+        let mut buf = vec![0xABu8; 32];
+        enc.encrypt_unit(0, &mut buf);
+        let blocks: Vec<&[u8]> = buf.chunks_exact(8).collect();
+        assert_ne!(blocks[0], blocks[1]);
+        assert_ne!(blocks[1], blocks[2]);
+    }
+
+    #[test]
+    fn constraint_by_mode() {
+        assert_eq!(
+            ChainedBlock::new(0, IvMode::PerUnit).constraint(),
+            OrderingConstraint::ChainedWithinUnit
+        );
+        assert_eq!(
+            ChainedBlock::new(0, IvMode::Carried).constraint(),
+            OrderingConstraint::ChainedAcrossUnits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_unit_panics() {
+        let mut c = ChainedBlock::new(0, IvMode::PerUnit);
+        c.encrypt_unit(0, &mut [0u8; 7]);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        for len in 0..32 {
+            let mut data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let orig = data.clone();
+            pad(&mut data);
+            assert_eq!(data.len() % BLOCK_BYTES, 0);
+            assert!(data.len() > orig.len(), "always adds padding");
+            assert!(unpad(&mut data));
+            assert_eq!(data, orig, "len {len}");
+        }
+    }
+
+    #[test]
+    fn unpad_rejects_garbage() {
+        assert!(!unpad(&mut vec![]));
+        assert!(!unpad(&mut vec![0]));
+        assert!(!unpad(&mut vec![9]));
+        assert!(!unpad(&mut vec![3, 3])); // claims 3 pad bytes, has 2
+        assert!(!unpad(&mut vec![1, 2, 2, 3])); // inconsistent fill
+    }
+
+    #[test]
+    fn pad_encrypt_roundtrip_arbitrary_length() {
+        let mut enc = ChainedBlock::new(11, IvMode::PerUnit);
+        let mut dec = ChainedBlock::new(11, IvMode::PerUnit);
+        let msg: Vec<u8> = (0..37).collect();
+        let mut buf = msg.clone();
+        pad(&mut buf);
+        enc.encrypt_unit(4, &mut buf);
+        dec.decrypt_unit(4, &mut buf);
+        assert!(unpad(&mut buf));
+        assert_eq!(buf, msg);
+    }
+}

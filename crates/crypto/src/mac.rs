@@ -1,0 +1,80 @@
+//! A toy message authentication code.
+//!
+//! The paper notes encryption "can sometimes also provide error detection";
+//! a keyed integrity tag is the cleanest form of that. This MAC is CRC-32
+//! in a sandwich construction — `crc32(key_prefix ‖ data ‖ key_suffix)` —
+//! which detects accidental corruption and casual tampering. NOT secure
+//! against a real adversary; documented as a stand-in (see crate docs).
+
+use ct_wire::checksum::crc32_update;
+
+/// Tag size in bytes.
+pub const TAG_BYTES: usize = 4;
+
+/// A keyed integrity tag generator/verifier.
+#[derive(Debug, Clone)]
+pub struct Mac {
+    key: u64,
+}
+
+impl Mac {
+    /// Create from a key.
+    pub fn new(key: u64) -> Self {
+        Self { key }
+    }
+
+    /// Compute the 32-bit tag for `data`.
+    pub fn tag(&self, data: &[u8]) -> u32 {
+        let mut st = 0xFFFF_FFFFu32;
+        st = crc32_update(st, &self.key.to_be_bytes());
+        st = crc32_update(st, data);
+        st = crc32_update(st, &self.key.to_le_bytes());
+        st ^ 0xFFFF_FFFF
+    }
+
+    /// Verify `data` against `tag`.
+    pub fn verify(&self, data: &[u8], tag: u32) -> bool {
+        self.tag(data) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_verifies() {
+        let mac = Mac::new(42);
+        let data = b"adu payload";
+        let t = mac.tag(data);
+        assert!(mac.verify(data, t));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mac = Mac::new(42);
+        let t = mac.tag(b"adu payload");
+        assert!(!mac.verify(b"adu payloae", t));
+        assert!(!mac.verify(b"adu payload ", t));
+    }
+
+    #[test]
+    fn key_matters() {
+        let a = Mac::new(1).tag(b"same data");
+        let b = Mac::new(2).tag(b"same data");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Mac::new(9).tag(b"x"), Mac::new(9).tag(b"x"));
+    }
+
+    #[test]
+    fn empty_data_tagged() {
+        let mac = Mac::new(5);
+        let t = mac.tag(&[]);
+        assert!(mac.verify(&[], t));
+        assert!(!mac.verify(&[0], t));
+    }
+}

@@ -1,0 +1,328 @@
+//! Stream ciphers: seekable (ALF-friendly) and stateful (order-dependent).
+
+use crate::OrderingConstraint;
+
+/// A position-seekable XOR keystream cipher.
+///
+/// The keystream at byte position `i` is a pure function of `(key, i)`
+/// (SplitMix64 over the block index), so any ADU can be encrypted or
+/// decrypted knowing only its byte offset in the association — no shared
+/// running state, hence [`OrderingConstraint::Seekable`]. This is the shape
+/// of a modern counter-mode cipher, which is precisely what makes CTR modes
+/// the ALF-compatible choice.
+#[derive(Debug, Clone)]
+pub struct XorStream {
+    key: u64,
+}
+
+impl XorStream {
+    /// Create from a key.
+    pub fn new(key: u64) -> Self {
+        Self { key }
+    }
+
+    /// This cipher's ordering constraint.
+    pub fn constraint(&self) -> OrderingConstraint {
+        OrderingConstraint::Seekable
+    }
+
+    /// Keystream byte at absolute position `pos`.
+    #[inline]
+    pub fn keystream_byte(&self, pos: u64) -> u8 {
+        let block = pos / 8;
+        let lane = (pos % 8) as u32;
+        (self.block_word(block) >> (8 * lane)) as u8
+    }
+
+    /// The raw 8-byte keystream block `block` (little-endian lane order:
+    /// lane *i* is keystream byte `block*8 + i`).
+    #[inline]
+    fn block_word(&self, block: u64) -> u64 {
+        mix(self.key ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Four keystream bytes covering positions `pos..pos+4`, assembled
+    /// big-endian (byte `pos` in the most significant lane) so it can be
+    /// XORed directly against a `u32::from_be_bytes` data load. One or two
+    /// `mix` evaluations per call instead of four — the word-granular form
+    /// every hot loop uses.
+    #[inline]
+    pub fn keystream_be_u32(&self, pos: u64) -> u32 {
+        let block = pos / 8;
+        let lane = (pos % 8) as u32;
+        let w0 = self.block_word(block);
+        let chunk = if lane <= 4 {
+            (w0 >> (8 * lane)) as u32
+        } else {
+            let w1 = self.block_word(block + 1);
+            let sh = 8 * lane;
+            ((w0 >> sh) | (w1 << (64 - sh))) as u32
+        };
+        chunk.swap_bytes()
+    }
+
+    /// Encrypt/decrypt (XOR is an involution) `data` in place, where
+    /// `data[0]` sits at absolute position `offset` in the stream.
+    /// Word-granular: one pass, ~one `mix` per 4 bytes.
+    pub fn apply_in_place(&self, offset: u64, data: &mut [u8]) {
+        let mut chunks = data.chunks_exact_mut(4);
+        let mut pos = offset;
+        for c in &mut chunks {
+            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]) ^ self.keystream_be_u32(pos);
+            c.copy_from_slice(&w.to_be_bytes());
+            pos += 4;
+        }
+        for b in chunks.into_remainder() {
+            *b ^= self.keystream_byte(pos);
+            pos += 1;
+        }
+    }
+
+    /// Encrypt/decrypt from `src` into `dst` (one pass, word-granular).
+    pub fn apply(&self, offset: u64, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "length mismatch");
+        let mut s = src.chunks_exact(4);
+        let mut d = dst.chunks_exact_mut(4);
+        let mut pos = offset;
+        for (sc, dc) in (&mut s).zip(&mut d) {
+            let w = u32::from_be_bytes([sc[0], sc[1], sc[2], sc[3]]) ^ self.keystream_be_u32(pos);
+            dc.copy_from_slice(&w.to_be_bytes());
+            pos += 4;
+        }
+        for (sb, db) in s.remainder().iter().zip(d.into_remainder()) {
+            *db = sb ^ self.keystream_byte(pos);
+            pos += 1;
+        }
+    }
+
+    /// Eight keystream bytes covering `pos..pos+8`, big-endian-assembled
+    /// like [`XorStream::keystream_be_u32`]. One or two `mix` evaluations.
+    #[inline]
+    pub fn keystream_be_u64(&self, pos: u64) -> u64 {
+        let block = pos / 8;
+        let lane = (pos % 8) as u32;
+        let w0 = self.block_word(block);
+        let raw = if lane == 0 {
+            w0
+        } else {
+            let w1 = self.block_word(block + 1);
+            (w0 >> (8 * lane)) | (w1 << (64 - 8 * lane))
+        };
+        raw.swap_bytes()
+    }
+
+    /// Materialise `len` keystream bytes starting at `offset` (used by the
+    /// fused kernels in `ct-wire`, which take a keystream slice).
+    pub fn keystream(&self, offset: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.keystream_byte(offset + i)).collect()
+    }
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An RC4-shaped stateful stream cipher: a byte-permutation state evolves as
+/// bytes are produced, so byte `i`'s key depends on the entire prefix —
+/// [`OrderingConstraint::Stream`]. Processing units out of order with a
+/// shared instance produces garbage (the property the tests demonstrate);
+/// ALF deployments must rekey per ADU.
+#[derive(Debug, Clone)]
+pub struct Rc4Like {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4Like {
+    /// Key-schedule from arbitrary key bytes (empty key treated as `[0]`).
+    pub fn new(key: &[u8]) -> Self {
+        let key: &[u8] = if key.is_empty() { &[0] } else { key };
+        let mut s = [0u8; 256];
+        for (idx, v) in s.iter_mut().enumerate() {
+            *v = idx as u8;
+        }
+        let mut j: u8 = 0;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Self { s, i: 0, j: 0 }
+    }
+
+    /// This cipher's ordering constraint.
+    pub fn constraint(&self) -> OrderingConstraint {
+        OrderingConstraint::Stream
+    }
+
+    /// Next keystream byte (advances state).
+    #[inline]
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[idx as usize]
+    }
+
+    /// Encrypt/decrypt `data` in place, consuming keystream.
+    pub fn apply_in_place(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_stream_roundtrip() {
+        let c = XorStream::new(0xDEADBEEF);
+        let msg = b"application level framing".to_vec();
+        let mut buf = msg.clone();
+        c.apply_in_place(100, &mut buf);
+        assert_ne!(buf, msg);
+        c.apply_in_place(100, &mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn xor_stream_is_seekable() {
+        // Encrypting two ADUs out of order gives the same ciphertext as in
+        // order — the defining ALF-compatibility property.
+        let c = XorStream::new(7);
+        let adu_a = vec![0x11u8; 50]; // positions 0..50
+        let adu_b = vec![0x22u8; 50]; // positions 50..100
+        let mut in_order = [adu_a.clone(), adu_b.clone()];
+        c.apply_in_place(0, &mut in_order[0]);
+        c.apply_in_place(50, &mut in_order[1]);
+        let mut out_of_order = [adu_b.clone(), adu_a.clone()];
+        c.apply_in_place(50, &mut out_of_order[0]); // b first
+        c.apply_in_place(0, &mut out_of_order[1]);
+        assert_eq!(in_order[0], out_of_order[1]);
+        assert_eq!(in_order[1], out_of_order[0]);
+    }
+
+    #[test]
+    fn xor_stream_apply_matches_in_place() {
+        let c = XorStream::new(99);
+        let src: Vec<u8> = (0..77).collect();
+        let mut a = src.clone();
+        c.apply_in_place(13, &mut a);
+        let mut b = vec![0u8; src.len()];
+        c.apply(13, &src, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keystream_be_u32_matches_bytes() {
+        let c = XorStream::new(0xABCD);
+        for pos in 0..64u64 {
+            let w = c.keystream_be_u32(pos);
+            let bytes = w.to_be_bytes();
+            for (i, &b) in bytes.iter().enumerate() {
+                assert_eq!(b, c.keystream_byte(pos + i as u64), "pos {pos} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn keystream_be_u64_matches_bytes() {
+        let c = XorStream::new(0x1234);
+        for pos in 0..40u64 {
+            let bytes = c.keystream_be_u64(pos).to_be_bytes();
+            for (i, &b) in bytes.iter().enumerate() {
+                assert_eq!(b, c.keystream_byte(pos + i as u64), "pos {pos} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_keystream_materialisation_matches() {
+        let c = XorStream::new(5);
+        let ks = c.keystream(32, 16);
+        for (i, &k) in ks.iter().enumerate() {
+            assert_eq!(k, c.keystream_byte(32 + i as u64));
+        }
+    }
+
+    #[test]
+    fn xor_different_keys_differ() {
+        let a = XorStream::new(1).keystream(0, 64);
+        let b = XorStream::new(2).keystream(0, 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rc4like_roundtrip_with_fresh_state() {
+        let msg = b"integrated layer processing".to_vec();
+        let mut enc = Rc4Like::new(b"key");
+        let mut buf = msg.clone();
+        enc.apply_in_place(&mut buf);
+        assert_ne!(buf, msg);
+        let mut dec = Rc4Like::new(b"key");
+        dec.apply_in_place(&mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn rc4like_is_order_dependent() {
+        // Decrypting unit B before unit A with a shared instance corrupts B:
+        // the Stream constraint in action.
+        let mut enc = Rc4Like::new(b"key");
+        let mut unit_a = vec![0xAA; 32];
+        let mut unit_b = vec![0xBB; 32];
+        enc.apply_in_place(&mut unit_a);
+        enc.apply_in_place(&mut unit_b);
+        // Receiver processes B first (out of order).
+        let mut dec = Rc4Like::new(b"key");
+        let mut got_b = unit_b.clone();
+        dec.apply_in_place(&mut got_b);
+        assert_ne!(got_b, vec![0xBB; 32], "out-of-order decrypt must fail");
+        // In-order works.
+        let mut dec2 = Rc4Like::new(b"key");
+        let mut got_a = unit_a.clone();
+        let mut got_b2 = unit_b.clone();
+        dec2.apply_in_place(&mut got_a);
+        dec2.apply_in_place(&mut got_b2);
+        assert_eq!(got_a, vec![0xAA; 32]);
+        assert_eq!(got_b2, vec![0xBB; 32]);
+    }
+
+    #[test]
+    fn rc4like_empty_key_ok() {
+        let mut c = Rc4Like::new(&[]);
+        let mut buf = vec![1, 2, 3];
+        c.apply_in_place(&mut buf);
+        let mut d = Rc4Like::new(&[]);
+        d.apply_in_place(&mut buf);
+        assert_eq!(buf, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rc4like_matches_reference_vector() {
+        // RFC 6229 test vector: key "Key" is not in the RFC; use the classic
+        // "Key"/"Plaintext" pair from the original RC4 description:
+        // RC4("Key", "Plaintext") = BBF316E8D940AF0AD3.
+        let mut c = Rc4Like::new(b"Key");
+        let mut buf = b"Plaintext".to_vec();
+        c.apply_in_place(&mut buf);
+        assert_eq!(
+            buf,
+            vec![0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]
+        );
+    }
+
+    #[test]
+    fn constraints_reported() {
+        assert_eq!(XorStream::new(0).constraint(), OrderingConstraint::Seekable);
+        assert_eq!(Rc4Like::new(b"k").constraint(), OrderingConstraint::Stream);
+    }
+}

@@ -1,0 +1,608 @@
+//! ATM cell transport: segmentation and reassembly with cell-loss detection.
+//!
+//! §5 of the paper: "Asynchronous Transfer Mode, or ATM, segments data into
+//! small units called cells, with a data payload of 48 bytes. This is
+//! probably too small a unit of data to permit manipulation operations to be
+//! synchronized on each cell." Footnote 9 adds that after the adaptation
+//! layer the net payload is 44–46 bytes and that the architecture makes
+//! "significant provisions for cell loss detection".
+//!
+//! This module models exactly that:
+//!
+//! * a **cell** is 53 bytes: a 5-byte header (VCI + reserved) and a 48-byte
+//!   payload;
+//! * the **SAR sublayer** (segmentation and reassembly, AAL3/4-style)
+//!   consumes 4 bytes of each cell payload for `(pdu_id, segment_index)`,
+//!   leaving [`CELL_NET_PAYLOAD_BYTES`] = 44 data bytes per cell — the
+//!   paper's number;
+//! * the first cell of a PDU additionally carries the PDU's total length, so
+//!   the reassembler knows how many segments to expect;
+//! * a missing cell makes the whole PDU unrecoverable: the reassembler
+//!   detects the gap and reports the PDU as lost — which is why, at the next
+//!   layer up, loss must be expressed in units the *application* can act on
+//!   (the ADU argument).
+//!
+//! Cells are carried as ordinary [`crate::net::Network`] frames, so per-cell
+//! loss/corruption/reordering comes from the same fault injectors as packet
+//! experiments — one knob, comparable sweeps.
+
+use crate::net::{Network, NodeId, SendError};
+use ct_wire::header::{HeaderReader, HeaderWriter};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How many recently completed PDU ids the reassembler remembers per
+/// endpoint, to suppress late duplicate cells from re-creating a PDU.
+const COMPLETED_MEMORY: usize = 128;
+
+/// Total size of an ATM cell on the wire.
+pub const CELL_SIZE_BYTES: usize = 53;
+/// Cell header: 2-byte VCI + 3 reserved bytes (GFC/PT/CLP/HEC abstracted).
+pub const CELL_HEADER_BYTES: usize = 5;
+/// Cell payload available to the adaptation layer.
+pub const CELL_PAYLOAD_BYTES: usize = CELL_SIZE_BYTES - CELL_HEADER_BYTES; // 48
+/// SAR sublayer overhead inside each cell payload: pdu_id (u16) + seg (u16).
+pub const SAR_HEADER_BYTES: usize = 4;
+/// Net data bytes per cell after adaptation — the paper's "44–46 bytes".
+pub const CELL_NET_PAYLOAD_BYTES: usize = CELL_PAYLOAD_BYTES - SAR_HEADER_BYTES; // 44
+/// Extra bytes at the front of the first (BOM) cell: total PDU length (u32).
+pub const BOM_LENGTH_FIELD_BYTES: usize = 4;
+
+/// Configuration for an ATM endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct AtmConfig {
+    /// Virtual channel identifier stamped on every cell.
+    pub vci: u16,
+    /// Maximum PDUs under reassembly at once, per peer. When exceeded, the
+    /// oldest incomplete PDU is discarded and counted lost.
+    pub max_partial_pdus: usize,
+    /// Maximum PDU size accepted for segmentation.
+    pub max_pdu_bytes: usize,
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        Self {
+            vci: 1,
+            max_partial_pdus: 32,
+            max_pdu_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Errors from ATM segmentation / transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtmError {
+    /// PDU exceeds the configured maximum.
+    PduTooBig {
+        /// Offered PDU length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The underlying network refused a cell.
+    Net(SendError),
+    /// A frame handed to the reassembler is not a well-formed cell.
+    MalformedCell(&'static str),
+}
+
+impl std::fmt::Display for AtmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AtmError::PduTooBig { len, max } => write!(f, "PDU of {len} bytes exceeds max {max}"),
+            AtmError::Net(e) => write!(f, "network refused cell: {e}"),
+            AtmError::MalformedCell(why) => write!(f, "malformed cell: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AtmError {}
+
+/// Split one PDU into wire-ready 53-byte cells.
+///
+/// Layout per cell: `[vci u16][rsvd u8;3][pdu_id u16][seg u16][data …]`,
+/// where the first cell's data area begins with the PDU total length (u32).
+pub fn segment(vci: u16, pdu_id: u16, pdu: &[u8]) -> Vec<Vec<u8>> {
+    let first_capacity = CELL_NET_PAYLOAD_BYTES - BOM_LENGTH_FIELD_BYTES; // 40
+    let rest_capacity = CELL_NET_PAYLOAD_BYTES; // 44
+    let mut cells = Vec::new();
+    let mut offset = 0usize;
+    let mut seg: u16 = 0;
+    loop {
+        let cap = if seg == 0 { first_capacity } else { rest_capacity };
+        let take = cap.min(pdu.len() - offset);
+        let mut cell = Vec::with_capacity(CELL_SIZE_BYTES);
+        let mut w = HeaderWriter::new(&mut cell);
+        w.put_u16(vci).put_u8(0).put_u8(0).put_u8(0); // header
+        w.put_u16(pdu_id).put_u16(seg); // SAR
+        if seg == 0 {
+            w.put_u32(pdu.len() as u32);
+        }
+        w.put_slice(&pdu[offset..offset + take]);
+        // Pad to the fixed cell size: ATM cells are always 53 bytes.
+        cell.resize(CELL_SIZE_BYTES, 0);
+        cells.push(cell);
+        offset += take;
+        seg = seg.wrapping_add(1);
+        if offset >= pdu.len() {
+            break;
+        }
+    }
+    cells
+}
+
+/// How many cells a PDU of `len` bytes needs.
+pub fn cells_for(len: usize) -> usize {
+    let first = CELL_NET_PAYLOAD_BYTES - BOM_LENGTH_FIELD_BYTES;
+    if len <= first {
+        1
+    } else {
+        1 + (len - first).div_ceil(CELL_NET_PAYLOAD_BYTES)
+    }
+}
+
+/// A parsed cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cell {
+    vci: u16,
+    pdu_id: u16,
+    seg: u16,
+    /// For seg 0, total PDU length; otherwise 0.
+    total_len: u32,
+    data: Vec<u8>,
+}
+
+fn parse_cell(frame: &[u8]) -> Result<Cell, AtmError> {
+    if frame.len() != CELL_SIZE_BYTES {
+        return Err(AtmError::MalformedCell("wrong size"));
+    }
+    let mut r = HeaderReader::new(frame);
+    let vci = r.get_u16().expect("sized");
+    let _rsvd = r.get_slice(3).expect("sized");
+    let pdu_id = r.get_u16().expect("sized");
+    let seg = r.get_u16().expect("sized");
+    let total_len = if seg == 0 { r.get_u32().expect("sized") } else { 0 };
+    let data = r.rest().to_vec();
+    Ok(Cell {
+        vci,
+        pdu_id,
+        seg,
+        total_len,
+        data,
+    })
+}
+
+/// A PDU under reassembly.
+#[derive(Debug)]
+struct Partial {
+    /// Data area per segment index (None = not yet arrived).
+    segments: Vec<Option<Vec<u8>>>,
+    /// Expected total PDU length (known once the BOM cell arrives).
+    total_len: Option<usize>,
+    received: usize,
+    /// Insertion order stamp for oldest-first eviction.
+    stamp: u64,
+}
+
+impl Partial {
+    fn new(stamp: u64) -> Self {
+        Self {
+            segments: Vec::new(),
+            total_len: None,
+            received: 0,
+            stamp,
+        }
+    }
+
+    fn expected_segments(&self) -> Option<usize> {
+        self.total_len.map(cells_for)
+    }
+
+    fn is_complete(&self) -> bool {
+        match self.expected_segments() {
+            Some(n) => self.received == n && self.segments.iter().take(n).all(Option::is_some),
+            None => false,
+        }
+    }
+
+    fn assemble(&mut self) -> Vec<u8> {
+        let total = self.total_len.expect("complete");
+        let n = self.expected_segments().expect("complete");
+        let mut out = Vec::with_capacity(total);
+        for s in self.segments.iter().take(n) {
+            out.extend_from_slice(s.as_ref().expect("complete"));
+        }
+        out.truncate(total); // last cell was padded to 53 bytes
+        out
+    }
+}
+
+/// Reassembly statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtmStats {
+    /// Cells accepted by the reassembler.
+    pub cells_in: u64,
+    /// Cells sent by this endpoint.
+    pub cells_out: u64,
+    /// PDUs fully reassembled.
+    pub pdus_delivered: u64,
+    /// PDUs abandoned because of missing cells (evicted incomplete).
+    pub pdus_lost: u64,
+    /// Cells rejected as malformed or duplicate.
+    pub cells_rejected: u64,
+}
+
+/// An ATM endpoint bound to a network node: segments outgoing PDUs into
+/// cells and reassembles incoming cells into PDUs.
+#[derive(Debug)]
+pub struct AtmEndpoint {
+    config: AtmConfig,
+    node: NodeId,
+    next_pdu_id: u16,
+    /// Partial PDUs keyed by (source node, pdu_id).
+    partials: HashMap<(NodeId, u16), Partial>,
+    next_stamp: u64,
+    /// Recently completed PDUs (duplicate-suppression window).
+    completed_set: HashSet<(NodeId, u16)>,
+    completed_order: VecDeque<(NodeId, u16)>,
+    /// Completed (src, pdu) pairs ready for the application.
+    ready: Vec<(NodeId, Vec<u8>)>,
+    /// Statistics.
+    pub stats: AtmStats,
+}
+
+impl AtmEndpoint {
+    /// Bind an endpoint to `node`.
+    pub fn new(node: NodeId, config: AtmConfig) -> Self {
+        Self {
+            config,
+            node,
+            next_pdu_id: 0,
+            partials: HashMap::new(),
+            next_stamp: 0,
+            completed_set: HashSet::new(),
+            completed_order: VecDeque::new(),
+            ready: Vec::new(),
+            stats: AtmStats::default(),
+        }
+    }
+
+    /// The node this endpoint is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Segment `pdu` and transmit all cells to `to` over `net`.
+    /// Returns the number of cells sent.
+    ///
+    /// # Errors
+    /// [`AtmError::PduTooBig`] or the underlying [`SendError`]. Cells
+    /// refused by a full first-hop queue are counted as transmitted-then-
+    /// lost (silent), matching packet semantics.
+    pub fn send_pdu(
+        &mut self,
+        net: &mut Network,
+        to: NodeId,
+        pdu: &[u8],
+    ) -> Result<usize, AtmError> {
+        if pdu.len() > self.config.max_pdu_bytes {
+            return Err(AtmError::PduTooBig {
+                len: pdu.len(),
+                max: self.config.max_pdu_bytes,
+            });
+        }
+        let pdu_id = self.next_pdu_id;
+        self.next_pdu_id = self.next_pdu_id.wrapping_add(1);
+        let cells = segment(self.config.vci, pdu_id, pdu);
+        let n = cells.len();
+        for cell in cells {
+            match net.send(self.node, to, cell) {
+                Ok(()) => {}
+                // Queue-full at the first hop is congestion loss — silent,
+                // like any in-network cell loss.
+                Err(SendError::Refused(crate::link::LinkRefusal::QueueFull)) => {}
+                Err(e) => return Err(AtmError::Net(e)),
+            }
+            self.stats.cells_out += 1;
+        }
+        Ok(n)
+    }
+
+    /// Feed one received network frame (one cell) into reassembly.
+    /// Completed PDUs become available via [`AtmEndpoint::recv_pdu`].
+    pub fn on_frame(&mut self, src: NodeId, frame: &[u8]) {
+        let cell = match parse_cell(frame) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.cells_rejected += 1;
+                return;
+            }
+        };
+        if cell.vci != self.config.vci {
+            self.stats.cells_rejected += 1;
+            return;
+        }
+        self.stats.cells_in += 1;
+        let key = (src, cell.pdu_id);
+        if self.completed_set.contains(&key) {
+            // Late duplicate of an already-delivered PDU.
+            self.stats.cells_rejected += 1;
+            return;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let partial = match self.partials.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(Partial::new(stamp)),
+        };
+        let idx = cell.seg as usize;
+        if partial.segments.len() <= idx {
+            partial.segments.resize_with(idx + 1, || None);
+        }
+        if partial.segments[idx].is_some() {
+            // Duplicate cell (network duplication fault): ignore.
+            self.stats.cells_rejected += 1;
+            return;
+        }
+        partial.segments[idx] = Some(cell.data);
+        partial.received += 1;
+        if cell.seg == 0 {
+            partial.total_len = Some(cell.total_len as usize);
+        }
+        if partial.is_complete() {
+            let mut done = self.partials.remove(&key).expect("present");
+            let pdu = done.assemble();
+            self.stats.pdus_delivered += 1;
+            self.ready.push((src, pdu));
+            self.completed_set.insert(key);
+            self.completed_order.push_back(key);
+            while self.completed_order.len() > COMPLETED_MEMORY {
+                let old = self.completed_order.pop_front().expect("non-empty");
+                self.completed_set.remove(&old);
+            }
+        } else {
+            self.evict_if_over_budget();
+        }
+    }
+
+    /// Drop the oldest incomplete PDU when over the partial budget —
+    /// this is where cell loss becomes *PDU* loss.
+    fn evict_if_over_budget(&mut self) {
+        while self.partials.len() > self.config.max_partial_pdus {
+            let oldest = self
+                .partials
+                .iter()
+                .min_by_key(|(_, p)| p.stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            self.partials.remove(&oldest);
+            self.stats.pdus_lost += 1;
+        }
+    }
+
+    /// Abandon all incomplete PDUs (e.g. at end of a run), counting them
+    /// lost. Returns how many were abandoned.
+    pub fn flush_incomplete(&mut self) -> usize {
+        let n = self.partials.len();
+        self.partials.clear();
+        self.stats.pdus_lost += n as u64;
+        n
+    }
+
+    /// Pop the next fully reassembled PDU, with its source node.
+    pub fn recv_pdu(&mut self) -> Option<(NodeId, Vec<u8>)> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Drain every delivered frame for this endpoint's node out of `net`
+    /// into the reassembler. Convenience for simulation loops.
+    pub fn pump(&mut self, net: &mut Network) {
+        while let Some(frame) = net.recv(self.node) {
+            self.on_frame(frame.src, &frame.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(CELL_SIZE_BYTES, 53);
+        assert_eq!(CELL_PAYLOAD_BYTES, 48);
+        assert_eq!(CELL_NET_PAYLOAD_BYTES, 44); // the paper's 44-46 range
+    }
+
+    #[test]
+    fn cells_for_boundaries() {
+        assert_eq!(cells_for(0), 1);
+        assert_eq!(cells_for(40), 1); // fits in BOM cell
+        assert_eq!(cells_for(41), 2);
+        assert_eq!(cells_for(40 + 44), 2);
+        assert_eq!(cells_for(40 + 45), 3);
+        assert_eq!(cells_for(4000), 1 + (4000 - 40 + 43) / 44);
+    }
+
+    #[test]
+    fn segment_produces_fixed_size_cells() {
+        let pdu: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let cells = segment(7, 3, &pdu);
+        assert_eq!(cells.len(), cells_for(200));
+        for c in &cells {
+            assert_eq!(c.len(), CELL_SIZE_BYTES);
+        }
+    }
+
+    fn atm_pair(seed: u64, faults: FaultConfig) -> (Network, AtmEndpoint, AtmEndpoint) {
+        let mut net = Network::new(seed);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(a, b, LinkConfig::ideal(), faults);
+        let ea = AtmEndpoint::new(a, AtmConfig::default());
+        let eb = AtmEndpoint::new(b, AtmConfig::default());
+        (net, ea, eb)
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 + 5) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_over_clean_network() {
+        let (mut net, mut ea, mut eb) = atm_pair(1, FaultConfig::none());
+        let pdu = pattern(1000);
+        let ncells = ea.send_pdu(&mut net, eb.node(), &pdu).unwrap();
+        assert_eq!(ncells, cells_for(1000));
+        net.run_until_idle();
+        eb.pump(&mut net);
+        let (src, got) = eb.recv_pdu().unwrap();
+        assert_eq!(src, ea.node());
+        assert_eq!(got, pdu);
+        assert_eq!(eb.stats.pdus_delivered, 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_pdus() {
+        let (mut net, mut ea, mut eb) = atm_pair(2, FaultConfig::none());
+        for pdu in [vec![], vec![1], vec![2; 40], vec![3; 41]] {
+            ea.send_pdu(&mut net, eb.node(), &pdu).unwrap();
+            net.run_until_idle();
+            eb.pump(&mut net);
+            let (_, got) = eb.recv_pdu().unwrap();
+            assert_eq!(got, pdu);
+        }
+    }
+
+    #[test]
+    fn multiple_pdus_interleaved_by_reordering() {
+        let (mut net, mut ea, mut eb) = atm_pair(
+            3,
+            FaultConfig::reordering(0.4, crate::time::SimDuration::from_millis(1)),
+        );
+        let p1 = pattern(500);
+        let p2: Vec<u8> = vec![0xEE; 300];
+        ea.send_pdu(&mut net, eb.node(), &p1).unwrap();
+        ea.send_pdu(&mut net, eb.node(), &p2).unwrap();
+        net.run_until_idle();
+        eb.pump(&mut net);
+        let mut got = Vec::new();
+        while let Some((_, p)) = eb.recv_pdu() {
+            got.push(p);
+        }
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&p1));
+        assert!(got.contains(&p2));
+    }
+
+    #[test]
+    fn single_cell_loss_kills_whole_pdu() {
+        // 100% cell loss on one PDU: nothing delivered; with partial loss
+        // the PDU stays incomplete and flush counts it lost.
+        let (mut net, mut ea, mut eb) = atm_pair(4, FaultConfig::loss(0.05));
+        let mut delivered = 0u64;
+        let mut sent = 0u64;
+        for _ in 0..200 {
+            let pdu = pattern(2000); // ~46 cells
+            ea.send_pdu(&mut net, eb.node(), &pdu).unwrap();
+            sent += 1;
+            net.run_until_idle();
+            eb.pump(&mut net);
+            while let Some((_, p)) = eb.recv_pdu() {
+                assert_eq!(p, pdu);
+                delivered += 1;
+            }
+        }
+        eb.flush_incomplete();
+        // P[pdu survives] = (1-0.05)^46 ≈ 0.094 — most PDUs must die.
+        assert!(delivered < sent / 2, "delivered {delivered}/{sent}");
+        assert!(delivered > 0, "some PDUs should survive");
+        assert_eq!(eb.stats.pdus_delivered + eb.stats.pdus_lost, sent);
+    }
+
+    #[test]
+    fn duplicate_cells_ignored() {
+        let (mut net, mut ea, mut eb) = atm_pair(
+            5,
+            FaultConfig {
+                duplicate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let pdu = pattern(100);
+        ea.send_pdu(&mut net, eb.node(), &pdu).unwrap();
+        net.run_until_idle();
+        eb.pump(&mut net);
+        let (_, got) = eb.recv_pdu().unwrap();
+        assert_eq!(got, pdu);
+        assert!(eb.recv_pdu().is_none(), "duplicates must not create PDUs");
+        assert!(eb.stats.cells_rejected > 0);
+    }
+
+    #[test]
+    fn wrong_vci_rejected() {
+        let mut net = Network::new(6);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(a, b, LinkConfig::ideal(), FaultConfig::none());
+        let mut ea = AtmEndpoint::new(a, AtmConfig { vci: 1, ..AtmConfig::default() });
+        let mut eb = AtmEndpoint::new(b, AtmConfig { vci: 2, ..AtmConfig::default() });
+        ea.send_pdu(&mut net, b, b"hello").unwrap();
+        net.run_until_idle();
+        eb.pump(&mut net);
+        assert!(eb.recv_pdu().is_none());
+        assert!(eb.stats.cells_rejected > 0);
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        let mut eb = AtmEndpoint::new(NodeId(0), AtmConfig::default());
+        eb.on_frame(NodeId(1), &[0u8; 10]);
+        eb.on_frame(NodeId(1), &[0u8; 100]);
+        assert_eq!(eb.stats.cells_rejected, 2);
+        assert!(eb.recv_pdu().is_none());
+    }
+
+    #[test]
+    fn pdu_too_big_rejected() {
+        let mut net = Network::new(7);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(a, b, LinkConfig::ideal(), FaultConfig::none());
+        let mut ea = AtmEndpoint::new(
+            a,
+            AtmConfig {
+                max_pdu_bytes: 100,
+                ..AtmConfig::default()
+            },
+        );
+        assert!(matches!(
+            ea.send_pdu(&mut net, b, &[0u8; 101]),
+            Err(AtmError::PduTooBig { len: 101, max: 100 })
+        ));
+    }
+
+    #[test]
+    fn partial_budget_evicts_oldest() {
+        let mut eb = AtmEndpoint::new(
+            NodeId(0),
+            AtmConfig {
+                max_partial_pdus: 2,
+                ..AtmConfig::default()
+            },
+        );
+        // Three incomplete PDUs (only their BOM cells): the first must be evicted.
+        for pdu_id in 0..3u16 {
+            let cells = segment(1, pdu_id, &[0xAB; 500]);
+            eb.on_frame(NodeId(9), &cells[0]);
+        }
+        assert_eq!(eb.stats.pdus_lost, 1);
+        assert_eq!(eb.partials.len(), 2);
+    }
+}

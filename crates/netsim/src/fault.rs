@@ -1,0 +1,335 @@
+//! Fault injection: the adverse network conditions the paper designs for.
+//!
+//! "Data may be lost due to congestion overflow, and it may be reordered or
+//! duplicated as a part of processing" (§3). Each link carries a
+//! [`FaultConfig`]; the [`FaultInjector`] applies it deterministically from
+//! the link's forked RNG stream.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-link fault injection configuration.
+///
+/// All probabilities are per-frame (or per-cell on ATM links) and
+/// independent. The default injects no faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability one random bit of the frame is flipped.
+    pub corrupt: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame receives extra delay (causing reordering
+    /// relative to later frames).
+    pub reorder: f64,
+    /// The extra delay applied to reordered frames.
+    pub reorder_delay: SimDuration,
+    /// Token-bucket rate limit in frames per refill interval (smoltcp's
+    /// `--tx-rate-limit`): 0 disables. Frames beyond the bucket are dropped.
+    pub rate_limit_frames: u32,
+    /// Token-bucket refill interval (smoltcp's `--shaping-interval`).
+    pub rate_interval: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimDuration::from_micros(500),
+            rate_limit_frames: 0,
+            rate_interval: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free link.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only loss, at probability `p`.
+    pub fn loss(p: f64) -> Self {
+        Self {
+            drop: p,
+            ..Self::default()
+        }
+    }
+
+    /// Only corruption, at probability `p`.
+    pub fn corruption(p: f64) -> Self {
+        Self {
+            corrupt: p,
+            ..Self::default()
+        }
+    }
+
+    /// Only reordering, at probability `p` with the given extra delay.
+    pub fn reordering(p: f64, delay: SimDuration) -> Self {
+        Self {
+            reorder: p,
+            reorder_delay: delay,
+            ..Self::default()
+        }
+    }
+
+    /// A pure token-bucket rate limiter: `frames` per `interval`, no other
+    /// faults.
+    pub fn rate_limited(frames: u32, interval: SimDuration) -> Self {
+        Self {
+            rate_limit_frames: frames,
+            rate_interval: interval,
+            ..Self::default()
+        }
+    }
+
+    /// True if every fault probability is zero and no rate limit is set.
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.rate_limit_frames == 0
+    }
+}
+
+/// The per-frame outcome decided by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Frame should be discarded.
+    pub dropped: bool,
+    /// Frame payload had a bit flipped (already applied to the buffer).
+    pub corrupted: bool,
+    /// Frame should be delivered a second time.
+    pub duplicated: bool,
+    /// Extra delay to add to this frame's delivery.
+    pub extra_delay: SimDuration,
+}
+
+impl FaultOutcome {
+    /// The outcome of a clean pass: deliver unchanged, once, on time.
+    pub fn clean() -> Self {
+        Self {
+            dropped: false,
+            corrupted: false,
+            duplicated: false,
+            extra_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Applies a [`FaultConfig`] to frames using a deterministic RNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SimRng,
+    /// Token bucket state: tokens left in the current interval.
+    tokens: u32,
+    bucket_refill_at: SimTime,
+}
+
+impl FaultInjector {
+    /// Create an injector with its own RNG stream.
+    pub fn new(config: FaultConfig, rng: SimRng) -> Self {
+        Self {
+            config,
+            rng,
+            tokens: config.rate_limit_frames,
+            bucket_refill_at: SimTime::ZERO,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (e.g. mid-experiment sweeps).
+    pub fn set_config(&mut self, config: FaultConfig) {
+        self.config = config;
+    }
+
+    /// Decide the fate of one frame at simulated instant `now`. If
+    /// corruption fires, a random bit of `payload` is flipped in place
+    /// (mirroring smoltcp's `--corrupt-chance`, which mutates one octet).
+    pub fn apply(&mut self, now: SimTime, payload: &mut [u8]) -> FaultOutcome {
+        if self.config.is_clean() {
+            return FaultOutcome::clean();
+        }
+        // Token-bucket shaping first: an over-rate frame is dropped before
+        // any probabilistic fault is consulted (and consumes no randomness,
+        // keeping sweeps comparable).
+        if self.config.rate_limit_frames > 0 {
+            if now >= self.bucket_refill_at {
+                self.tokens = self.config.rate_limit_frames;
+                self.bucket_refill_at = now + self.config.rate_interval;
+            }
+            if self.tokens == 0 {
+                return FaultOutcome {
+                    dropped: true,
+                    ..FaultOutcome::clean()
+                };
+            }
+            self.tokens -= 1;
+        }
+        let dropped = self.rng.chance(self.config.drop);
+        if dropped {
+            // A dropped frame needs no further decisions, but still consume
+            // no extra randomness so sweeps over `drop` stay comparable.
+            return FaultOutcome {
+                dropped: true,
+                ..FaultOutcome::clean()
+            };
+        }
+        let corrupted = !payload.is_empty() && self.rng.chance(self.config.corrupt);
+        if corrupted {
+            let byte = self.rng.next_below(payload.len() as u64) as usize;
+            let bit = self.rng.next_below(8) as u8;
+            payload[byte] ^= 1 << bit;
+        }
+        let duplicated = self.rng.chance(self.config.duplicate);
+        let reordered = self.rng.chance(self.config.reorder);
+        FaultOutcome {
+            dropped: false,
+            corrupted,
+            duplicated,
+            extra_delay: if reordered {
+                self.config.reorder_delay
+            } else {
+                SimDuration::ZERO
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(cfg: FaultConfig) -> FaultInjector {
+        FaultInjector::new(cfg, SimRng::new(1234))
+    }
+
+    #[test]
+    fn clean_config_never_faults() {
+        let mut inj = injector(FaultConfig::none());
+        let mut buf = vec![0xAB; 64];
+        for _ in 0..1000 {
+            assert_eq!(inj.apply(SimTime::ZERO, &mut buf), FaultOutcome::clean());
+        }
+        assert!(buf.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn drop_rate_approximately_honoured() {
+        let mut inj = injector(FaultConfig::loss(0.25));
+        let mut buf = vec![0u8; 16];
+        let n = 40_000;
+        let drops = (0..n).filter(|_| inj.apply(SimTime::ZERO, &mut buf).dropped).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = injector(FaultConfig::corruption(1.0));
+        let orig = vec![0x5Au8; 128];
+        let mut buf = orig.clone();
+        let out = inj.apply(SimTime::ZERO, &mut buf);
+        assert!(out.corrupted);
+        let flipped: u32 = orig
+            .iter()
+            .zip(&buf)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn corruption_skipped_for_empty_payload() {
+        let mut inj = injector(FaultConfig::corruption(1.0));
+        let mut buf: Vec<u8> = vec![];
+        let out = inj.apply(SimTime::ZERO, &mut buf);
+        assert!(!out.corrupted);
+        assert!(!out.dropped);
+    }
+
+    #[test]
+    fn reorder_sets_extra_delay() {
+        let delay = SimDuration::from_millis(2);
+        let mut inj = injector(FaultConfig::reordering(1.0, delay));
+        let mut buf = vec![0u8; 8];
+        let out = inj.apply(SimTime::ZERO, &mut buf);
+        assert_eq!(out.extra_delay, delay);
+        assert!(!out.dropped);
+    }
+
+    #[test]
+    fn duplicate_fires() {
+        let mut inj = injector(FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut buf = vec![0u8; 8];
+        assert!(inj.apply(SimTime::ZERO, &mut buf).duplicated);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let cfg = FaultConfig {
+            drop: 0.1,
+            corrupt: 0.1,
+            duplicate: 0.1,
+            reorder: 0.1,
+            reorder_delay: SimDuration::from_micros(100),
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(cfg, SimRng::new(99));
+        let mut b = FaultInjector::new(cfg, SimRng::new(99));
+        for _ in 0..1000 {
+            let mut ba = vec![0x11u8; 32];
+            let mut bb = vec![0x11u8; 32];
+            assert_eq!(a.apply(SimTime::ZERO, &mut ba), b.apply(SimTime::ZERO, &mut bb));
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn is_clean_detects() {
+        assert!(FaultConfig::none().is_clean());
+        assert!(!FaultConfig::loss(0.01).is_clean());
+        assert!(!FaultConfig::corruption(0.01).is_clean());
+        assert!(!FaultConfig::rate_limited(4, SimDuration::from_millis(50)).is_clean());
+    }
+
+    #[test]
+    fn rate_limiter_caps_frames_per_interval() {
+        let mut inj = injector(FaultConfig::rate_limited(3, SimDuration::from_millis(10)));
+        let mut buf = vec![0u8; 8];
+        // Interval 1: first three pass, rest drop.
+        let outcomes: Vec<bool> = (0..6)
+            .map(|_| inj.apply(SimTime::ZERO, &mut buf).dropped)
+            .collect();
+        assert_eq!(outcomes, vec![false, false, false, true, true, true]);
+        // Next interval: tokens refill.
+        assert!(!inj.apply(SimTime::from_millis(10), &mut buf).dropped);
+        assert!(!inj.apply(SimTime::from_millis(11), &mut buf).dropped);
+        assert!(!inj.apply(SimTime::from_millis(12), &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_millis(13), &mut buf).dropped);
+    }
+
+    #[test]
+    fn rate_limiter_idle_intervals_refill() {
+        let mut inj = injector(FaultConfig::rate_limited(1, SimDuration::from_millis(5)));
+        let mut buf = vec![0u8; 4];
+        assert!(!inj.apply(SimTime::ZERO, &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_millis(1), &mut buf).dropped);
+        // Long idle: still just one token per interval window.
+        assert!(!inj.apply(SimTime::from_millis(100), &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_millis(101), &mut buf).dropped);
+    }
+}

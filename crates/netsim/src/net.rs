@@ -1,0 +1,682 @@
+//! The network: nodes, duplex links, routing, and the simulation loop.
+//!
+//! [`Network`] is the façade protocol code talks to. It owns the virtual
+//! clock, the event queue, per-link state ([`crate::link`]) and fault
+//! injectors ([`crate::fault`]), and per-node delivery inboxes. Frames
+//! travel hop by hop (store-and-forward) along shortest paths computed when
+//! the topology was built, taking serialization + propagation delay and
+//! fault decisions at every hop.
+//!
+//! The driving pattern (smoltcp-style synchronous polling):
+//!
+//! ```
+//! use ct_netsim::{Network, LinkConfig, FaultConfig};
+//!
+//! let mut net = Network::new(42);
+//! let a = net.add_node();
+//! let b = net.add_node();
+//! net.connect(a, b, LinkConfig::lan(), FaultConfig::none());
+//! net.send(a, b, vec![1, 2, 3]).unwrap();
+//! net.run_until_idle();
+//! let frame = net.recv(b).expect("delivered");
+//! assert_eq!(frame.payload, vec![1, 2, 3]);
+//! ```
+
+use crate::event::EventQueue;
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::link::{LinkConfig, LinkRefusal, LinkState};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{FrameEvent, FrameTrace, NetStats, TraceRecord};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The underlying index (stable for the lifetime of the network).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A frame delivered to a node's inbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Payload bytes (possibly corrupted in transit — that is the
+    /// receiver's problem to detect, as in a real network).
+    pub payload: Vec<u8>,
+    /// Simulated instant the frame was injected by the sender.
+    pub sent_at: SimTime,
+    /// Simulated instant the frame reached the destination inbox.
+    pub arrived_at: SimTime,
+}
+
+/// In-flight event: a frame arriving at `node` (final or intermediate hop).
+#[derive(Debug)]
+struct Arrival {
+    node: NodeId,
+    frame: Frame,
+}
+
+/// Errors from [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// No path exists between the endpoints.
+    NoRoute {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// The first-hop link refused the frame.
+    Refused(LinkRefusal),
+    /// Source and destination are the same node.
+    SelfSend,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            SendError::Refused(LinkRefusal::TooBig { len, mtu }) => {
+                write!(f, "frame of {len} bytes exceeds link MTU {mtu}")
+            }
+            SendError::Refused(LinkRefusal::QueueFull) => write!(f, "link transmit queue full"),
+            SendError::SelfSend => write!(f, "cannot send to self"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// One direction of a link.
+struct LinkDir {
+    state: LinkState,
+    injector: FaultInjector,
+}
+
+/// The simulated network.
+pub struct Network {
+    nodes: Vec<VecDeque<Frame>>,
+    links: HashMap<(NodeId, NodeId), LinkDir>,
+    /// next_hop[(src, dst)] = the neighbour to forward through.
+    next_hop: HashMap<(NodeId, NodeId), NodeId>,
+    routes_dirty: bool,
+    queue: EventQueue<Arrival>,
+    now: SimTime,
+    rng: SimRng,
+    stats: NetStats,
+    trace: Option<FrameTrace>,
+}
+
+impl Network {
+    /// Create an empty network. All randomness (fault injection) derives
+    /// from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            next_hop: HashMap::new(),
+            routes_dirty: false,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            stats: NetStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Turn on per-frame event tracing, keeping the most recent `capacity`
+    /// records (smoltcp's `--pcap` in spirit; text instead of libpcap).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(FrameTrace::new(capacity));
+    }
+
+    /// The frame trace, if enabled.
+    pub fn trace(&self) -> Option<&FrameTrace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, event: FrameEvent, src: NodeId, dst: NodeId, len: usize) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceRecord {
+                at: self.now,
+                event,
+                src,
+                dst,
+                len,
+            });
+        }
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(VecDeque::new());
+        self.routes_dirty = true;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Connect `a` and `b` with a duplex link: the same `LinkConfig` and
+    /// `FaultConfig` in both directions (each direction gets an independent
+    /// RNG stream).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: LinkConfig, faults: FaultConfig) {
+        assert!(a != b, "self-links are not supported");
+        let inj_ab = FaultInjector::new(faults, self.rng.fork());
+        let inj_ba = FaultInjector::new(faults, self.rng.fork());
+        self.links.insert(
+            (a, b),
+            LinkDir {
+                state: LinkState::new(link),
+                injector: inj_ab,
+            },
+        );
+        self.links.insert(
+            (b, a),
+            LinkDir {
+                state: LinkState::new(link),
+                injector: inj_ba,
+            },
+        );
+        self.routes_dirty = true;
+    }
+
+    /// Replace the fault configuration on the directed link `a -> b`
+    /// (e.g. for mid-run parameter sweeps). Panics if the link is absent.
+    pub fn set_faults(&mut self, a: NodeId, b: NodeId, faults: FaultConfig) {
+        self.links
+            .get_mut(&(a, b))
+            .expect("link exists")
+            .injector
+            .set_config(faults);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock by `d` without processing events scheduled after
+    /// the new time (events in between are processed). Used by protocol
+    /// drivers to let retransmission timers fire on an otherwise idle net.
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        while let Some(t) = self.queue.next_time() {
+            if t > target {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(target);
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Recompute shortest-path next-hop tables (BFS per source). Called
+    /// lazily on first send after a topology change.
+    fn rebuild_routes(&mut self) {
+        self.next_hop.clear();
+        let n = self.nodes.len();
+        // adjacency
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (a, b) in self.links.keys() {
+            adj[a.0].push(*b);
+        }
+        for list in &mut adj {
+            list.sort_unstable(); // deterministic iteration order
+        }
+        for src in 0..n {
+            // BFS from src.
+            let mut prev: Vec<Option<usize>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut q = VecDeque::new();
+            visited[src] = true;
+            q.push_back(src);
+            while let Some(u) = q.pop_front() {
+                for &v in &adj[u] {
+                    if !visited[v.0] {
+                        visited[v.0] = true;
+                        prev[v.0] = Some(u);
+                        q.push_back(v.0);
+                    }
+                }
+            }
+            // Walk back from each dst to find the first hop out of src.
+            for dst in 0..n {
+                if dst == src || !visited[dst] {
+                    continue;
+                }
+                let mut cur = dst;
+                while let Some(p) = prev[cur] {
+                    if p == src {
+                        self.next_hop.insert((NodeId(src), NodeId(dst)), NodeId(cur));
+                        break;
+                    }
+                    cur = p;
+                }
+            }
+        }
+        self.routes_dirty = false;
+    }
+
+    /// Inject a frame from `from` to `to` at the current simulated time.
+    ///
+    /// # Errors
+    /// [`SendError::NoRoute`] if the nodes are not connected,
+    /// [`SendError::Refused`] if the first-hop link drops it (MTU or queue),
+    /// [`SendError::SelfSend`] for `from == to`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        if from == to {
+            return Err(SendError::SelfSend);
+        }
+        if self.routes_dirty {
+            self.rebuild_routes();
+        }
+        let frame = Frame {
+            src: from,
+            dst: to,
+            payload,
+            sent_at: self.now,
+            arrived_at: self.now,
+        };
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.payload.len() as u64;
+        self.record(FrameEvent::Sent, from, to, frame.payload.len());
+        self.forward(from, frame).map_err(|e| match e {
+            ForwardFailure::NoRoute { from, to } => SendError::NoRoute { from, to },
+            ForwardFailure::Refused(r) => SendError::Refused(r),
+        })
+    }
+
+    /// Offer `frame` to the next hop out of `at`. Applies link admission
+    /// (MTU/queue) and fault injection, scheduling an [`Arrival`].
+    fn forward(&mut self, at: NodeId, frame: Frame) -> Result<(), ForwardFailure> {
+        let hop = *self
+            .next_hop
+            .get(&(at, frame.dst))
+            .ok_or(ForwardFailure::NoRoute {
+                from: at,
+                to: frame.dst,
+            })?;
+        let dir = self.links.get_mut(&(at, hop)).expect("route uses real link");
+        let mut frame = frame;
+        // Fault injection happens before link admission: a dropped frame
+        // still consumed no transmitter time (it "vanished on the wire" at
+        // this hop boundary).
+        let outcome = dir.injector.apply(self.now, &mut frame.payload);
+        if outcome.dropped {
+            self.stats.fault_drops += 1;
+            self.record(FrameEvent::FaultDropped, frame.src, frame.dst, frame.payload.len());
+            return Ok(()); // silent loss: senders learn via their own timers
+        }
+        let offer = dir.state.offer(self.now, frame.payload.len());
+        if outcome.corrupted {
+            self.stats.corrupted += 1;
+            self.record(FrameEvent::Corrupted, frame.src, frame.dst, frame.payload.len());
+        }
+        let arrive = match offer {
+            Ok(t) => t,
+            Err(LinkRefusal::QueueFull) => {
+                self.stats.congestion_drops += 1;
+                self.record(
+                    FrameEvent::CongestionDropped,
+                    frame.src,
+                    frame.dst,
+                    frame.payload.len(),
+                );
+                return Ok(()); // congestion loss is silent too
+            }
+            Err(r @ LinkRefusal::TooBig { .. }) => return Err(ForwardFailure::Refused(r)),
+        };
+        let arrive = arrive + outcome.extra_delay;
+        if outcome.duplicated {
+            self.stats.duplicates += 1;
+            let dup = frame.clone();
+            self.queue.schedule(
+                arrive + SimDuration::from_micros(1),
+                Arrival { node: hop, frame: dup },
+            );
+        }
+        self.queue.schedule(arrive, Arrival { node: hop, frame });
+        Ok(())
+    }
+
+    /// Process the next pending event, advancing the clock to it.
+    /// Returns the new time, or `None` if the network is idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, Arrival { node, mut frame }) = self.queue.pop()?;
+        self.now = self.now.max(t);
+        frame.arrived_at = self.now;
+        if node == frame.dst {
+            self.stats.frames_delivered += 1;
+            self.stats.bytes_delivered += frame.payload.len() as u64;
+            self.record(FrameEvent::Delivered, frame.src, frame.dst, frame.payload.len());
+            self.nodes[node.0].push_back(frame);
+        } else {
+            // Intermediate hop: store-and-forward onward. A forwarding
+            // failure at an interior hop is silent loss (like real routers).
+            self.stats.hops_forwarded += 1;
+            self.record(FrameEvent::Forwarded, frame.src, frame.dst, frame.payload.len());
+            let _ = self.forward(node, frame);
+        }
+        Some(self.now)
+    }
+
+    /// Run the event loop until no events remain.
+    pub fn run_until_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Pop the next delivered frame for `node`, if any.
+    pub fn recv(&mut self, node: NodeId) -> Option<Frame> {
+        self.nodes[node.0].pop_front()
+    }
+
+    /// Number of frames waiting in `node`'s inbox.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.nodes[node.0].len()
+    }
+
+    /// True if no events are in flight (inboxes may still hold frames).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("now", &self.now)
+            .field("in_flight", &self.queue.len())
+            .finish()
+    }
+}
+
+/// Internal forwarding failure (surfaced only at the first hop).
+enum ForwardFailure {
+    NoRoute { from: NodeId, to: NodeId },
+    Refused(LinkRefusal),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes(seed: u64, faults: FaultConfig) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(seed);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(a, b, LinkConfig::lan(), faults);
+        (net, a, b)
+    }
+
+    #[test]
+    fn delivers_point_to_point() {
+        let (mut net, a, b) = two_nodes(1, FaultConfig::none());
+        net.send(a, b, vec![1, 2, 3]).unwrap();
+        net.run_until_idle();
+        let f = net.recv(b).unwrap();
+        assert_eq!(f.payload, vec![1, 2, 3]);
+        assert_eq!(f.src, a);
+        assert_eq!(f.dst, b);
+        assert!(f.arrived_at > f.sent_at);
+        assert!(net.recv(b).is_none());
+        assert!(net.recv(a).is_none());
+    }
+
+    #[test]
+    fn preserves_fifo_on_clean_link() {
+        let (mut net, a, b) = two_nodes(2, FaultConfig::none());
+        for i in 0..50u8 {
+            net.send(a, b, vec![i]).unwrap();
+        }
+        net.run_until_idle();
+        for i in 0..50u8 {
+            assert_eq!(net.recv(b).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let (mut net, a, _) = two_nodes(3, FaultConfig::none());
+        assert_eq!(net.send(a, a, vec![]), Err(SendError::SelfSend));
+    }
+
+    #[test]
+    fn no_route_rejected() {
+        let mut net = Network::new(4);
+        let a = net.add_node();
+        let b = net.add_node();
+        // no connect
+        assert_eq!(net.send(a, b, vec![1]), Err(SendError::NoRoute { from: a, to: b }));
+    }
+
+    #[test]
+    fn mtu_violation_surfaces() {
+        let mut net = Network::new(5);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(
+            a,
+            b,
+            LinkConfig {
+                mtu: 10,
+                ..LinkConfig::lan()
+            },
+            FaultConfig::none(),
+        );
+        assert!(matches!(
+            net.send(a, b, vec![0u8; 11]),
+            Err(SendError::Refused(LinkRefusal::TooBig { len: 11, mtu: 10 }))
+        ));
+    }
+
+    #[test]
+    fn multi_hop_routing() {
+        // a - r1 - r2 - b chain.
+        let mut net = Network::new(6);
+        let a = net.add_node();
+        let r1 = net.add_node();
+        let r2 = net.add_node();
+        let b = net.add_node();
+        net.connect(a, r1, LinkConfig::lan(), FaultConfig::none());
+        net.connect(r1, r2, LinkConfig::lan(), FaultConfig::none());
+        net.connect(r2, b, LinkConfig::lan(), FaultConfig::none());
+        net.send(a, b, vec![9, 9]).unwrap();
+        net.run_until_idle();
+        let f = net.recv(b).unwrap();
+        assert_eq!(f.payload, vec![9, 9]);
+        assert_eq!(net.stats().hops_forwarded, 2);
+    }
+
+    #[test]
+    fn shortest_path_chosen() {
+        // Square with diagonal: a-b direct and a-c-b; direct must win.
+        let mut net = Network::new(7);
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        net.connect(a, c, LinkConfig::lan(), FaultConfig::none());
+        net.connect(c, b, LinkConfig::lan(), FaultConfig::none());
+        net.connect(a, b, LinkConfig::lan(), FaultConfig::none());
+        net.send(a, b, vec![1]).unwrap();
+        net.run_until_idle();
+        assert!(net.recv(b).is_some());
+        assert_eq!(net.stats().hops_forwarded, 0, "took the direct link");
+    }
+
+    #[test]
+    fn loss_is_silent_and_counted() {
+        let (mut net, a, b) = two_nodes(8, FaultConfig::loss(1.0));
+        net.send(a, b, vec![1, 2, 3]).unwrap();
+        net.run_until_idle();
+        assert!(net.recv(b).is_none());
+        assert_eq!(net.stats().fault_drops, 1);
+        assert_eq!(net.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn loss_rate_statistical() {
+        let (mut net, a, b) = two_nodes(9, FaultConfig::loss(0.2));
+        let n = 5000;
+        for _ in 0..n {
+            net.send(a, b, vec![0u8; 32]).unwrap();
+            net.run_until_idle(); // drain so the queue never congests
+        }
+        let delivered = net.stats().frames_delivered;
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn corruption_changes_payload() {
+        let (mut net, a, b) = two_nodes(10, FaultConfig::corruption(1.0));
+        net.send(a, b, vec![0xFFu8; 64]).unwrap();
+        net.run_until_idle();
+        let f = net.recv(b).unwrap();
+        assert_ne!(f.payload, vec![0xFFu8; 64]);
+        assert_eq!(f.payload.len(), 64);
+        assert_eq!(net.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let (mut net, a, b) = two_nodes(
+            11,
+            FaultConfig {
+                duplicate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        net.send(a, b, vec![7]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.pending(b), 2);
+        assert_eq!(net.recv(b).unwrap().payload, vec![7]);
+        assert_eq!(net.recv(b).unwrap().payload, vec![7]);
+    }
+
+    #[test]
+    fn reordering_observed() {
+        // With reorder probability 0.5 and a large extra delay, a burst of
+        // frames must arrive out of order.
+        let (mut net, a, b) = two_nodes(
+            12,
+            FaultConfig::reordering(0.5, SimDuration::from_millis(50)),
+        );
+        for i in 0..20u8 {
+            net.send(a, b, vec![i]).unwrap();
+        }
+        net.run_until_idle();
+        let mut got = Vec::new();
+        while let Some(f) = net.recv(b) {
+            got.push(f.payload[0]);
+        }
+        assert_eq!(got.len(), 20);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "expected out-of-order arrivals, got {got:?}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let (mut net, a, b) = two_nodes(seed, FaultConfig::loss(0.3));
+            for i in 0..100u8 {
+                net.send(a, b, vec![i]).unwrap();
+            }
+            net.run_until_idle();
+            let mut got = Vec::new();
+            while let Some(f) = net.recv(b) {
+                got.push(f.payload[0]);
+            }
+            got
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn advance_moves_clock_without_events() {
+        let (mut net, _a, _b) = two_nodes(13, FaultConfig::none());
+        assert_eq!(net.now(), SimTime::ZERO);
+        net.advance(SimDuration::from_millis(7));
+        assert_eq!(net.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn advance_processes_due_events_only() {
+        let (mut net, a, b) = two_nodes(14, FaultConfig::none());
+        net.send(a, b, vec![1]).unwrap();
+        // Frame arrives ~130us (ser + prop) — advancing 1ms must deliver it.
+        net.advance(SimDuration::from_millis(1));
+        assert_eq!(net.pending(b), 1);
+        assert_eq!(net.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn trace_records_full_frame_lifecycle() {
+        use crate::trace::FrameEvent;
+        let mut net = Network::new(44);
+        net.enable_trace(64);
+        let a = net.add_node();
+        let r = net.add_node();
+        let b = net.add_node();
+        net.connect(a, r, LinkConfig::lan(), FaultConfig::none());
+        net.connect(r, b, LinkConfig::lan(), FaultConfig::none());
+        net.send(a, b, vec![1, 2, 3]).unwrap();
+        net.run_until_idle();
+        let events: Vec<FrameEvent> = net.trace().unwrap().records().map(|r| r.event).collect();
+        assert_eq!(
+            events,
+            vec![FrameEvent::Sent, FrameEvent::Forwarded, FrameEvent::Delivered]
+        );
+        let dump = net.trace().unwrap().dump();
+        assert!(dump.contains("n0 -> n2"));
+    }
+
+    #[test]
+    fn trace_records_drops() {
+        use crate::trace::FrameEvent;
+        let mut net = Network::new(45);
+        net.enable_trace(64);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.connect(a, b, LinkConfig::lan(), FaultConfig::loss(1.0));
+        net.send(a, b, vec![9]).unwrap();
+        net.run_until_idle();
+        let events: Vec<FrameEvent> = net.trace().unwrap().records().map(|r| r.event).collect();
+        assert_eq!(events, vec![FrameEvent::Sent, FrameEvent::FaultDropped]);
+    }
+
+    #[test]
+    fn stats_bytes_counted() {
+        let (mut net, a, b) = two_nodes(15, FaultConfig::none());
+        net.send(a, b, vec![0u8; 100]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.stats().bytes_sent, 100);
+        assert_eq!(net.stats().bytes_delivered, 100);
+    }
+}

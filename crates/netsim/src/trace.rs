@@ -1,0 +1,248 @@
+//! Network statistics and tracing.
+//!
+//! [`NetStats`] is the always-on counter block; [`FrameTrace`] is an
+//! optional bounded ring of per-frame events (the spirit of smoltcp's
+//! `--pcap` option, rendered as text rather than libpcap) that
+//! [`crate::net::Network::enable_trace`] turns on for debugging runs.
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened to a frame at a trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// Injected by a sender.
+    Sent,
+    /// Delivered to the destination inbox.
+    Delivered,
+    /// Forwarded at an intermediate hop.
+    Forwarded,
+    /// Dropped by fault injection.
+    FaultDropped,
+    /// Dropped by a full transmit queue.
+    CongestionDropped,
+    /// Payload corrupted in transit.
+    Corrupted,
+}
+
+impl fmt::Display for FrameEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FrameEvent::Sent => "SEND",
+            FrameEvent::Delivered => "DLVR",
+            FrameEvent::Forwarded => "FWD ",
+            FrameEvent::FaultDropped => "DROP",
+            FrameEvent::CongestionDropped => "CONG",
+            FrameEvent::Corrupted => "CRPT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// The event kind.
+    pub event: FrameEvent,
+    /// Frame source.
+    pub src: NodeId,
+    /// Frame destination.
+    pub dst: NodeId,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A bounded ring buffer of frame events.
+#[derive(Debug, Default)]
+pub struct FrameTrace {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Records pushed out of the ring by newer ones.
+    pub overwritten: u64,
+}
+
+impl FrameTrace {
+    /// A trace holding the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            overwritten: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.overwritten += 1;
+        }
+        self.ring.push_back(rec);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Render as a text dump, one line per record.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            out.push_str(&format!(
+                "{:>12}  {}  {} -> {}  {} B
+",
+                format!("{}", r.at),
+                r.event,
+                r.src,
+                r.dst,
+                r.len
+            ));
+        }
+        out
+    }
+}
+
+/// Cumulative counters maintained by [`crate::net::Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames injected by senders.
+    pub frames_sent: u64,
+    /// Frames that reached their destination inbox (duplicates count).
+    pub frames_delivered: u64,
+    /// Payload bytes injected.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Frames silently dropped by fault injection.
+    pub fault_drops: u64,
+    /// Frames dropped by full transmit queues (congestion).
+    pub congestion_drops: u64,
+    /// Frames that had a bit flipped in transit.
+    pub corrupted: u64,
+    /// Extra copies delivered by duplication faults.
+    pub duplicates: u64,
+    /// Store-and-forward operations at intermediate nodes.
+    pub hops_forwarded: u64,
+}
+
+impl NetStats {
+    /// Fraction of sent frames lost to any cause, in `[0, 1]`.
+    pub fn loss_rate(&self) -> f64 {
+        if self.frames_sent == 0 {
+            return 0.0;
+        }
+        let lost = self.fault_drops + self.congestion_drops;
+        lost as f64 / self.frames_sent as f64
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} ({} B), delivered {} ({} B), drops {} fault / {} congestion, \
+             corrupted {}, dup {}, forwarded {}",
+            self.frames_sent,
+            self.bytes_sent,
+            self.frames_delivered,
+            self.bytes_delivered,
+            self.fault_drops,
+            self.congestion_drops,
+            self.corrupted,
+            self.duplicates,
+            self.hops_forwarded,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ns: u64, event: FrameEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(ns),
+            event,
+            src: NodeId(0),
+            dst: NodeId(1),
+            len: 42,
+        }
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_orders() {
+        let mut t = FrameTrace::new(3);
+        for i in 0..5 {
+            t.record(rec(i, FrameEvent::Sent));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.overwritten, 2);
+        let times: Vec<u64> = t.records().map(|r| r.at.as_nanos()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_zero_capacity_noop() {
+        let mut t = FrameTrace::new(0);
+        t.record(rec(1, FrameEvent::Delivered));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_dump_readable() {
+        let mut t = FrameTrace::new(8);
+        t.record(rec(1_000, FrameEvent::Sent));
+        t.record(rec(2_000, FrameEvent::FaultDropped));
+        let dump = t.dump();
+        assert!(dump.contains("SEND"));
+        assert!(dump.contains("DROP"));
+        assert!(dump.contains("n0 -> n1"));
+        assert_eq!(dump.lines().count(), 2);
+    }
+
+    #[test]
+    fn loss_rate_computation() {
+        let s = NetStats {
+            frames_sent: 100,
+            fault_drops: 15,
+            congestion_drops: 5,
+            ..NetStats::default()
+        };
+        assert!((s.loss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_no_traffic() {
+        assert_eq!(NetStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let s = NetStats {
+            frames_sent: 3,
+            frames_delivered: 2,
+            ..NetStats::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("sent 3"));
+        assert!(out.contains("delivered 2"));
+    }
+}

@@ -1,0 +1,194 @@
+//! A light-weight transfer syntax (LWTS).
+//!
+//! The paper (§5) points to "the light weight transfer syntax described in
+//! 8" (Huitema & Doghri) as the kind of alternative that makes
+//! presentation conversion fast enough to keep. The essential ideas, applied
+//! here:
+//!
+//! * **flat framing**: one fixed 8-byte header for a whole array, no
+//!   per-element tags or lengths;
+//! * **fixed-width elements**: every `u32` occupies exactly 4 bytes, so the
+//!   decoder's inner loop is a straight-line byte-swap with no branching;
+//! * **one pass**: encode and decode each touch every byte exactly once.
+//!
+//! The result sits between raw/image mode and XDR on the cost spectrum and
+//! demonstrates that "optimization of presentation conversion" is a real
+//! design lever, not just an aspiration.
+
+use crate::CodecError;
+
+/// Magic byte identifying an LWTS frame.
+pub const MAGIC: u8 = 0xD7;
+/// Type code for a `u32` array.
+pub const TYPE_U32_ARRAY: u8 = 0x01;
+/// Type code for an opaque byte string.
+pub const TYPE_OPAQUE: u8 = 0x02;
+/// Fixed header size: magic, type, reserved(2), count (u32 BE).
+pub const HEADER_BYTES: usize = 8;
+
+fn put_header(out: &mut Vec<u8>, ty: u8, count: u32) {
+    out.push(MAGIC);
+    out.push(ty);
+    out.push(0);
+    out.push(0);
+    out.extend_from_slice(&count.to_be_bytes());
+}
+
+fn check_header(buf: &[u8], ty: u8) -> Result<usize, CodecError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(CodecError::Truncated { context: "lwts header" });
+    }
+    if buf[0] != MAGIC {
+        return Err(CodecError::UnexpectedTag {
+            found: buf[0],
+            expected: MAGIC,
+        });
+    }
+    if buf[1] != ty {
+        return Err(CodecError::UnexpectedTag {
+            found: buf[1],
+            expected: ty,
+        });
+    }
+    Ok(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize)
+}
+
+/// Encode a `u32` array: fixed header + big-endian elements, one pass.
+pub fn encode_u32_array(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + values.len() * 4);
+    put_header(&mut out, TYPE_U32_ARRAY, values.len() as u32);
+    for &v in values {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// Decode a `u32` array, one pass, no per-element branching.
+///
+/// # Errors
+/// [`CodecError`] on bad magic/type, short input, or trailing bytes.
+pub fn decode_u32_array(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let count = check_header(buf, TYPE_U32_ARRAY)?;
+    let body = &buf[HEADER_BYTES..];
+    if body.len() < count * 4 {
+        return Err(CodecError::Truncated { context: "lwts u32 body" });
+    }
+    if body.len() > count * 4 {
+        return Err(CodecError::TrailingBytes {
+            extra: body.len() - count * 4,
+        });
+    }
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Encode opaque bytes: fixed header + raw copy.
+pub fn encode_opaque(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + bytes.len());
+    put_header(&mut out, TYPE_OPAQUE, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decode opaque bytes.
+///
+/// # Errors
+/// [`CodecError`] on bad magic/type, short input, or trailing bytes.
+pub fn decode_opaque(buf: &[u8]) -> Result<&[u8], CodecError> {
+    let count = check_header(buf, TYPE_OPAQUE)?;
+    let body = &buf[HEADER_BYTES..];
+    if body.len() < count {
+        return Err(CodecError::Truncated { context: "lwts opaque body" });
+    }
+    if body.len() > count {
+        return Err(CodecError::TrailingBytes {
+            extra: body.len() - count,
+        });
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout() {
+        let wire = encode_u32_array(&[0xAABBCCDD]);
+        assert_eq!(wire[0], MAGIC);
+        assert_eq!(wire[1], TYPE_U32_ARRAY);
+        assert_eq!(&wire[4..8], &[0, 0, 0, 1]);
+        assert_eq!(&wire[8..12], &[0xAA, 0xBB, 0xCC, 0xDD]);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let values: Vec<u32> = (0..333u32).map(|i| i.wrapping_mul(2246822519)).collect();
+        assert_eq!(decode_u32_array(&encode_u32_array(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn opaque_roundtrip() {
+        let data = b"opaque payload";
+        assert_eq!(decode_opaque(&encode_opaque(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut wire = encode_u32_array(&[1]);
+        wire[0] = 0x00;
+        assert!(matches!(
+            decode_u32_array(&wire),
+            Err(CodecError::UnexpectedTag { found: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let wire = encode_opaque(b"x");
+        assert!(matches!(
+            decode_u32_array(&wire),
+            Err(CodecError::UnexpectedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing() {
+        let wire = encode_u32_array(&[1, 2, 3]);
+        assert!(decode_u32_array(&wire[..wire.len() - 1]).is_err());
+        let mut extra = wire.clone();
+        extra.push(0);
+        assert!(matches!(
+            decode_u32_array(&extra),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        ));
+        assert!(decode_u32_array(&wire[..4]).is_err());
+    }
+
+    #[test]
+    fn empty_values() {
+        assert_eq!(decode_u32_array(&encode_u32_array(&[])).unwrap(), vec![]);
+        assert_eq!(decode_opaque(&encode_opaque(&[])).unwrap(), &[] as &[u8]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(values in proptest::collection::vec(any::<u32>(), 0..512)) {
+            prop_assert_eq!(decode_u32_array(&encode_u32_array(&values)).unwrap(), values);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_u32_array(&bytes);
+            let _ = decode_opaque(&bytes);
+        }
+    }
+}

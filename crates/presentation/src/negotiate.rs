@@ -1,0 +1,319 @@
+//! Presentation-context negotiation: who converts, and through what.
+//!
+//! §5, "The Architecture of Presentation Conversion": with a traditional
+//! intermediate transfer representation, "the sender and receiver do not
+//! exchange details concerning their 'local' representations", so neither
+//! side can compute receiver-meaningful placement for out-of-order ADUs.
+//! "As an alternative, the sender and receiver can negotiate to translate
+//! in one step from the sender to the receiver's format" — then the sender
+//! can label each ADU with its disposition in the receiver's terms, and the
+//! receiver can place ADUs out of order with **zero** further conversion.
+//!
+//! This module implements that negotiation:
+//!
+//! * [`LocalSyntax`] — a machine's native data representation (endianness
+//!   of its 32-bit integers, for the paper's benchmark type).
+//! * [`SyntaxCaps`] — what a peer can speak: its local syntax plus the
+//!   transfer syntaxes it implements, in preference order.
+//! * [`negotiate`] — produce a [`ConversionPlan`]: **direct** single-step
+//!   sender-side conversion into the receiver's local syntax when both
+//!   peers disclosed their local syntaxes, else the best common transfer
+//!   syntax (each side converts once, the classic two-step).
+//!
+//! The plan is executable: [`ConversionPlan::encode_u32s`] /
+//! [`ConversionPlan::decode_u32s`] run the chosen conversions, so tests and
+//! benches can measure the one-step-vs-two-step cost difference directly.
+
+use crate::{CodecError, TransferSyntax};
+
+/// A machine's native ("local") representation of a 32-bit integer array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalSyntax {
+    /// Little-endian 32-bit words (x86-style).
+    LittleEndianU32,
+    /// Big-endian 32-bit words (network-order machines of the paper's era).
+    BigEndianU32,
+}
+
+impl LocalSyntax {
+    /// Encode values into this local layout (the bytes an application of
+    /// that machine would hold in memory).
+    pub fn to_bytes(self, values: &[u32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            match self {
+                LocalSyntax::LittleEndianU32 => out.extend_from_slice(&v.to_le_bytes()),
+                LocalSyntax::BigEndianU32 => out.extend_from_slice(&v.to_be_bytes()),
+            }
+        }
+        out
+    }
+
+    /// Decode values from this local layout.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when the byte length is not a multiple of 4.
+    pub fn from_bytes(self, bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+        if bytes.len() % 4 != 0 {
+            return Err(CodecError::Truncated {
+                context: "local u32 array",
+            });
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| {
+                let arr = [c[0], c[1], c[2], c[3]];
+                match self {
+                    LocalSyntax::LittleEndianU32 => u32::from_le_bytes(arr),
+                    LocalSyntax::BigEndianU32 => u32::from_be_bytes(arr),
+                }
+            })
+            .collect())
+    }
+}
+
+/// What one peer can speak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxCaps {
+    /// The peer's local syntax, if it is willing to disclose it (a peer
+    /// may withhold it, which forbids direct conversion — the traditional
+    /// posture the paper critiques).
+    pub local: Option<LocalSyntax>,
+    /// Transfer syntaxes the peer implements, most preferred first.
+    pub transfer: Vec<TransferSyntax>,
+}
+
+impl SyntaxCaps {
+    /// A modern peer: disclosed local syntax, every transfer syntax.
+    pub fn full(local: LocalSyntax) -> Self {
+        Self {
+            local: Some(local),
+            transfer: vec![
+                TransferSyntax::Lwts,
+                TransferSyntax::Xdr,
+                TransferSyntax::Ber,
+            ],
+        }
+    }
+
+    /// A traditional peer: local syntax withheld, BER only (the ISODE
+    /// posture).
+    pub fn traditional() -> Self {
+        Self {
+            local: None,
+            transfer: vec![TransferSyntax::Ber],
+        }
+    }
+}
+
+/// The negotiated conversion arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConversionPlan {
+    /// One-step: the sender converts straight from its local syntax into
+    /// the receiver's local syntax; the receiver does **no** conversion and
+    /// can place ADU contents out of order immediately (§5's alternative).
+    Direct {
+        /// Sender's local syntax.
+        from: LocalSyntax,
+        /// Receiver's local syntax (= the wire layout).
+        to: LocalSyntax,
+    },
+    /// Two-step via a transfer syntax: sender encodes, receiver decodes —
+    /// the classic arrangement, two conversions per transfer.
+    ViaTransfer {
+        /// The agreed transfer syntax.
+        syntax: TransferSyntax,
+    },
+}
+
+/// Negotiation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NegotiationError {
+    /// The peers share no transfer syntax and at least one withheld its
+    /// local syntax.
+    NoCommonSyntax,
+}
+
+impl std::fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NegotiationError::NoCommonSyntax => write!(f, "no common presentation syntax"),
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {}
+
+/// Choose the conversion plan for an association.
+///
+/// Direct conversion is chosen when `prefer_direct` and both peers
+/// disclosed their local syntaxes; otherwise the sender's most-preferred
+/// transfer syntax the receiver also speaks.
+///
+/// # Errors
+/// [`NegotiationError::NoCommonSyntax`] when nothing overlaps.
+pub fn negotiate(
+    sender: &SyntaxCaps,
+    receiver: &SyntaxCaps,
+    prefer_direct: bool,
+) -> Result<ConversionPlan, NegotiationError> {
+    if prefer_direct {
+        if let (Some(from), Some(to)) = (sender.local, receiver.local) {
+            return Ok(ConversionPlan::Direct { from, to });
+        }
+    }
+    for s in &sender.transfer {
+        if receiver.transfer.contains(s) {
+            return Ok(ConversionPlan::ViaTransfer { syntax: *s });
+        }
+    }
+    // Last resort: direct even if not preferred, when possible.
+    if let (Some(from), Some(to)) = (sender.local, receiver.local) {
+        return Ok(ConversionPlan::Direct { from, to });
+    }
+    Err(NegotiationError::NoCommonSyntax)
+}
+
+impl ConversionPlan {
+    /// Sender side: produce wire bytes from values held in the sender's
+    /// local syntax. (Values are given abstractly; the cost difference of
+    /// the plans lies in what each side must do per byte.)
+    pub fn encode_u32s(self, values: &[u32]) -> Vec<u8> {
+        match self {
+            // One conversion, at the sender, straight into the receiver's
+            // layout.
+            ConversionPlan::Direct { to, .. } => to.to_bytes(values),
+            ConversionPlan::ViaTransfer { syntax } => syntax.encode_u32s(values),
+        }
+    }
+
+    /// Receiver side: recover values from wire bytes.
+    ///
+    /// # Errors
+    /// [`CodecError`] from the underlying codec.
+    pub fn decode_u32s(self, wire: &[u8]) -> Result<Vec<u32>, CodecError> {
+        match self {
+            // Zero-conversion receive when the wire layout IS the
+            // receiver's local layout: a straight reinterpretation.
+            ConversionPlan::Direct { to, .. } => to.from_bytes(wire),
+            ConversionPlan::ViaTransfer { syntax } => syntax.decode_u32s(wire),
+        }
+    }
+
+    /// How many per-byte conversion passes the association costs in total
+    /// (sender + receiver) — the number the paper's one-step argument
+    /// reduces.
+    pub fn total_conversion_passes(self) -> usize {
+        match self {
+            ConversionPlan::Direct { from, to } => usize::from(from != to),
+            ConversionPlan::ViaTransfer { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LE: LocalSyntax = LocalSyntax::LittleEndianU32;
+    const BE: LocalSyntax = LocalSyntax::BigEndianU32;
+
+    #[test]
+    fn local_syntax_roundtrip() {
+        let values = vec![1u32, 0xDEADBEEF, u32::MAX];
+        for syn in [LE, BE] {
+            assert_eq!(syn.from_bytes(&syn.to_bytes(&values)).unwrap(), values);
+        }
+        assert_ne!(LE.to_bytes(&values), BE.to_bytes(&values));
+        assert!(LE.from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn direct_plan_when_both_disclose() {
+        let plan = negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(BE), true).unwrap();
+        assert_eq!(plan, ConversionPlan::Direct { from: LE, to: BE });
+        assert_eq!(plan.total_conversion_passes(), 1);
+    }
+
+    #[test]
+    fn direct_same_layout_is_zero_conversion() {
+        let plan = negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(LE), true).unwrap();
+        assert_eq!(plan.total_conversion_passes(), 0, "image mode falls out");
+    }
+
+    #[test]
+    fn transfer_plan_when_local_withheld() {
+        let plan = negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::traditional(), true).unwrap();
+        assert_eq!(
+            plan,
+            ConversionPlan::ViaTransfer {
+                syntax: TransferSyntax::Ber
+            }
+        );
+        assert_eq!(plan.total_conversion_passes(), 2);
+    }
+
+    #[test]
+    fn sender_preference_order_respected() {
+        let sender = SyntaxCaps {
+            local: None,
+            transfer: vec![TransferSyntax::Xdr, TransferSyntax::Ber],
+        };
+        let receiver = SyntaxCaps {
+            local: None,
+            transfer: vec![TransferSyntax::Ber, TransferSyntax::Xdr],
+        };
+        let plan = negotiate(&sender, &receiver, true).unwrap();
+        assert_eq!(
+            plan,
+            ConversionPlan::ViaTransfer {
+                syntax: TransferSyntax::Xdr
+            }
+        );
+    }
+
+    #[test]
+    fn direct_fallback_when_no_common_transfer() {
+        let sender = SyntaxCaps {
+            local: Some(LE),
+            transfer: vec![TransferSyntax::Xdr],
+        };
+        let receiver = SyntaxCaps {
+            local: Some(BE),
+            transfer: vec![TransferSyntax::Ber],
+        };
+        // prefer_direct = false, but direct is the only option left.
+        let plan = negotiate(&sender, &receiver, false).unwrap();
+        assert_eq!(plan, ConversionPlan::Direct { from: LE, to: BE });
+    }
+
+    #[test]
+    fn no_common_syntax_errors() {
+        let sender = SyntaxCaps {
+            local: None,
+            transfer: vec![TransferSyntax::Xdr],
+        };
+        let receiver = SyntaxCaps {
+            local: Some(BE),
+            transfer: vec![TransferSyntax::Ber],
+        };
+        assert_eq!(
+            negotiate(&sender, &receiver, true),
+            Err(NegotiationError::NoCommonSyntax)
+        );
+    }
+
+    #[test]
+    fn plans_are_executable_and_equivalent() {
+        let values: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761) % 977).collect();
+        for plan in [
+            negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(BE), true).unwrap(),
+            negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(LE), true).unwrap(),
+            negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::traditional(), true).unwrap(),
+            negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(BE), false).unwrap(),
+        ] {
+            let wire = plan.encode_u32s(&values);
+            assert_eq!(plan.decode_u32s(&wire).unwrap(), values, "{plan:?}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Incremental (streaming) presentation decoding.
+//!
+//! §5: "A design goal must be, therefore, to design protocols so that the
+//! application is not prevented from performing presentation conversion as
+//! the data arrives." A streaming decoder is that goal in code: it accepts
+//! wire bytes in arbitrary chunks and yields decoded values as soon as they
+//! are complete, so conversion overlaps arrival instead of waiting for the
+//! whole buffer.
+//!
+//! Implemented for the benchmark workload (`SEQUENCE OF INTEGER` in BER and
+//! the XDR/LWTS array forms). The decoders are push-based state machines:
+//! `push(chunk)` returns the values completed by that chunk.
+
+use crate::ber::tag;
+use crate::CodecError;
+
+/// Streaming decoder for a BER `SEQUENCE OF INTEGER` (as produced by
+/// [`crate::ber::encode_u32_array`]).
+#[derive(Debug)]
+pub struct BerU32Stream {
+    state: BerState,
+    /// Bytes carried between pushes (never more than one unfinished TLV).
+    carry: Vec<u8>,
+    /// Body bytes of the outer SEQUENCE still expected.
+    body_remaining: usize,
+    done: bool,
+}
+
+#[derive(Debug, PartialEq)]
+enum BerState {
+    /// Waiting for the outer SEQUENCE tag + length.
+    Header,
+    /// Inside the SEQUENCE body, at an INTEGER boundary.
+    Elements,
+}
+
+impl Default for BerU32Stream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BerU32Stream {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self {
+            state: BerState::Header,
+            carry: Vec::new(),
+            body_remaining: 0,
+            done: false,
+        }
+    }
+
+    /// True once the declared SEQUENCE body has been fully decoded.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Feed a chunk; returns every integer completed by it, in order.
+    ///
+    /// # Errors
+    /// [`CodecError`] on malformed input; the decoder is then poisoned
+    /// (subsequent pushes keep failing).
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u32>, CodecError> {
+        if self.done && !chunk.is_empty() {
+            return Err(CodecError::TrailingBytes { extra: chunk.len() });
+        }
+        self.carry.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            match self.state {
+                BerState::Header => {
+                    // Need tag + length (length may be long-form).
+                    if self.carry.len() - pos < 2 {
+                        break;
+                    }
+                    if self.carry[pos] != tag::SEQUENCE {
+                        return Err(CodecError::UnexpectedTag {
+                            found: self.carry[pos],
+                            expected: tag::SEQUENCE,
+                        });
+                    }
+                    let first = self.carry[pos + 1];
+                    let (len, hdr) = if first < 128 {
+                        (first as usize, 2)
+                    } else {
+                        let n = (first & 0x7F) as usize;
+                        if n == 0 || n > 4 {
+                            return Err(CodecError::BadLength { context: "SEQUENCE" });
+                        }
+                        if self.carry.len() - pos < 2 + n {
+                            break;
+                        }
+                        let mut len = 0usize;
+                        for i in 0..n {
+                            len = (len << 8) | self.carry[pos + 2 + i] as usize;
+                        }
+                        (len, 2 + n)
+                    };
+                    pos += hdr;
+                    self.body_remaining = len;
+                    self.state = BerState::Elements;
+                    if len == 0 {
+                        self.done = true;
+                    }
+                }
+                BerState::Elements => {
+                    if self.body_remaining == 0 {
+                        self.done = true;
+                        if self.carry.len() - pos > 0 {
+                            return Err(CodecError::TrailingBytes {
+                                extra: self.carry.len() - pos,
+                            });
+                        }
+                        break;
+                    }
+                    // An INTEGER TLV: tag, short length, body ≤ 8.
+                    if self.carry.len() - pos < 2 {
+                        break;
+                    }
+                    if self.carry[pos] != tag::INTEGER {
+                        return Err(CodecError::UnexpectedTag {
+                            found: self.carry[pos],
+                            expected: tag::INTEGER,
+                        });
+                    }
+                    let blen = self.carry[pos + 1] as usize;
+                    if blen == 0 || blen > 8 {
+                        return Err(CodecError::BadLength { context: "INTEGER" });
+                    }
+                    if self.carry.len() - pos < 2 + blen {
+                        break;
+                    }
+                    let body = &self.carry[pos + 2..pos + 2 + blen];
+                    let mut v: i64 = if body[0] & 0x80 != 0 { -1 } else { 0 };
+                    for &b in body {
+                        v = (v << 8) | i64::from(b);
+                    }
+                    let v = u32::try_from(v).map_err(|_| CodecError::IntegerOverflow)?;
+                    let tlv = 2 + blen;
+                    if tlv > self.body_remaining {
+                        return Err(CodecError::BadLength { context: "SEQUENCE" });
+                    }
+                    self.body_remaining -= tlv;
+                    pos += tlv;
+                    out.push(v);
+                    if self.body_remaining == 0 {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        self.carry.drain(..pos);
+        Ok(out)
+    }
+}
+
+/// Streaming decoder for the LWTS `u32` array form (fixed header + fixed
+/// 4-byte elements): the fast path decoder the ILP pipeline overlaps with
+/// arrival.
+#[derive(Debug, Default)]
+pub struct LwtsU32Stream {
+    carry: Vec<u8>,
+    expected: Option<usize>,
+    decoded: usize,
+}
+
+impl LwtsU32Stream {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once all declared elements have been decoded.
+    pub fn is_done(&self) -> bool {
+        self.expected.is_some_and(|n| self.decoded == n)
+    }
+
+    /// Feed a chunk; returns every element completed by it.
+    ///
+    /// # Errors
+    /// [`CodecError`] for bad magic/type or trailing bytes.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u32>, CodecError> {
+        self.carry.extend_from_slice(chunk);
+        let mut pos = 0usize;
+        if self.expected.is_none() {
+            if self.carry.len() < crate::lwts::HEADER_BYTES {
+                return Ok(Vec::new());
+            }
+            if self.carry[0] != crate::lwts::MAGIC {
+                return Err(CodecError::UnexpectedTag {
+                    found: self.carry[0],
+                    expected: crate::lwts::MAGIC,
+                });
+            }
+            if self.carry[1] != crate::lwts::TYPE_U32_ARRAY {
+                return Err(CodecError::UnexpectedTag {
+                    found: self.carry[1],
+                    expected: crate::lwts::TYPE_U32_ARRAY,
+                });
+            }
+            let count =
+                u32::from_be_bytes([self.carry[4], self.carry[5], self.carry[6], self.carry[7]]);
+            self.expected = Some(count as usize);
+            pos = crate::lwts::HEADER_BYTES;
+        }
+        let expected = self.expected.expect("set above");
+        let mut out = Vec::new();
+        while self.carry.len() - pos >= 4 && self.decoded < expected {
+            let c = &self.carry[pos..pos + 4];
+            out.push(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            pos += 4;
+            self.decoded += 1;
+        }
+        if self.decoded == expected && self.carry.len() - pos > 0 {
+            return Err(CodecError::TrailingBytes {
+                extra: self.carry.len() - pos,
+            });
+        }
+        self.carry.drain(..pos);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ber, lwts};
+
+    fn workload(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(40503) ^ (i << 7)).collect()
+    }
+
+    #[test]
+    fn ber_stream_matches_oneshot_any_chunking() {
+        let values = workload(300);
+        let wire = ber::encode_u32_array(&values);
+        for chunk_size in [1usize, 2, 3, 7, 64, wire.len()] {
+            let mut dec = BerU32Stream::new();
+            let mut got = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                got.extend(dec.push(chunk).unwrap_or_else(|e| panic!("chunk {chunk_size}: {e}")));
+            }
+            assert!(dec.is_done(), "chunk {chunk_size}");
+            assert_eq!(got, values, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn ber_stream_yields_values_before_end() {
+        // The pipelining property: values come out while bytes still flow.
+        let values = workload(100);
+        let wire = ber::encode_u32_array(&values);
+        let mut dec = BerU32Stream::new();
+        let first_half = dec.push(&wire[..wire.len() / 2]).unwrap();
+        assert!(
+            first_half.len() > 20,
+            "half the wire must yield many values, got {}",
+            first_half.len()
+        );
+        assert!(!dec.is_done());
+        let rest = dec.push(&wire[wire.len() / 2..]).unwrap();
+        assert_eq!(first_half.len() + rest.len(), values.len());
+    }
+
+    #[test]
+    fn ber_stream_empty_sequence() {
+        let wire = ber::encode_u32_array(&[]);
+        let mut dec = BerU32Stream::new();
+        assert!(dec.push(&wire).unwrap().is_empty());
+        assert!(dec.is_done());
+    }
+
+    #[test]
+    fn ber_stream_rejects_wrong_outer_tag() {
+        let mut dec = BerU32Stream::new();
+        assert!(matches!(
+            dec.push(&[0x04, 0x00]),
+            Err(CodecError::UnexpectedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn ber_stream_rejects_trailing() {
+        let mut wire = ber::encode_u32_array(&[1, 2]);
+        wire.push(0xFF);
+        let mut dec = BerU32Stream::new();
+        assert!(matches!(
+            dec.push(&wire),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn ber_stream_rejects_negative() {
+        let wire = ber::encode(&crate::PValue::Sequence(vec![crate::PValue::Integer(-1)]));
+        let mut dec = BerU32Stream::new();
+        assert_eq!(dec.push(&wire), Err(CodecError::IntegerOverflow));
+    }
+
+    #[test]
+    fn lwts_stream_matches_oneshot_any_chunking() {
+        let values = workload(257);
+        let wire = lwts::encode_u32_array(&values);
+        for chunk_size in [1usize, 3, 5, 128, wire.len()] {
+            let mut dec = LwtsU32Stream::new();
+            let mut got = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                got.extend(dec.push(chunk).unwrap());
+            }
+            assert!(dec.is_done());
+            assert_eq!(got, values, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn lwts_stream_rejects_bad_magic_and_trailing() {
+        let mut dec = LwtsU32Stream::new();
+        assert!(dec.push(&[0x00u8; 8]).is_err());
+        let mut wire = lwts::encode_u32_array(&[5]);
+        wire.push(9);
+        let mut dec = LwtsU32Stream::new();
+        assert!(matches!(
+            dec.push(&wire),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{ber, lwts};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_ber_stream_equals_oneshot(
+            values in proptest::collection::vec(any::<u32>(), 0..200),
+            cuts in proptest::collection::vec(1usize..64, 0..32),
+        ) {
+            let wire = ber::encode_u32_array(&values);
+            let mut dec = BerU32Stream::new();
+            let mut got = Vec::new();
+            let mut pos = 0usize;
+            for c in cuts {
+                let end = (pos + c).min(wire.len());
+                got.extend(dec.push(&wire[pos..end]).unwrap());
+                pos = end;
+            }
+            got.extend(dec.push(&wire[pos..]).unwrap());
+            prop_assert!(dec.is_done());
+            prop_assert_eq!(got, values);
+        }
+
+        #[test]
+        fn prop_lwts_stream_equals_oneshot(
+            values in proptest::collection::vec(any::<u32>(), 0..200),
+            chunk in 1usize..96,
+        ) {
+            let wire = lwts::encode_u32_array(&values);
+            let mut dec = LwtsU32Stream::new();
+            let mut got = Vec::new();
+            for c in wire.chunks(chunk) {
+                got.extend(dec.push(c).unwrap());
+            }
+            prop_assert!(dec.is_done());
+            prop_assert_eq!(got, values);
+        }
+
+        #[test]
+        fn prop_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut b = BerU32Stream::new();
+            let _ = b.push(&bytes);
+            let mut l = LwtsU32Stream::new();
+            let _ = l.push(&bytes);
+        }
+    }
+}

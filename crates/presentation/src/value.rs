@@ -1,0 +1,150 @@
+//! The abstract-syntax value model.
+//!
+//! "Each application understands the ADU in its own 'local syntax'. The peer
+//! applications share a common view of the ADU in some 'abstract syntax'."
+//! (§5) [`PValue`] is that abstract syntax: a small algebra of values that
+//! every transfer syntax in this crate can carry.
+
+use std::fmt;
+
+/// An abstract presentation value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PValue {
+    /// A boolean.
+    Boolean(bool),
+    /// A signed integer (BER INTEGER / XDR hyper).
+    Integer(i64),
+    /// An uninterpreted byte string (BER OCTET STRING / XDR opaque). This is
+    /// the paper's "baseline case" — data that crosses the presentation
+    /// layer without conversion.
+    OctetString(Vec<u8>),
+    /// A UTF-8 text string.
+    Utf8String(String),
+    /// The null value.
+    Null,
+    /// An ordered sequence of values (BER SEQUENCE / XDR struct or array).
+    Sequence(Vec<PValue>),
+}
+
+impl PValue {
+    /// Convenience: a sequence of integers from a `u32` slice — the paper's
+    /// "equivalent length array of 32 bit integers" workload.
+    pub fn u32_array(values: &[u32]) -> PValue {
+        PValue::Sequence(values.iter().map(|&v| PValue::Integer(v as i64)).collect())
+    }
+
+    /// Extract a `u32` array if this value is a sequence of in-range integers.
+    pub fn as_u32_array(&self) -> Option<Vec<u32>> {
+        match self {
+            PValue::Sequence(items) => items
+                .iter()
+                .map(|v| match v {
+                    PValue::Integer(i) => u32::try_from(*i).ok(),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant (diagnostics).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            PValue::Boolean(_) => "BOOLEAN",
+            PValue::Integer(_) => "INTEGER",
+            PValue::OctetString(_) => "OCTET STRING",
+            PValue::Utf8String(_) => "UTF8String",
+            PValue::Null => "NULL",
+            PValue::Sequence(_) => "SEQUENCE",
+        }
+    }
+
+    /// Total number of scalar leaves (sequence nesting flattened) — a size
+    /// proxy used by workload generators.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PValue::Sequence(items) => items.iter().map(PValue::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum nesting depth (a scalar is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            PValue::Sequence(items) => 1 + items.iter().map(PValue::depth).max().unwrap_or(0),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for PValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PValue::Boolean(b) => write!(f, "{b}"),
+            PValue::Integer(i) => write!(f, "{i}"),
+            PValue::OctetString(bytes) => write!(f, "h'{}B'", bytes.len()),
+            PValue::Utf8String(s) => write!(f, "{s:?}"),
+            PValue::Null => write!(f, "null"),
+            PValue::Sequence(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_array_roundtrip() {
+        let vals = [1u32, 2, u32::MAX];
+        let v = PValue::u32_array(&vals);
+        assert_eq!(v.as_u32_array().unwrap(), vals.to_vec());
+    }
+
+    #[test]
+    fn as_u32_array_rejects_non_sequences_and_out_of_range() {
+        assert!(PValue::Integer(1).as_u32_array().is_none());
+        assert!(PValue::Sequence(vec![PValue::Integer(-1)]).as_u32_array().is_none());
+        assert!(PValue::Sequence(vec![PValue::Integer(1 << 40)]).as_u32_array().is_none());
+        assert!(PValue::Sequence(vec![PValue::Null]).as_u32_array().is_none());
+    }
+
+    #[test]
+    fn leaf_count_and_depth() {
+        let v = PValue::Sequence(vec![
+            PValue::Integer(1),
+            PValue::Sequence(vec![PValue::Boolean(true), PValue::Null]),
+        ]);
+        assert_eq!(v.leaf_count(), 3);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(PValue::Null.depth(), 1);
+        assert_eq!(PValue::Sequence(vec![]).leaf_count(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PValue::Integer(42).to_string(), "42");
+        assert_eq!(PValue::Null.to_string(), "null");
+        assert_eq!(PValue::OctetString(vec![1, 2, 3]).to_string(), "h'3B'");
+        assert_eq!(
+            PValue::Sequence(vec![PValue::Integer(1), PValue::Boolean(false)]).to_string(),
+            "{1, false}"
+        );
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(PValue::Boolean(true).type_name(), "BOOLEAN");
+        assert_eq!(PValue::Sequence(vec![]).type_name(), "SEQUENCE");
+        assert_eq!(PValue::Utf8String(String::new()).type_name(), "UTF8String");
+    }
+}

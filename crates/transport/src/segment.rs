@@ -1,0 +1,258 @@
+//! The transport segment wire format.
+//!
+//! ```text
+//! 0        2        4            12           20    21   22       26        28        30
+//! +--------+--------+------------+------------+-----+----+--------+---------+---------+
+//! | src    | dst    | seq (u64)  | ack (u64)  |flags|rsvd| window | checksum| paylen  |
+//! | port   | port   |            |            |     |    | (u32)  | (u16)   | (u16)   |
+//! +--------+--------+------------+------------+-----+----+--------+---------+---------+
+//! | payload ...                                                                       |
+//! ```
+//!
+//! The checksum is the Internet checksum over the entire segment with the
+//! checksum field zeroed — computing it is the transport's per-segment data
+//! manipulation (Table 1's "Checksum" row in situ).
+
+use ct_wire::checksum::internet_checksum;
+use ct_wire::header::{HeaderReader, HeaderWriter};
+
+/// Fixed header length in bytes.
+pub const HEADER_BYTES: usize = 30;
+
+/// Flag bit: the ack field is valid (set on every segment in practice).
+pub const FLAG_ACK: u8 = 0x01;
+/// Flag bit: sender has no more data; `seq + payload.len()` is the FIN
+/// sequence number (occupies one number, as in TCP).
+pub const FLAG_FIN: u8 = 0x02;
+
+/// A parsed (or to-be-encoded) transport segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u64,
+    /// Cumulative acknowledgement: next byte expected from the peer.
+    pub ack: u64,
+    /// Flag bits (`FLAG_*`).
+    pub flags: u8,
+    /// Advertised receive window in bytes.
+    pub window: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from [`Segment::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Payload length field disagrees with the buffer length.
+    LengthMismatch {
+        /// Payload length claimed by the header.
+        claimed: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// Checksum verification failed (corrupted in transit).
+    BadChecksum,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Truncated => write!(f, "segment shorter than header"),
+            SegmentError::LengthMismatch { claimed, actual } => {
+                write!(f, "payload length mismatch: header says {claimed}, have {actual}")
+            }
+            SegmentError::BadChecksum => write!(f, "segment checksum failed"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl Segment {
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags & FLAG_FIN != 0
+    }
+
+    /// The sequence number *after* this segment's payload (and FIN, if any):
+    /// what a cumulative ACK for everything here would carry.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.payload.len() as u64 + u64::from(self.is_fin())
+    }
+
+    /// Encode to wire bytes, computing the checksum (one pass over the
+    /// payload — this is the transport's per-segment manipulation cost).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.payload.len());
+        let mut w = HeaderWriter::new(&mut out);
+        w.put_u16(self.src_port)
+            .put_u16(self.dst_port)
+            .put_u64(self.seq)
+            .put_u64(self.ack)
+            .put_u8(self.flags)
+            .put_u8(0)
+            .put_u32(self.window)
+            .put_u16(0) // checksum placeholder
+            .put_u16(self.payload.len() as u16)
+            .put_slice(&self.payload);
+        let ck = internet_checksum(&out);
+        out[26] = (ck >> 8) as u8;
+        out[27] = (ck & 0xFF) as u8;
+        out
+    }
+
+    /// Decode and verify a segment from wire bytes.
+    ///
+    /// # Errors
+    /// [`SegmentError`] for truncation, length mismatch, or checksum failure.
+    pub fn decode(buf: &[u8]) -> Result<Segment, SegmentError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(SegmentError::Truncated);
+        }
+        // Verify the checksum over the buffer with the checksum bytes zeroed:
+        // summing is linear, so subtract their contribution instead of copying.
+        let mut check = Vec::from(buf);
+        check[26] = 0;
+        check[27] = 0;
+        let stored = u16::from_be_bytes([buf[26], buf[27]]);
+        if internet_checksum(&check) != stored {
+            return Err(SegmentError::BadChecksum);
+        }
+        let mut r = HeaderReader::new(buf);
+        let src_port = r.get_u16().expect("sized");
+        let dst_port = r.get_u16().expect("sized");
+        let seq = r.get_u64().expect("sized");
+        let ack = r.get_u64().expect("sized");
+        let flags = r.get_u8().expect("sized");
+        let _rsvd = r.get_u8().expect("sized");
+        let window = r.get_u32().expect("sized");
+        let _ck = r.get_u16().expect("sized");
+        let paylen = r.get_u16().expect("sized") as usize;
+        let payload = r.rest();
+        if payload.len() != paylen {
+            return Err(SegmentError::LengthMismatch {
+                claimed: paylen,
+                actual: payload.len(),
+            });
+        }
+        Ok(Segment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Segment {
+        Segment {
+            src_port: 1000,
+            dst_port: 2000,
+            seq: 0x1122334455667788,
+            ack: 42,
+            flags: FLAG_ACK,
+            window: 65535,
+            payload: b"hello transport".to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let wire = s.encode();
+        assert_eq!(wire.len(), HEADER_BYTES + 15);
+        assert_eq!(Segment::decode(&wire).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let s = Segment {
+            payload: vec![],
+            ..sample()
+        };
+        assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn corruption_caught_anywhere() {
+        let wire = sample().encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                matches!(
+                    Segment::decode(&bad),
+                    Err(SegmentError::BadChecksum) | Err(SegmentError::LengthMismatch { .. })
+                ),
+                "flip at byte {i} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_caught() {
+        let wire = sample().encode();
+        assert_eq!(Segment::decode(&wire[..10]), Err(SegmentError::Truncated));
+        // Header intact but payload cut: checksum fails first (it covers payload).
+        assert!(Segment::decode(&wire[..HEADER_BYTES + 3]).is_err());
+    }
+
+    #[test]
+    fn seq_end_accounts_for_fin() {
+        let mut s = sample();
+        assert_eq!(s.seq_end(), s.seq + 15);
+        s.flags |= FLAG_FIN;
+        assert_eq!(s.seq_end(), s.seq + 16);
+        assert!(s.is_fin());
+    }
+
+    #[test]
+    fn max_payload_length_field() {
+        let s = Segment {
+            payload: vec![7u8; u16::MAX as usize],
+            ..sample()
+        };
+        let wire = s.encode();
+        assert_eq!(Segment::decode(&wire).unwrap().payload.len(), 65535);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            seq in any::<u64>(),
+            ack in any::<u64>(),
+            flags in 0u8..4,
+            window in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let s = Segment { src_port, dst_port, seq, ack, flags, window, payload };
+            prop_assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Segment::decode(&bytes);
+        }
+    }
+}

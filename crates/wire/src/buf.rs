@@ -1,0 +1,617 @@
+//! Buffer types: owned buffers, and scatter/gather descriptors.
+//!
+//! The paper's sixth manipulation function is "moving to/from application
+//! address space": in the general case (RPC arguments, structured records)
+//! the destination is *not* a linear region but a set of scattered
+//! language-level variables. [`Scatter`] and [`Gather`] model exactly that —
+//! a list of (offset, length) extents over a backing region — so that the
+//! cost of scattered placement is explicit and measurable.
+
+use std::fmt;
+
+/// An owned, heap-allocated byte buffer with explicit length tracking.
+///
+/// `OwnedBuf` is a thin, intention-revealing wrapper over `Vec<u8>`: protocol
+/// code that accepts an `OwnedBuf` is taking *ownership of a data copy*, and
+/// code that borrows `&[u8]` is promising a zero-copy pass. Keeping the two
+/// visually distinct keeps every memory pass auditable, which the benchmark
+/// harness relies on.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct OwnedBuf {
+    data: Vec<u8>,
+}
+
+impl OwnedBuf {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Create a zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self {
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Create a buffer with capacity reserved but zero length.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Create a buffer filled with a deterministic byte pattern, used by
+    /// tests and workload generators. Byte `i` is `(seed ^ i as u8).wrapping_mul(31).wrapping_add(7)`.
+    pub fn patterned(len: usize, seed: u8) -> Self {
+        let mut data = Vec::with_capacity(len);
+        for i in 0..len {
+            data.push((seed ^ (i as u8)).wrapping_mul(31).wrapping_add(7));
+        }
+        Self { data }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutably borrow the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Append bytes (a data copy).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Truncate to `len` bytes (no data movement).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Consume into the backing `Vec<u8>` (no data movement).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl From<Vec<u8>> for OwnedBuf {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+impl From<&[u8]> for OwnedBuf {
+    fn from(bytes: &[u8]) -> Self {
+        Self {
+            data: bytes.to_vec(),
+        }
+    }
+}
+
+impl AsRef<[u8]> for OwnedBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for OwnedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OwnedBuf({} bytes", self.data.len())?;
+        let head = &self.data[..self.data.len().min(8)];
+        if !head.is_empty() {
+            write!(f, ": {head:02x?}")?;
+            if self.data.len() > 8 {
+                write!(f, "…")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// One extent of a scatter/gather list: `len` bytes at `offset` within the
+/// application region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Byte offset within the application region.
+    pub offset: usize,
+    /// Extent length in bytes.
+    pub len: usize,
+}
+
+impl Extent {
+    /// Construct an extent.
+    pub fn new(offset: usize, len: usize) -> Self {
+        Self { offset, len }
+    }
+
+    /// Exclusive end offset.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// A scatter descriptor: where incoming contiguous data lands inside a
+/// (possibly non-contiguous) application address-space region.
+///
+/// The i-th extent receives the next `extent.len` source bytes. This models
+/// the paper's "data in the ADU be separated into different values which are
+/// stored in different variables of some program" (§6, the RPC paradigm).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scatter {
+    extents: Vec<Extent>,
+}
+
+impl Scatter {
+    /// An empty scatter list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-extent (linear) scatter: the simple file-transfer case.
+    pub fn linear(offset: usize, len: usize) -> Self {
+        Self {
+            extents: vec![Extent::new(offset, len)],
+        }
+    }
+
+    /// Build from extents.
+    pub fn from_extents(extents: Vec<Extent>) -> Self {
+        Self { extents }
+    }
+
+    /// Append an extent.
+    pub fn push(&mut self, e: Extent) {
+        self.extents.push(e);
+    }
+
+    /// The extents, in placement order.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Total bytes described.
+    pub fn total_len(&self) -> usize {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Smallest region length that can hold every extent.
+    pub fn required_region_len(&self) -> usize {
+        self.extents.iter().map(|e| e.end()).max().unwrap_or(0)
+    }
+
+    /// Scatter `src` into `region` according to this descriptor.
+    ///
+    /// This is a data-manipulation pass: every source byte is written once.
+    /// Returns the number of bytes placed.
+    ///
+    /// # Errors
+    /// [`ScatterError::SourceTooShort`] if `src` has fewer bytes than the
+    /// descriptor requires; [`ScatterError::RegionTooShort`] if any extent
+    /// falls outside `region`.
+    pub fn scatter(&self, src: &[u8], region: &mut [u8]) -> Result<usize, ScatterError> {
+        if src.len() < self.total_len() {
+            return Err(ScatterError::SourceTooShort {
+                need: self.total_len(),
+                have: src.len(),
+            });
+        }
+        if self.required_region_len() > region.len() {
+            return Err(ScatterError::RegionTooShort {
+                need: self.required_region_len(),
+                have: region.len(),
+            });
+        }
+        let mut cursor = 0usize;
+        for e in &self.extents {
+            region[e.offset..e.end()].copy_from_slice(&src[cursor..cursor + e.len]);
+            cursor += e.len;
+        }
+        Ok(cursor)
+    }
+}
+
+/// A gather descriptor: the transmit-side dual of [`Scatter`] — collect
+/// scattered application variables into one contiguous wire buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gather {
+    extents: Vec<Extent>,
+}
+
+impl Gather {
+    /// An empty gather list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from extents.
+    pub fn from_extents(extents: Vec<Extent>) -> Self {
+        Self { extents }
+    }
+
+    /// Append an extent.
+    pub fn push(&mut self, e: Extent) {
+        self.extents.push(e);
+    }
+
+    /// The extents, in collection order.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Total bytes described.
+    pub fn total_len(&self) -> usize {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Gather from `region` into a fresh contiguous buffer (one data pass).
+    ///
+    /// # Errors
+    /// [`ScatterError::RegionTooShort`] if any extent falls outside `region`.
+    pub fn gather(&self, region: &[u8]) -> Result<OwnedBuf, ScatterError> {
+        let need = self.extents.iter().map(|e| e.end()).max().unwrap_or(0);
+        if need > region.len() {
+            return Err(ScatterError::RegionTooShort {
+                need,
+                have: region.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.total_len());
+        for e in &self.extents {
+            out.extend_from_slice(&region[e.offset..e.end()]);
+        }
+        Ok(OwnedBuf::from(out))
+    }
+}
+
+/// Errors from scatter/gather placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterError {
+    /// The contiguous source held fewer bytes than the descriptor places.
+    SourceTooShort {
+        /// Bytes the descriptor requires.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// An extent falls outside the application region.
+    RegionTooShort {
+        /// Minimum region length required.
+        need: usize,
+        /// Region length provided.
+        have: usize,
+    },
+}
+
+impl fmt::Display for ScatterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScatterError::SourceTooShort { need, have } => {
+                write!(f, "scatter source too short: need {need} bytes, have {have}")
+            }
+            ScatterError::RegionTooShort { need, have } => {
+                write!(f, "application region too short: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScatterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_buf_basics() {
+        let mut b = OwnedBuf::new();
+        assert!(b.is_empty());
+        b.extend_from_slice(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_slice(), b"hello");
+        b.truncate(2);
+        assert_eq!(b.as_slice(), b"he");
+    }
+
+    #[test]
+    fn owned_buf_patterned_is_deterministic() {
+        let a = OwnedBuf::patterned(64, 3);
+        let b = OwnedBuf::patterned(64, 3);
+        let c = OwnedBuf::patterned(64, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn owned_buf_debug_truncates() {
+        let b = OwnedBuf::patterned(100, 0);
+        let s = format!("{b:?}");
+        assert!(s.contains("100 bytes"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn scatter_linear_roundtrip() {
+        let s = Scatter::linear(4, 8);
+        let src: Vec<u8> = (0..8).collect();
+        let mut region = vec![0xAAu8; 16];
+        let placed = s.scatter(&src, &mut region).unwrap();
+        assert_eq!(placed, 8);
+        assert_eq!(&region[4..12], &src[..]);
+        assert_eq!(region[0], 0xAA);
+        assert_eq!(region[12], 0xAA);
+    }
+
+    #[test]
+    fn scatter_multi_extent() {
+        // RPC-style: two arguments living at scattered offsets.
+        let s = Scatter::from_extents(vec![Extent::new(10, 3), Extent::new(0, 2)]);
+        let mut region = vec![0u8; 13];
+        s.scatter(b"ABCde", &mut region).unwrap();
+        assert_eq!(&region[10..13], b"ABC");
+        assert_eq!(&region[0..2], b"de");
+    }
+
+    #[test]
+    fn scatter_errors() {
+        let s = Scatter::linear(0, 8);
+        let mut region = vec![0u8; 16];
+        assert_eq!(
+            s.scatter(b"abc", &mut region),
+            Err(ScatterError::SourceTooShort { need: 8, have: 3 })
+        );
+        let s2 = Scatter::linear(12, 8);
+        assert_eq!(
+            s2.scatter(&[0u8; 8], &mut region),
+            Err(ScatterError::RegionTooShort { need: 20, have: 16 })
+        );
+    }
+
+    #[test]
+    fn gather_inverts_scatter() {
+        let extents = vec![Extent::new(5, 4), Extent::new(0, 3), Extent::new(20, 2)];
+        let s = Scatter::from_extents(extents.clone());
+        let g = Gather::from_extents(extents);
+        let src = OwnedBuf::patterned(9, 42);
+        let mut region = vec![0u8; 32];
+        s.scatter(src.as_slice(), &mut region).unwrap();
+        let back = g.gather(&region).unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn gather_region_too_short() {
+        let g = Gather::from_extents(vec![Extent::new(30, 4)]);
+        let region = vec![0u8; 16];
+        assert!(matches!(
+            g.gather(&region),
+            Err(ScatterError::RegionTooShort { need: 34, have: 16 })
+        ));
+    }
+
+    #[test]
+    fn empty_descriptors() {
+        let s = Scatter::new();
+        let g = Gather::new();
+        let mut region = vec![0u8; 4];
+        assert_eq!(s.scatter(&[], &mut region).unwrap(), 0);
+        assert!(g.gather(&region).unwrap().is_empty());
+        assert_eq!(s.total_len(), 0);
+        assert_eq!(s.required_region_len(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScatterError::SourceTooShort { need: 8, have: 3 };
+        assert!(e.to_string().contains("need 8"));
+        let e = ScatterError::RegionTooShort { need: 20, have: 16 };
+        assert!(e.to_string().contains("region too short"));
+    }
+}
+
+/// A contiguous byte FIFO with memcpy-grade push/pop and amortised
+/// compaction — the buffer discipline a competent byte-stream transport
+/// uses (BSD's mbuf chains achieve the same effect; a contiguous ring is
+/// the simplest portable equivalent).
+///
+/// Every operation is slice-wise: pushing N bytes is one `memcpy`, popping
+/// N bytes is one `memcpy`, and the head space is reclaimed by an occasional
+/// amortised `memmove`. No per-byte loops anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct ByteFifo {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl ByteFifo {
+    /// An empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes queued.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Append bytes (one data copy).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact_if_due();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Copy up to `out.len()` bytes from the front into `out`; returns the
+    /// count (one data copy).
+    pub fn pop_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.len());
+        out[..n].copy_from_slice(&self.buf[self.head..self.head + n]);
+        self.head += n;
+        self.compact_if_due();
+        n
+    }
+
+    /// Take exactly `n` bytes from the front into a fresh buffer.
+    ///
+    /// # Panics
+    /// If fewer than `n` bytes are queued.
+    pub fn take(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "take past end of fifo");
+        let out = self.buf[self.head..self.head + n].to_vec();
+        self.head += n;
+        self.compact_if_due();
+        out
+    }
+
+    /// Borrow the queued bytes without consuming them.
+    pub fn peek(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    fn compact_if_due(&mut self) {
+        if self.head >= 4096 && self.head * 2 >= self.buf.len() {
+            self.buf.copy_within(self.head.., 0);
+            self.buf.truncate(self.buf.len() - self.head);
+            self.head = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod fifo_tests {
+    use super::ByteFifo;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut f = ByteFifo::new();
+        assert!(f.is_empty());
+        f.push(b"hello ");
+        f.push(b"world");
+        assert_eq!(f.len(), 11);
+        let mut out = [0u8; 6];
+        assert_eq!(f.pop_into(&mut out), 6);
+        assert_eq!(&out, b"hello ");
+        assert_eq!(f.take(5), b"world");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn pop_more_than_available() {
+        let mut f = ByteFifo::new();
+        f.push(&[1, 2, 3]);
+        let mut out = [0u8; 10];
+        assert_eq!(f.pop_into(&mut out), 3);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert_eq!(f.pop_into(&mut out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "take past end")]
+    fn take_too_much_panics() {
+        let mut f = ByteFifo::new();
+        f.push(&[1]);
+        f.take(2);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut f = ByteFifo::new();
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let mut cursor = 0usize;
+        let mut out = vec![0u8; 1000];
+        let mut pushed = 0usize;
+        // Interleave pushes and pops to force many compactions.
+        while cursor < data.len() {
+            if pushed < data.len() {
+                let take = 3000.min(data.len() - pushed);
+                f.push(&data[pushed..pushed + take]);
+                pushed += take;
+            }
+            let n = f.pop_into(&mut out);
+            assert_eq!(&out[..n], &data[cursor..cursor + n]);
+            cursor += n;
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = ByteFifo::new();
+        f.push(b"abc");
+        assert_eq!(f.peek(), b"abc");
+        assert_eq!(f.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod fifo_proptests {
+    use super::ByteFifo;
+    use proptest::prelude::*;
+
+    /// Random interleavings of push/pop against a VecDeque model.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(Vec<u8>),
+        Pop(usize),
+        Take(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..512).prop_map(Op::Push),
+            (0usize..600).prop_map(Op::Pop),
+            (0usize..300).prop_map(Op::Take),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fifo_matches_model(ops in proptest::collection::vec(arb_op(), 0..64)) {
+            let mut fifo = ByteFifo::new();
+            let mut model: std::collections::VecDeque<u8> = Default::default();
+            for op in ops {
+                match op {
+                    Op::Push(bytes) => {
+                        fifo.push(&bytes);
+                        model.extend(bytes);
+                    }
+                    Op::Pop(n) => {
+                        let mut out = vec![0u8; n];
+                        let got = fifo.pop_into(&mut out);
+                        let want: Vec<u8> = (0..n.min(model.len()))
+                            .map(|_| model.pop_front().expect("counted"))
+                            .collect();
+                        prop_assert_eq!(got, want.len());
+                        prop_assert_eq!(&out[..got], &want[..]);
+                    }
+                    Op::Take(n) => {
+                        let n = n.min(fifo.len());
+                        let got = fifo.take(n);
+                        let want: Vec<u8> = (0..n)
+                            .map(|_| model.pop_front().expect("counted"))
+                            .collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(fifo.len(), model.len());
+                prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Data-movement kernels.
+//!
+//! "The copy cost provides almost an absolute upper limit on the throughput
+//! that can possibly be achieved for any CPU" (§4). These kernels are the
+//! measurement subjects of Table 1's *Copy* row and the baseline every other
+//! manipulation is compared against.
+//!
+//! Three variants are provided so the bench harness can show the unrolling
+//! ablation (DESIGN.md §5):
+//!
+//! * [`copy_bytes_rolled`] — one byte per iteration, no unrolling; the
+//!   pessimal loop a naive layered implementation might contain.
+//! * [`copy_words`] — 32-bit word loop (the paper's "word-aligned copy").
+//! * [`copy_words_unrolled`] — 4-way unrolled word loop, mirroring the
+//!   paper's hand-coded unrolled assembly.
+//! * [`copy_bytes`] — the idiomatic production kernel
+//!   (`copy_from_slice`, i.e. whatever `memcpy` the platform provides).
+
+/// Idiomatic production copy: delegates to `copy_from_slice` (platform
+/// `memcpy`). Panics if lengths differ, like `copy_from_slice` itself —
+/// callers in this workspace always size the destination first.
+#[inline]
+pub fn copy_bytes(src: &[u8], dst: &mut [u8]) {
+    dst.copy_from_slice(src);
+}
+
+/// Deliberately rolled byte-at-a-time copy, for the unrolling ablation.
+pub fn copy_bytes_rolled(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "copy length mismatch");
+    for i in 0..src.len() {
+        dst[i] = src[i];
+    }
+}
+
+/// Word-aligned copy: moves 32-bit words, then the byte tail.
+///
+/// This is the paper's base "Copy" manipulation. Word construction uses
+/// explicit `from_ne_bytes`/`to_ne_bytes` so the kernel stays portable safe
+/// Rust while still expressing word-granular movement.
+pub fn copy_words(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "copy length mismatch");
+    let mut s = src.chunks_exact(4);
+    let mut d = dst.chunks_exact_mut(4);
+    for (sw, dw) in (&mut s).zip(&mut d) {
+        let w = u32::from_ne_bytes([sw[0], sw[1], sw[2], sw[3]]);
+        dw.copy_from_slice(&w.to_ne_bytes());
+    }
+    let st = s.remainder();
+    let dt = d.into_remainder();
+    dt.copy_from_slice(st);
+}
+
+/// 4-way unrolled word copy: four 32-bit words (16 bytes) per iteration,
+/// mirroring the paper's hand-unrolled loops.
+pub fn copy_words_unrolled(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "copy length mismatch");
+    let mut s = src.chunks_exact(16);
+    let mut d = dst.chunks_exact_mut(16);
+    for (sc, dc) in (&mut s).zip(&mut d) {
+        let w0 = u32::from_ne_bytes([sc[0], sc[1], sc[2], sc[3]]);
+        let w1 = u32::from_ne_bytes([sc[4], sc[5], sc[6], sc[7]]);
+        let w2 = u32::from_ne_bytes([sc[8], sc[9], sc[10], sc[11]]);
+        let w3 = u32::from_ne_bytes([sc[12], sc[13], sc[14], sc[15]]);
+        dc[0..4].copy_from_slice(&w0.to_ne_bytes());
+        dc[4..8].copy_from_slice(&w1.to_ne_bytes());
+        dc[8..12].copy_from_slice(&w2.to_ne_bytes());
+        dc[12..16].copy_from_slice(&w3.to_ne_bytes());
+    }
+    let st = s.remainder();
+    let dt = d.into_remainder();
+    dt.copy_from_slice(st);
+}
+
+/// Copy variants, for parameterised benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKind {
+    /// `copy_from_slice` / platform memcpy.
+    Memcpy,
+    /// Byte-at-a-time rolled loop.
+    ByteRolled,
+    /// 32-bit word loop.
+    Word,
+    /// 4-way unrolled word loop.
+    WordUnrolled,
+}
+
+impl CopyKind {
+    /// Execute the selected copy kernel.
+    pub fn run(self, src: &[u8], dst: &mut [u8]) {
+        match self {
+            CopyKind::Memcpy => copy_bytes(src, dst),
+            CopyKind::ByteRolled => copy_bytes_rolled(src, dst),
+            CopyKind::Word => copy_words(src, dst),
+            CopyKind::WordUnrolled => copy_words_unrolled(src, dst),
+        }
+    }
+
+    /// Name used in bench output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            CopyKind::Memcpy => "memcpy",
+            CopyKind::ByteRolled => "byte-rolled",
+            CopyKind::Word => "word",
+            CopyKind::WordUnrolled => "word-unrolled-4",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i.wrapping_mul(37) ^ (i >> 3)) as u8).collect()
+    }
+
+    #[test]
+    fn all_kinds_copy_correctly() {
+        for len in [0usize, 1, 3, 4, 5, 15, 16, 17, 63, 64, 65, 4000] {
+            let src = pattern(len);
+            for kind in [
+                CopyKind::Memcpy,
+                CopyKind::ByteRolled,
+                CopyKind::Word,
+                CopyKind::WordUnrolled,
+            ] {
+                let mut dst = vec![0u8; len];
+                kind.run(&src, &mut dst);
+                assert_eq!(dst, src, "{} len {len}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copy length mismatch")]
+    fn rolled_length_mismatch_panics() {
+        let mut dst = vec![0u8; 3];
+        copy_bytes_rolled(&[1, 2, 3, 4], &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy length mismatch")]
+    fn word_length_mismatch_panics() {
+        let mut dst = vec![0u8; 3];
+        copy_words(&[1, 2, 3, 4], &mut dst);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CopyKind::Memcpy.name(),
+            CopyKind::ByteRolled.name(),
+            CopyKind::Word.name(),
+            CopyKind::WordUnrolled.name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! ALF file transfer over a lossy, reordering network.
+//!
+//! The §5 example in full: the sender names each ADU with its placement in
+//! the *receiver's* file, so the receiver copies every arriving ADU
+//! directly to its final location — even while earlier ranges are still
+//! missing. The remaining holes are reported as file ranges, i.e. in terms
+//! the application understands, never as transport byte numbers.
+//!
+//! Run: `cargo run --example file_transfer [loss_percent]`
+
+use alf_core::driver::{run_alf_transfer, Substrate};
+use alf_core::transport::AlfConfig;
+use ct_apps::filetransfer::{FileReceiver, FileSender};
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_netsim::time::SimDuration;
+
+fn main() {
+    let loss_pct: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+
+    // A 1 MiB "file" with recognisable contents.
+    let file: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+    let sender = FileSender::new(&file, 8192);
+    let adus = sender.adus();
+    println!(
+        "file: {} bytes in {} ADUs of 8 kB; network loss {loss_pct}%",
+        file.len(),
+        adus.len()
+    );
+
+    // Ship over a reordering, lossy LAN with sender-buffer recovery.
+    let report = run_alf_transfer(
+        7,
+        LinkConfig::lan(),
+        FaultConfig {
+            drop: loss_pct / 100.0,
+            reorder: 0.1,
+            reorder_delay: SimDuration::from_micros(800),
+            ..FaultConfig::default()
+        },
+        AlfConfig {
+            retransmit_timeout: SimDuration::from_millis(5),
+            assembly_timeout: SimDuration::from_millis(2),
+            ..AlfConfig::default()
+        },
+        Substrate::Packet,
+        &adus,
+        None,
+    );
+    assert!(report.complete && report.verified, "transfer failed: {report:?}");
+
+    // Replay the deliveries into a FileReceiver to demonstrate placement.
+    // (run_alf_transfer consumed the transport deliveries internally; here
+    // we re-run placement from the sender's ADUs in a shuffled order to
+    // show the out-of-order property explicitly.)
+    let mut rx = FileReceiver::new(file.len());
+    // Deterministic shuffle: interleave the second half (forward) with the
+    // first half (backward).
+    let half = adus.len() / 2;
+    let (a, b) = adus.split_at(half);
+    let mut order: Vec<_> = Vec::new();
+    for i in 0..half.max(adus.len() - half) {
+        if i < b.len() {
+            order.push(b[i].clone());
+        }
+        if i < a.len() {
+            order.push(a[half - 1 - i].clone());
+        }
+    }
+    for (k, adu) in order.iter().enumerate() {
+        rx.place(adu).expect("placement");
+        if k == order.len() / 2 {
+            let holes = rx.holes();
+            println!(
+                "midway: {} bytes placed, {} holes (first: {:?})",
+                rx.bytes_placed(),
+                holes.len(),
+                holes.first()
+            );
+        }
+    }
+    assert!(rx.is_complete());
+    println!(
+        "placed {} ADUs, {} of them out of ascending order — no stalls",
+        order.len(),
+        rx.out_of_order_placements
+    );
+    assert_eq!(rx.into_file(), file);
+
+    println!("\nnetwork run: {}", report.elapsed);
+    println!(
+        "  retransmitted {} ADUs, peak sender buffer {} bytes, goodput {:.1} Mb/s (simulated)",
+        report.sender.adus_retransmitted, report.sender_buffer_peak, report.goodput_mbps
+    );
+    println!("file intact: true");
+}

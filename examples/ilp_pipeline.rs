@@ -1,0 +1,69 @@
+//! Integrated Layer Processing, hands on.
+//!
+//! Builds the canonical receive chain (checksum → decrypt → byte-swap →
+//! copy), runs it both ways over a 4 kB ADU, verifies bit-identical output,
+//! and times both. Also demonstrates the ordering-constraint analysis: a
+//! cipher chained *across* units is rejected as an ALF stage, at
+//! configuration time, with an error naming the offending stage.
+//!
+//! Run: `cargo run --release --example ilp_pipeline`
+
+use alf_core::pipeline::{canonical_receive_chain, Manipulation, Pipeline};
+use ct_crypto::block::{ChainedBlock, IvMode};
+use ct_crypto::stream::XorStream;
+use std::time::Instant;
+
+fn time_mbps<F: FnMut()>(bytes: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    (bytes as f64 * iters as f64 * 8.0) / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let adu: Vec<u8> = (0..4096).map(|i| (i * 31 % 251) as u8).collect();
+
+    println!("chain: checksum -> xor-decrypt -> swap32 -> copy\n");
+    println!("{:<8}{:>14}{:>16}{:>10}", "stages", "layered Mb/s", "integrated Mb/s", "speedup");
+    for n in 1..=4 {
+        let chain = canonical_receive_chain(n, 0xBEEF);
+        // Correctness first: the two executions are bit-identical.
+        assert_eq!(chain.run_layered(&adu), chain.run_integrated(&adu));
+        let mut sink = 0u16;
+        let lay = time_mbps(adu.len(), || {
+            sink ^= chain.run_layered(&adu).checksums.first().copied().unwrap_or(0);
+        });
+        let int = time_mbps(adu.len(), || {
+            sink ^= chain.run_integrated(&adu).checksums.first().copied().unwrap_or(0);
+        });
+        println!("{n:<8}{lay:>14.0}{int:>16.0}{:>9.2}x", int / lay);
+        std::hint::black_box(sink);
+    }
+
+    // Checksum position is semantic: before the cipher it covers the
+    // ciphertext (verifiable pre-decrypt); after, the plaintext.
+    let pre = Pipeline::new()
+        .stage(Manipulation::Checksum)
+        .stage(Manipulation::Xor { key: 1, offset: 0 });
+    let post = Pipeline::new()
+        .stage(Manipulation::Xor { key: 1, offset: 0 })
+        .stage(Manipulation::Checksum);
+    let a = pre.run_integrated(&adu).checksums[0];
+    let b = post.run_integrated(&adu).checksums[0];
+    println!("\nciphertext checksum {a:#06x} != plaintext checksum {b:#06x}: order is semantics");
+
+    // Ordering constraints: a seekable cipher is ALF-compatible; a cipher
+    // whose IV chains across units is not, and the library says so.
+    let chain = canonical_receive_chain(4, 0xBEEF);
+    let seekable = XorStream::new(1).constraint();
+    let chained = ChainedBlock::new(1, IvMode::Carried).constraint();
+    println!("\nseekable cipher as extra stage: {:?}", chain.check_alf_compatible(&[seekable]));
+    match chain.check_alf_compatible(&[chained]) {
+        Err(e) => println!("carried-IV cipher rejected:   Err({e})"),
+        Ok(()) => unreachable!("must be rejected"),
+    }
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration: the full receive chain, stage 1 to application
+//! memory — wire decode → ADU reassembly → integrated stage-2 pipeline →
+//! scatter into the application region — with property tests pinning the
+//! integrated execution to the layered one through real wire bytes.
+
+use alf_core::adu::{Adu, AduName};
+use alf_core::assembler::Assembler;
+use alf_core::pipeline::{canonical_receive_chain, Manipulation, Pipeline};
+use alf_core::wire::{fragment_adu, Message};
+use ct_crypto::stream::XorStream;
+use ct_netsim::time::{SimDuration, SimTime};
+use ct_presentation::{fused, TransferSyntax};
+use ct_wire::buf::{Extent, Scatter};
+use proptest::prelude::*;
+
+/// Encode an ADU's payload (encrypted), fragment it, scramble the TUs,
+/// reassemble, run the integrated stage-2 chain, and scatter the result —
+/// the whole §6 two-stage receive, in miniature.
+#[test]
+fn two_stage_receive_full_path() {
+    let values: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(77)).collect();
+    // Sender: presentation-encode with fused checksum, then encrypt.
+    let (mut wire_body, wire_ck) = fused::xdr_encode_u32s_checksummed(&values);
+    let cipher = XorStream::new(0xA11CE);
+    cipher.apply_in_place(0, &mut wire_body);
+
+    // Fragment into TUs, encode to wire, shuffle deterministically.
+    let name = AduName::Rpc { call: 1, part: 0 };
+    let mut tus = fragment_adu(1, 7, name, &wire_body, 1000);
+    tus.reverse();
+    let mid = tus.len() / 2;
+    tus.swap(0, mid);
+
+    // Stage 1: reassembly from scrambled TUs (after wire decode).
+    let mut asm = Assembler::new(SimDuration::from_millis(10), 16);
+    for tu in &tus {
+        let bytes = Message::Tu(tu.clone()).encode();
+        match Message::decode(&bytes).expect("clean wire") {
+            Message::Tu(tu) => asm.on_tu(SimTime::ZERO, &tu),
+            _ => unreachable!(),
+        }
+    }
+    let (id, adu, _) = asm.pop_ready().expect("complete");
+    assert_eq!(id, 7);
+    assert_eq!(adu.name, name);
+
+    // Stage 2: one integrated pass — checksum the ciphertext? No: decrypt
+    // then the presentation layer checks its fused checksum. Here the
+    // pipeline decrypts in one pass; XDR decode+verify follows on the
+    // plaintext (itself a fused kernel).
+    let chain = Pipeline::new().stage(Manipulation::Xor { key: 0xA11CE, offset: 0 });
+    chain.check_alf_compatible(&[cipher.constraint()]).unwrap();
+    let out = chain.run_integrated(&adu.payload);
+    let (decoded, ck_ok) = fused::xdr_decode_u32s_checksummed(&out.data, wire_ck).unwrap();
+    assert!(ck_ok, "fused checksum must verify after decrypt");
+    assert_eq!(decoded, values);
+
+    // Application placement: scatter the first few values into "variables".
+    let flat: Vec<u8> = decoded.iter().take(4).flat_map(|v| v.to_be_bytes()).collect();
+    let scatter = Scatter::from_extents(vec![
+        Extent::new(32, 4),
+        Extent::new(0, 4),
+        Extent::new(16, 4),
+        Extent::new(8, 4),
+    ]);
+    let mut region = vec![0u8; 40];
+    scatter.scatter(&flat, &mut region).unwrap();
+    assert_eq!(&region[32..36], &decoded[0].to_be_bytes());
+    assert_eq!(&region[0..4], &decoded[1].to_be_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any ADU payload, fragmented at any MTU and delivered in reverse,
+    /// reassembles exactly.
+    #[test]
+    fn prop_fragment_scramble_reassemble(
+        payload in proptest::collection::vec(any::<u8>(), 0..6000),
+        mtu in 1usize..1500,
+    ) {
+        let name = AduName::Seq { index: 1 };
+        let mut tus = fragment_adu(1, 1, name, &payload, mtu);
+        tus.reverse();
+        let mut asm = Assembler::new(SimDuration::from_millis(10), 1024);
+        for tu in &tus {
+            asm.on_tu(SimTime::ZERO, tu);
+        }
+        let (_, adu, _) = asm.pop_ready().expect("complete");
+        prop_assert_eq!(adu.payload, payload);
+    }
+
+    /// The canonical integrated chains match layered execution over wire
+    /// bytes produced by every transfer syntax.
+    #[test]
+    fn prop_integrated_chain_over_real_wire(
+        values in proptest::collection::vec(any::<u32>(), 0..400),
+        key in any::<u64>(),
+        n_stages in 1usize..=4,
+    ) {
+        for syntax in [TransferSyntax::Raw, TransferSyntax::Lwts, TransferSyntax::Xdr, TransferSyntax::Ber] {
+            let wire = syntax.encode_u32s(&values);
+            let chain = canonical_receive_chain(n_stages, key);
+            prop_assert_eq!(chain.run_integrated(&wire), chain.run_layered(&wire));
+        }
+    }
+
+    /// Reassembly is insertion-order independent: any permutation of TUs
+    /// yields the same ADU (modelled with rotations + swaps).
+    #[test]
+    fn prop_reassembly_order_independent(
+        payload in proptest::collection::vec(any::<u8>(), 100..4000),
+        rot in 0usize..32,
+        swap_a in 0usize..32,
+        swap_b in 0usize..32,
+    ) {
+        let name = AduName::Media { frame: 2, slot: 0 };
+        let mut tus = fragment_adu(1, 9, name, &payload, 256);
+        let n = tus.len();
+        let (rot, sa, sb) = (rot % n, swap_a % n, swap_b % n);
+        tus.rotate_left(rot);
+        tus.swap(sa, sb);
+        let mut asm = Assembler::new(SimDuration::from_millis(10), 1024);
+        for tu in &tus {
+            asm.on_tu(SimTime::ZERO, tu);
+        }
+        let (_, adu, _) = asm.pop_ready().expect("complete");
+        prop_assert_eq!(adu.payload, payload);
+    }
+
+    /// Duplicated TUs never corrupt reassembly.
+    #[test]
+    fn prop_duplicates_harmless(
+        payload in proptest::collection::vec(any::<u8>(), 1..3000),
+        dup_idx in any::<prop::sample::Index>(),
+    ) {
+        let name = AduName::Seq { index: 3 };
+        let tus = fragment_adu(1, 3, name, &payload, 512);
+        let dup = dup_idx.get(&tus).clone();
+        let mut asm = Assembler::new(SimDuration::from_millis(10), 1024);
+        asm.on_tu(SimTime::ZERO, &dup);
+        for tu in &tus {
+            asm.on_tu(SimTime::ZERO, tu);
+            asm.on_tu(SimTime::ZERO, tu);
+        }
+        let (_, adu, _) = asm.pop_ready().expect("complete");
+        prop_assert_eq!(adu.payload, payload);
+        prop_assert!(asm.pop_ready().is_none(), "only one release");
+    }
+}
+
+/// An Adu built from pieces equals an Adu built whole (sanity anchoring the
+/// two construction paths used across the crates).
+#[test]
+fn adu_equality_semantics() {
+    let a = Adu::new(AduName::Seq { index: 1 }, vec![1, 2, 3]);
+    let b = Adu {
+        name: AduName::Seq { index: 1 },
+        payload: vec![1, 2, 3],
+    };
+    assert_eq!(a, b);
+}
