@@ -76,8 +76,15 @@ impl std::fmt::Display for PlaceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlaceError::WrongNameSpace => write!(f, "ADU name is not a file range"),
-            PlaceError::OutOfRange { offset, len, file_size } => {
-                write!(f, "ADU [{offset}, +{len}) outside file of {file_size} bytes")
+            PlaceError::OutOfRange {
+                offset,
+                len,
+                file_size,
+            } => {
+                write!(
+                    f,
+                    "ADU [{offset}, +{len}) outside file of {file_size} bytes"
+                )
             }
         }
     }
@@ -127,7 +134,7 @@ impl FileReceiver {
                 file_size: self.buf.len(),
             });
         }
-        if (offset as u64) < self.highest_end {
+        if offset < self.highest_end {
             // Arrived behind data we already placed — out-of-order
             // placement a byte-stream receiver could not have done.
             if !self.extents.contains_key(&offset) {
@@ -188,7 +195,9 @@ mod tests {
     use super::*;
 
     fn file(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i.wrapping_mul(37) ^ (i >> 3)) as u8).collect()
+        (0..n)
+            .map(|i| (i.wrapping_mul(37) ^ (i >> 3)) as u8)
+            .collect()
     }
 
     #[test]

@@ -273,7 +273,10 @@ mod tests {
             client.on_response(&resp).unwrap();
         }
         let done = client.take_completed();
-        assert_eq!(done.iter().map(|(id, _, _)| *id).collect::<Vec<_>>(), vec![2, 0, 1]);
+        assert_eq!(
+            done.iter().map(|(id, _, _)| *id).collect::<Vec<_>>(),
+            vec![2, 0, 1]
+        );
         assert_eq!(done[0].2, vec![3]);
     }
 

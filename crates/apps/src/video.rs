@@ -96,6 +96,9 @@ impl PlayoutStats {
     }
 }
 
+/// A rendered frame: `(frame index, tile payloads, concealed-tile count)`.
+pub type RenderedFrame = (u32, Vec<Option<Vec<u8>>>, u16);
+
 /// The playout buffer: collects tiles, renders frames at their deadlines.
 #[derive(Debug)]
 pub struct PlayoutBuffer {
@@ -161,7 +164,7 @@ impl PlayoutBuffer {
 
     /// Advance the playout clock: render every frame whose deadline has
     /// passed. Returns the frames rendered as `(frame, tiles, concealed)`.
-    pub fn advance(&mut self, now: SimTime) -> Vec<(u32, Vec<Option<Vec<u8>>>, u16)> {
+    pub fn advance(&mut self, now: SimTime) -> Vec<RenderedFrame> {
         let mut rendered = Vec::new();
         while self.next_frame < self.total_frames && now >= self.deadline(self.next_frame) {
             let frame = self.next_frame;
@@ -299,7 +302,7 @@ mod tests {
         for frame in 0..30 {
             for adu in source.frame_adus(frame) {
                 k += 1;
-                if k % 5 == 0 {
+                if k.is_multiple_of(5) {
                     continue;
                 }
                 buf.on_adu(SimTime::from_millis(frame as u64 * 33 + 10), adu);

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ct_bench::byte_workload;
-use ct_wire::checksum::{adler32, crc32, fletcher32, internet_checksum, internet_checksum_unrolled};
+use ct_wire::checksum::{
+    adler32, crc32, fletcher32, internet_checksum, internet_checksum_unrolled,
+};
 use ct_wire::copy::CopyKind;
 use std::hint::black_box;
 

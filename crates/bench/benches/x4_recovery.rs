@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
         ("app_recompute", RecoveryMode::AppRecompute),
         ("no_retransmit", RecoveryMode::NoRetransmit),
     ] {
-        c.bench_function(&format!("x4/{label}_2pct_loss"), |b| {
+        c.bench_function(format!("x4/{label}_2pct_loss"), |b| {
             b.iter(|| {
                 let r = run_alf_transfer(
                     5,

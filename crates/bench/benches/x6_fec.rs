@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
     // End-to-end: no-retransmit flow at 3% loss, FEC off vs on.
     let adus = seq_workload(50, 8400);
     for (label, fec_group) in [("fec_off", 0usize), ("fec_k4", 4)] {
-        c.bench_function(&format!("x6/no_retx_3pct_loss_{label}"), |b| {
+        c.bench_function(format!("x6/no_retx_3pct_loss_{label}"), |b| {
             b.iter(|| {
                 let r = run_alf_transfer(
                     9,

@@ -27,7 +27,7 @@ pub fn time_mbps<F: FnMut()>(bytes_per_iter: usize, mut f: F) -> f64 {
         f();
         iters += 1;
         // Check the clock in batches to keep timer overhead negligible.
-        if iters % 8 == 0 && start.elapsed() >= MEASURE_WINDOW {
+        if iters.is_multiple_of(8) && start.elapsed() >= MEASURE_WINDOW {
             break;
         }
         if iters >= 1 << 30 {
@@ -46,7 +46,7 @@ pub fn time_ns_per_call<F: FnMut()>(mut f: F) -> f64 {
     loop {
         f();
         iters += 1;
-        if iters % 64 == 0 && start.elapsed() >= MEASURE_WINDOW {
+        if iters.is_multiple_of(64) && start.elapsed() >= MEASURE_WINDOW {
             break;
         }
     }
@@ -64,7 +64,9 @@ pub fn u32_workload(n: usize) -> Vec<u32> {
 
 /// A deterministic byte buffer of `n` bytes.
 pub fn byte_workload(n: usize) -> Vec<u8> {
-    (0..n).map(|i| (i.wrapping_mul(131) ^ (i >> 5)) as u8).collect()
+    (0..n)
+        .map(|i| (i.wrapping_mul(131) ^ (i >> 5)) as u8)
+        .collect()
 }
 
 /// Pretty table printer: fixed-width columns, left-aligned first column.

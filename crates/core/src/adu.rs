@@ -79,13 +79,21 @@ impl AduName {
                 w.put_u8(2).put_u64(offset).put_u8(0);
             }
             AduName::Media { frame, slot } => {
-                w.put_u8(3).put_u32(frame).put_u16(slot).put_u8(0).put_u16(0);
+                w.put_u8(3)
+                    .put_u32(frame)
+                    .put_u16(slot)
+                    .put_u8(0)
+                    .put_u16(0);
             }
             AduName::Rpc { call, part } => {
                 w.put_u8(4).put_u32(call).put_u16(part).put_u8(0).put_u16(0);
             }
             AduName::Shard { shard, index } => {
-                w.put_u8(5).put_u16(shard).put_u32(index).put_u8(0).put_u16(0);
+                w.put_u8(5)
+                    .put_u16(shard)
+                    .put_u32(index)
+                    .put_u8(0)
+                    .put_u16(0);
             }
         }
     }
@@ -202,11 +210,21 @@ mod tests {
     use super::*;
 
     const ALL_NAMES: [AduName; 5] = [
-        AduName::Seq { index: 0x1122334455667788 },
-        AduName::FileRange { offset: 9_999_999_999 },
-        AduName::Media { frame: 1_000_000, slot: 42 },
+        AduName::Seq {
+            index: 0x1122334455667788,
+        },
+        AduName::FileRange {
+            offset: 9_999_999_999,
+        },
+        AduName::Media {
+            frame: 1_000_000,
+            slot: 42,
+        },
         AduName::Rpc { call: 77, part: 3 },
-        AduName::Shard { shard: 15, index: 123_456 },
+        AduName::Shard {
+            shard: 15,
+            index: 123_456,
+        },
     ];
 
     #[test]
@@ -242,9 +260,15 @@ mod tests {
     fn display_forms() {
         assert_eq!(AduName::Seq { index: 5 }.to_string(), "seq:5");
         assert_eq!(AduName::FileRange { offset: 100 }.to_string(), "file@100");
-        assert_eq!(AduName::Media { frame: 2, slot: 3 }.to_string(), "media:f2/s3");
+        assert_eq!(
+            AduName::Media { frame: 2, slot: 3 }.to_string(),
+            "media:f2/s3"
+        );
         assert_eq!(AduName::Rpc { call: 1, part: 0 }.to_string(), "rpc:1.0");
-        assert_eq!(AduName::Shard { shard: 1, index: 9 }.to_string(), "shard:1#9");
+        assert_eq!(
+            AduName::Shard { shard: 1, index: 9 }.to_string(),
+            "shard:1#9"
+        );
     }
 
     #[test]

@@ -214,11 +214,8 @@ impl Assembler {
             self.stats.adus_completed += 1;
             self.released.insert(tu.adu_id, ());
             self.trim_released();
-            self.ready.push((
-                tu.adu_id,
-                Adu::new(done.name, done.buf),
-                done.first_tu_at,
-            ));
+            self.ready
+                .push((tu.adu_id, Adu::new(done.name, done.buf), done.first_tu_at));
         } else if self.pending.len() > self.max_pending {
             // Budget overflow: abandon the oldest assembly.
             let oldest = self

@@ -84,9 +84,13 @@ pub fn run_alf_transfer(
     let node_b = net.add_node();
     net.connect(node_a, node_b, link, faults);
     // Out-of-band rate computation (§3): derive the TU pace from the
-    // substrate's per-TU wire time unless the caller fixed one.
+    // substrate's per-TU wire time unless the caller fixed one — or
+    // enabled adaptive control, which measures its own rate from ACKs.
+    // NoRetransmit flows carry no ACK clock to measure with, so they keep
+    // the static derivation even under adaptive control.
     let mut cfg = cfg;
-    if cfg.pace_per_tu == SimDuration::ZERO && link.bandwidth_bps > 0 {
+    let self_pacing = cfg.adaptive && cfg.recovery != RecoveryMode::NoRetransmit;
+    if cfg.pace_per_tu == SimDuration::ZERO && !self_pacing && link.bandwidth_bps > 0 {
         let wire_bytes = match substrate {
             Substrate::Packet => cfg.mtu_payload + crate::wire::TU_HEADER_BYTES,
             // On ATM, each TU becomes ceil(len/44)+framing cells of 53 B.
@@ -295,11 +299,11 @@ pub fn run_alf_transfer(
     let elapsed = net.now().saturating_since(start);
     let stats_b = b.stats;
     let delivered = stats_b.adus_delivered;
-    let latency_mean = if delivered > 0 {
-        SimDuration::from_nanos(stats_b.delivery_latency_total.as_nanos() / delivered)
-    } else {
-        SimDuration::ZERO
-    };
+    let latency_mean = stats_b
+        .delivery_latency_total
+        .as_nanos()
+        .checked_div(delivered)
+        .map_or(SimDuration::ZERO, SimDuration::from_nanos);
     AlfReport {
         complete,
         verified: corrupt_deliveries == 0,
@@ -384,9 +388,7 @@ mod tests {
         assert!(r.complete && r.verified, "{r:?}");
         assert_eq!(r.adus_delivered, 60, "buffer mode repairs all losses");
         assert!(
-            r.sender.adus_retransmitted
-                + r.sender.tus_retransmitted_selective
-                + r.sender.probe_tus
+            r.sender.adus_retransmitted + r.sender.tus_retransmitted_selective + r.sender.probe_tus
                 > 0,
             "loss must have forced some repair traffic"
         );
@@ -533,7 +535,10 @@ mod tests {
             fec > plain,
             "FEC must deliver more ADUs without retransmission: {fec} !> {plain}"
         );
-        assert!(fec >= 95, "single-erasure parity should repair most losses, got {fec}");
+        assert!(
+            fec >= 95,
+            "single-erasure parity should repair most losses, got {fec}"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn build_parity(data_tus: &[Tu], k: usize) -> Vec<Tu> {
         if group.len() == 1 {
             continue;
         }
-        let max_len = group.iter().map(|t| t.payload.len()).max().expect("non-empty");
+        let max_len = group
+            .iter()
+            .map(|t| t.payload.len())
+            .max()
+            .expect("non-empty");
         let mut body = vec![0u8; 1 + max_len];
         body[0] = group.len() as u8;
         for tu in group {
@@ -150,7 +154,9 @@ mod tests {
     use crate::wire::fragment_adu;
 
     fn payload(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i.wrapping_mul(73) ^ (i >> 4)) as u8).collect()
+        (0..n)
+            .map(|i| (i.wrapping_mul(73) ^ (i >> 4)) as u8)
+            .collect()
     }
 
     fn tus(len: usize, mtu: usize) -> (Vec<u8>, Vec<Tu>) {

@@ -28,7 +28,10 @@ pub fn peek_assoc(buf: &[u8]) -> Option<u16> {
     if buf.len() < ASSOC_OFFSET + 2 {
         return None;
     }
-    Some(u16::from_be_bytes([buf[ASSOC_OFFSET], buf[ASSOC_OFFSET + 1]]))
+    Some(u16::from_be_bytes([
+        buf[ASSOC_OFFSET],
+        buf[ASSOC_OFFSET + 1],
+    ]))
 }
 
 /// Counters for the demultiplexer.
@@ -137,7 +140,10 @@ impl Mux {
 
     /// The earliest timer across all endpoints.
     pub fn next_timeout(&self) -> Option<SimTime> {
-        self.endpoints.values().filter_map(|e| e.next_timeout()).min()
+        self.endpoints
+            .values()
+            .filter_map(|e| e.next_timeout())
+            .min()
     }
 }
 
@@ -197,8 +203,14 @@ mod tests {
         let (mut a, mut b) = wired_pair(&[1, 2]);
         let d1 = payload(3000);
         let d2 = payload(777);
-        a.get_mut(1).unwrap().send_adu(AduName::Seq { index: 0 }, d1.clone()).unwrap();
-        a.get_mut(2).unwrap().send_adu(AduName::Seq { index: 0 }, d2.clone()).unwrap();
+        a.get_mut(1)
+            .unwrap()
+            .send_adu(AduName::Seq { index: 0 }, d1.clone())
+            .unwrap();
+        a.get_mut(2)
+            .unwrap()
+            .send_adu(AduName::Seq { index: 0 }, d2.clone())
+            .unwrap();
         pump(&mut a, &mut b);
         let (adu1, _) = b.get_mut(1).unwrap().recv_adu().expect("assoc 1 delivery");
         let (adu2, _) = b.get_mut(2).unwrap().recv_adu().expect("assoc 2 delivery");
@@ -215,7 +227,10 @@ mod tests {
         let (mut a, _) = wired_pair(&[1]);
         let mut b = Mux::new();
         b.add(9, AlfConfig::default()).unwrap();
-        a.get_mut(1).unwrap().send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        a.get_mut(1)
+            .unwrap()
+            .send_adu(AduName::Seq { index: 0 }, payload(10))
+            .unwrap();
         for f in a.poll_all(SimTime::ZERO) {
             b.on_message(SimTime::ZERO, &f);
         }
@@ -250,7 +265,14 @@ mod tests {
     #[test]
     fn config_assoc_overridden() {
         let mut m = Mux::new();
-        m.add(7, AlfConfig { assoc: 999, ..AlfConfig::default() }).unwrap();
+        m.add(
+            7,
+            AlfConfig {
+                assoc: 999,
+                ..AlfConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.get(7).unwrap().config().assoc, 7);
     }
 
@@ -258,7 +280,10 @@ mod tests {
     fn next_timeout_spans_endpoints() {
         let (mut a, _) = wired_pair(&[1, 2]);
         assert!(a.next_timeout().is_none());
-        a.get_mut(2).unwrap().send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+        a.get_mut(2)
+            .unwrap()
+            .send_adu(AduName::Seq { index: 0 }, payload(10))
+            .unwrap();
         let _ = a.poll_all(SimTime::ZERO);
         assert!(a.next_timeout().is_some());
     }

@@ -151,10 +151,7 @@ impl Pipeline {
     ///
     /// # Errors
     /// [`PipelineError::OrderConflict`] naming the first offending stage.
-    pub fn check_alf_compatible(
-        &self,
-        extra: &[OrderingConstraint],
-    ) -> Result<(), PipelineError> {
+    pub fn check_alf_compatible(&self, extra: &[OrderingConstraint]) -> Result<(), PipelineError> {
         for (i, s) in self.stages.iter().enumerate() {
             if !s.constraint().allows_out_of_order_units() {
                 return Err(PipelineError::OrderConflict {
@@ -439,7 +436,9 @@ mod tests {
     use super::*;
 
     fn pattern(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i.wrapping_mul(197) ^ (i >> 2)) as u8).collect()
+        (0..n)
+            .map(|i| (i.wrapping_mul(197) ^ (i >> 2)) as u8)
+            .collect()
     }
 
     const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 4000, 4001, 4002, 4003];
@@ -504,7 +503,9 @@ mod tests {
 
     #[test]
     fn double_swap_is_identity_on_aligned() {
-        let p = Pipeline::new().stage(Manipulation::Swap32).stage(Manipulation::Swap32);
+        let p = Pipeline::new()
+            .stage(Manipulation::Swap32)
+            .stage(Manipulation::Swap32);
         let input = pattern(64);
         assert_eq!(p.run_integrated(&input).data, input);
     }
@@ -514,7 +515,10 @@ mod tests {
         let input = pattern(128);
         let p0 = Pipeline::new().stage(Manipulation::Xor { key: 1, offset: 0 });
         let p9 = Pipeline::new().stage(Manipulation::Xor { key: 1, offset: 9 });
-        assert_ne!(p0.run_integrated(&input).data, p9.run_integrated(&input).data);
+        assert_ne!(
+            p0.run_integrated(&input).data,
+            p9.run_integrated(&input).data
+        );
         assert_eq!(p9.run_integrated(&input), p9.run_layered(&input));
     }
 
@@ -541,7 +545,9 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("out-of-order"));
-        let err2 = p.check_alf_compatible(&[OrderingConstraint::Stream]).unwrap_err();
+        let err2 = p
+            .check_alf_compatible(&[OrderingConstraint::Stream])
+            .unwrap_err();
         assert!(matches!(err2, PipelineError::OrderConflict { .. }));
     }
 

@@ -24,13 +24,17 @@
 use crate::adu::{Adu, AduName};
 use crate::assembler::Assembler;
 use crate::fec;
-use crate::wire::{fragment_adu, Message, WireError, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP};
+use crate::wire::{
+    fragment_adu, restamp_tu, Message, WireError, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
+};
 use ct_netsim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// The per-ADU retransmission deadline with exponential backoff: the base
 /// timeout doubled per retry (capped at 2^6) — the NACK path does the
-/// fine-grained work; the sender timer is the coarse fallback.
+/// fine-grained work; the sender timer is the coarse fallback. Under
+/// adaptive control the base comes from the RTT estimator instead of the
+/// fixed `retransmit_timeout`.
 fn rto_for(base: SimDuration, retries: u32) -> SimDuration {
     base.saturating_mul(1u64 << retries.min(6))
 }
@@ -38,6 +42,63 @@ fn rto_for(base: SimDuration, retries: u32) -> SimDuration {
 /// Simulated time as wrapping microseconds (the TU timestamp clock).
 fn micros_wrapping(t: SimTime) -> u32 {
     ((t.as_nanos() / 1_000) & 0xFFFF_FFFF) as u32
+}
+
+/// Initial congestion window, in ADUs (adaptive mode).
+const CWND_INIT_ADUS: f64 = 4.0;
+
+/// Pacing probes slightly past the measured delivery rate so the sender
+/// can discover newly available bandwidth; losses pull it back down.
+const PACING_GAIN: f64 = 1.25;
+
+/// Upper bound on the adapted inter-TU pace (keeps a startup mis-estimate
+/// from freezing the sender).
+const MAX_PACE: SimDuration = SimDuration::from_millis(20);
+
+/// Minimum elapsed time before a delivery-rate window closes into a sample.
+const MIN_RATE_WINDOW: SimDuration = SimDuration::from_millis(1);
+
+/// Jacobson/Karels round-trip estimation (SIGCOMM '88, as carried into
+/// RFC 6298): per sample, `rttvar += (|srtt − rtt| − rttvar)/4` then
+/// `srtt += (rtt − srtt)/8`; the retransmission timeout is
+/// `srtt + 4·rttvar`, clamped to a configured floor and ceiling. Samples
+/// come from ACK timestamp echoes, so they are valid even for
+/// retransmitted TUs (each release is freshly stamped) — no Karn filter
+/// needed.
+#[derive(Debug, Default)]
+struct RttEstimator {
+    srtt_us: f64,
+    rttvar_us: f64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    fn on_sample(&mut self, rtt_us: f64) {
+        if self.samples == 0 {
+            self.srtt_us = rtt_us;
+            self.rttvar_us = rtt_us / 2.0;
+        } else {
+            let err = (self.srtt_us - rtt_us).abs();
+            self.rttvar_us += (err - self.rttvar_us) / 4.0;
+            self.srtt_us += (rtt_us - self.srtt_us) / 8.0;
+        }
+        self.samples += 1;
+    }
+
+    /// Current RTO, or `None` before the first sample.
+    fn rto(&self, floor: SimDuration, ceil: SimDuration) -> Option<SimDuration> {
+        if self.samples == 0 {
+            return None;
+        }
+        let rto_us = self.srtt_us + 4.0 * self.rttvar_us;
+        let rto = SimDuration::from_nanos((rto_us * 1_000.0) as u64);
+        Some(rto.max(floor).min(ceil))
+    }
+
+    /// Smoothed RTT as a duration, or `None` before the first sample.
+    fn srtt(&self) -> Option<SimDuration> {
+        (self.samples > 0).then(|| SimDuration::from_nanos((self.srtt_us * 1_000.0) as u64))
+    }
 }
 
 /// §5's three options for dealing with a lost ADU.
@@ -98,8 +159,24 @@ pub struct AlfConfig {
     /// Minimum spacing between consecutive TU releases (token pacing).
     /// `ZERO` disables pacing. The paper puts transfer-rate computation
     /// out of band (§3); the driver plays that role by deriving the pace
-    /// from the link's serialization time.
+    /// from the link's serialization time, and adaptive mode re-derives
+    /// it continuously from the measured delivery rate.
     pub pace_per_tu: SimDuration,
+    /// Adaptive transfer control — the out-of-band "smart" control of §3:
+    /// (1) every released TU is stamped and the receiver echoes the stamp
+    /// in its ACKs, feeding a Jacobson/Karels SRTT/RTTVAR estimator that
+    /// replaces `retransmit_timeout` as the RTO base; (2) an AIMD
+    /// congestion window in ADU units gates first transmissions in
+    /// `poll()` (the static `window_adus` remains only as the application
+    /// backpressure bound); (3) `pace_per_tu` is re-derived from the
+    /// measured delivery rate. Off by default — the fixed timers above
+    /// then apply unchanged.
+    pub adaptive: bool,
+    /// Lower clamp on the adaptive RTO (guards against spurious
+    /// retransmission when the RTT variance collapses).
+    pub rto_min: SimDuration,
+    /// Upper clamp on the adaptive RTO.
+    pub rto_max: SimDuration,
 }
 
 impl Default for AlfConfig {
@@ -118,6 +195,9 @@ impl Default for AlfConfig {
             nack_frag_rounds: 3,
             burst_tus: 12,
             pace_per_tu: SimDuration::ZERO,
+            adaptive: false,
+            rto_min: SimDuration::from_micros(500),
+            rto_max: SimDuration::from_secs(2),
         }
     }
 }
@@ -164,6 +244,24 @@ pub struct AlfStats {
     pub delivery_latency_total: SimDuration,
     /// Maximum per-ADU delivery latency.
     pub delivery_latency_max: SimDuration,
+    /// Smoothed round-trip time from ACK timestamp echoes, µs (sender).
+    pub srtt_us: f64,
+    /// RTT mean-deviation estimate, µs (sender).
+    pub rttvar_us: f64,
+    /// Current adaptive retransmission timeout, µs; zero before the first
+    /// RTT sample (the fixed `retransmit_timeout` applies until then).
+    pub rto_us: f64,
+    /// RTT samples accepted by the estimator.
+    pub rtt_samples: u64,
+    /// Current congestion window, in ADUs (adaptive mode).
+    pub cwnd_adus: f64,
+    /// Peak congestion window reached, in ADUs.
+    pub cwnd_peak_adus: f64,
+    /// Multiplicative-decrease events: timeout or NACK loss signals,
+    /// counted at most once per round trip.
+    pub loss_events: u64,
+    /// Smoothed delivery rate measured from ACKed bytes, Mb/s.
+    pub delivery_rate_mbps: f64,
 }
 
 /// Sender-side record of an unacknowledged ADU.
@@ -227,6 +325,26 @@ pub struct AduTransport {
     parities: BTreeMap<u64, Vec<fec::Parity>>,
     /// Jitter estimator state: (previous arrival µs, previous timestamp µs).
     prev_timing: Option<(u32, u32)>,
+    /// Receiver-side echo state: the most recent stamped TU's
+    /// `(timestamp_us, arrival µs)`, consumed by the next outbound ACK.
+    echo_pending: Option<(u32, u32)>,
+    /// Sender-side RTT estimator fed by ACK echoes.
+    rtt: RttEstimator,
+    /// AIMD congestion window, in ADUs (adaptive mode).
+    cwnd: f64,
+    /// Slow-start threshold, in ADUs.
+    ssthresh: f64,
+    /// Instant of the last multiplicative decrease (once-per-RTT guard).
+    last_cwnd_cut: Option<SimTime>,
+    /// Effective inter-TU pace: `cfg.pace_per_tu` until adaptive control
+    /// derives one from the delivery rate.
+    pace_now: SimDuration,
+    /// Delivery-rate window: bytes ACKed since `rate_epoch`.
+    rate_bytes: u64,
+    /// Start of the current delivery-rate window.
+    rate_epoch: Option<SimTime>,
+    /// Smoothed delivery rate, bits per second (0 = no sample yet).
+    rate_bps: f64,
     /// Completed ADUs awaiting the application: `(id, adu, latency)`.
     deliver: Vec<(u64, Adu, SimDuration)>,
     highest_delivered: Option<u64>,
@@ -273,9 +391,22 @@ impl AduTransport {
             assembler: Assembler::new(cfg.assembly_timeout, cfg.max_partial_adus),
             parities: BTreeMap::new(),
             prev_timing: None,
+            echo_pending: None,
+            rtt: RttEstimator::default(),
+            cwnd: CWND_INIT_ADUS,
+            ssthresh: f64::INFINITY,
+            last_cwnd_cut: None,
+            pace_now: cfg.pace_per_tu,
+            rate_bytes: 0,
+            rate_epoch: None,
+            rate_bps: 0.0,
             deliver: Vec::new(),
             highest_delivered: None,
-            stats: AlfStats::default(),
+            stats: AlfStats {
+                cwnd_adus: CWND_INIT_ADUS,
+                cwnd_peak_adus: CWND_INIT_ADUS,
+                ..AlfStats::default()
+            },
         }
     }
 
@@ -397,9 +528,7 @@ impl AduTransport {
 
         // Receiver: overdue assemblies get selective-fragment NACKs for a
         // few rounds, then a whole-ADU NACK and abandonment.
-        let actions = self
-            .assembler
-            .expire_policy(now, self.cfg.nack_frag_rounds);
+        let actions = self.assembler.expire_policy(now, self.cfg.nack_frag_rounds);
         for (id, ranges) in actions.request_frags {
             self.nack_frag_out.push((id, ranges));
         }
@@ -420,6 +549,7 @@ impl AduTransport {
 
         // Sender: explicit retransmissions (timeout-, NACK- or recompute-
         // triggered).
+        let base = self.rto_base();
         let retx = std::mem::take(&mut self.retransmit_now);
         for (id, full) in retx {
             if let Some(sent) = self.unacked.get_mut(&id) {
@@ -433,7 +563,7 @@ impl AduTransport {
                     sent.payload.take()
                 };
                 if let Some(payload) = payload {
-                    sent.deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+                    sent.deadline = now + rto_for(base, sent.retries);
                     let name = sent.name;
                     let queued = if full || payload.len() <= self.cfg.mtu_payload {
                         self.stats.adus_retransmitted += 1;
@@ -442,7 +572,7 @@ impl AduTransport {
                         // Probe: resend only the first TU; the receiver's
                         // missing-range NACKs drive the rest of the repair.
                         self.stats.probe_tus += 1;
-                        let tu = crate::wire::Tu {
+                        let mut tu = crate::wire::Tu {
                             flags: 0,
                             assoc: self.cfg.assoc,
                             timestamp_us: 0,
@@ -452,6 +582,10 @@ impl AduTransport {
                             name,
                             payload: payload[..self.cfg.mtu_payload].to_vec(),
                         };
+                        if self.cfg.timestamps {
+                            tu.flags |= TU_FLAG_TIMESTAMP;
+                            tu.timestamp_us = micros_wrapping(now);
+                        }
                         self.txq.push_back((id, Message::Tu(tu).encode()));
                         1
                     };
@@ -462,8 +596,17 @@ impl AduTransport {
             }
         }
 
-        // Sender: first transmissions.
-        let queue = std::mem::take(&mut self.queue);
+        // Sender: first transmissions — gated by the congestion window
+        // under adaptive control (NoRetransmit flows have no ACK clock to
+        // grow one, so they are never held back).
+        let admit = if self.cfg.adaptive && self.cfg.recovery != RecoveryMode::NoRetransmit {
+            (self.cwnd as usize)
+                .saturating_sub(self.unacked.len())
+                .min(self.queue.len())
+        } else {
+            self.queue.len()
+        };
+        let queue: Vec<_> = self.queue.drain(..admit).collect();
         for (id, name, payload) in queue {
             let keep_payload = self.cfg.recovery == RecoveryMode::TransportBuffer;
             if self.cfg.recovery != RecoveryMode::NoRetransmit {
@@ -473,7 +616,7 @@ impl AduTransport {
                         name,
                         payload: keep_payload.then(|| payload.clone()),
                         total_len: payload.len() as u32,
-                        deadline: now + self.cfg.retransmit_timeout,
+                        deadline: now + base,
                         retries: 0,
                         awaiting_recompute: false,
                         tus_unreleased: 0,
@@ -490,33 +633,47 @@ impl AduTransport {
         // pacer. The owning ADU's retransmission clock starts from the
         // moment its TUs actually leave, not from when they were queued
         // behind the pacer.
-        let pace = self.cfg.pace_per_tu;
+        let pace = self.pace_now;
         for _ in 0..self.cfg.burst_tus {
             if pace > SimDuration::ZERO && now < self.next_tx_at {
                 break;
             }
-            let Some((id, frame)) = self.txq.pop_front() else {
+            let Some((id, mut frame)) = self.txq.pop_front() else {
                 break;
             };
             if pace > SimDuration::ZERO {
                 self.next_tx_at = self.next_tx_at.max(now) + pace;
             }
+            if self.cfg.adaptive {
+                // Stamp at actual release, not at queueing: the echo then
+                // measures the true network round trip, excluding time
+                // spent behind the pacer — and a retransmitted TU carries
+                // a fresh stamp, making Karn's filter unnecessary.
+                restamp_tu(&mut frame, micros_wrapping(now));
+            }
             if let Some(sent) = self.unacked.get_mut(&id) {
                 let retries = sent.retries;
                 sent.tus_unreleased = sent.tus_unreleased.saturating_sub(1);
-                sent.deadline = now + rto_for(self.cfg.retransmit_timeout, retries);
+                sent.deadline = now + rto_for(base, retries);
             }
             self.stats.tus_sent += 1;
             out.push(frame);
         }
 
-        // Control: coalesced ACKs / NACKs.
+        // Control: coalesced ACKs / NACKs. The ACK echoes the most recent
+        // stamped TU's timestamp plus how long we held it, so the sender
+        // can recover a round-trip sample.
         if !self.ack_queue.is_empty() {
             let ids = std::mem::take(&mut self.ack_queue);
+            let echo = self
+                .echo_pending
+                .take()
+                .map(|(ts, arrival)| (ts, micros_wrapping(now).wrapping_sub(arrival)));
             out.push(
                 Message::Ack {
                     assoc: self.cfg.assoc,
                     ids,
+                    echo,
                 }
                 .encode(),
             );
@@ -570,6 +727,7 @@ impl AduTransport {
                 }
                 if tu.flags & TU_FLAG_TIMESTAMP != 0 {
                     self.update_jitter(now, tu.timestamp_us);
+                    self.echo_pending = Some((tu.timestamp_us, micros_wrapping(now)));
                 }
                 if tu.flags & TU_FLAG_PARITY != 0 {
                     if let Some(p) = fec::parse_parity(&tu) {
@@ -588,20 +746,43 @@ impl AduTransport {
                     let latency = now.saturating_since(first_at);
                     self.stats.adus_delivered += 1;
                     self.stats.delivery_latency_total += latency;
-                    self.stats.delivery_latency_max =
-                        self.stats.delivery_latency_max.max(latency);
+                    self.stats.delivery_latency_max = self.stats.delivery_latency_max.max(latency);
                     self.ack_queue.push(id);
                     self.deliver.push((id, adu, latency));
                 }
             }
-            Message::Ack { assoc, ids } => {
+            Message::Ack { assoc, ids, echo } => {
                 if assoc != self.cfg.assoc {
                     return;
                 }
                 #[cfg(feature = "debug-loss")]
                 eprintln!("ack in: {ids:?} at {now}");
+                if let Some((ts, hold)) = echo {
+                    // rtt = now − stamp − receiver hold, all wrapping on
+                    // the 32-bit µs clock. A garbled/ancient echo shows up
+                    // as an implausibly huge delta; discard it.
+                    let rtt = micros_wrapping(now).wrapping_sub(ts).wrapping_sub(hold);
+                    if rtt < 1 << 31 {
+                        self.rtt.on_sample(rtt as f64);
+                        self.stats.srtt_us = self.rtt.srtt_us;
+                        self.stats.rttvar_us = self.rtt.rttvar_us;
+                        self.stats.rtt_samples = self.rtt.samples;
+                        if let Some(rto) = self.rtt.rto(self.cfg.rto_min, self.cfg.rto_max) {
+                            self.stats.rto_us = rto.as_nanos() as f64 / 1_000.0;
+                        }
+                    }
+                }
+                let mut newly_acked = 0u64;
+                let mut acked_bytes = 0u64;
                 for id in ids {
-                    self.unacked.remove(&id);
+                    if let Some(sent) = self.unacked.remove(&id) {
+                        newly_acked += 1;
+                        acked_bytes += u64::from(sent.total_len);
+                    }
+                }
+                if newly_acked > 0 {
+                    self.cwnd_on_acked(newly_acked);
+                    self.note_delivery(now, acked_bytes);
                 }
             }
             Message::Nack { assoc, ids } => {
@@ -614,7 +795,11 @@ impl AduTransport {
                     }
                 }
             }
-            Message::NackFrags { assoc, adu_id, ranges } => {
+            Message::NackFrags {
+                assoc,
+                adu_id,
+                ranges,
+            } => {
                 if assoc != self.cfg.assoc {
                     return;
                 }
@@ -632,8 +817,8 @@ impl AduTransport {
             .filter(|s| !s.awaiting_recompute && s.tus_unreleased == 0)
             .map(|s| s.deadline)
             .min();
-        let pace = (!self.txq.is_empty() && self.cfg.pace_per_tu > SimDuration::ZERO)
-            .then_some(self.next_tx_at);
+        let pace =
+            (!self.txq.is_empty() && self.pace_now > SimDuration::ZERO).then_some(self.next_tx_at);
         match (retx, pace) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -754,6 +939,8 @@ impl AduTransport {
     /// recomputed payload). Falls back to the whole-ADU loss path when the
     /// payload is gone.
     fn retransmit_fragments(&mut self, now: SimTime, adu_id: u64, ranges: &[(u32, u32)]) {
+        let base = self.rto_base();
+        let stamp = self.cfg.timestamps.then(|| micros_wrapping(now));
         let Some(sent) = self.unacked.get_mut(&adu_id) else {
             return; // already ACKed — the NACK raced the final TU
         };
@@ -782,9 +969,13 @@ impl AduTransport {
             while cursor < end {
                 let take = (end - cursor).min(self.cfg.mtu_payload as u32) as usize;
                 tus.push(crate::wire::Tu {
-                    flags: 0,
+                    flags: if stamp.is_some() {
+                        TU_FLAG_TIMESTAMP
+                    } else {
+                        0
+                    },
                     assoc: self.cfg.assoc,
-                    timestamp_us: 0,
+                    timestamp_us: stamp.unwrap_or(0),
                     adu_id,
                     adu_len: total,
                     frag_off: cursor,
@@ -798,7 +989,7 @@ impl AduTransport {
             return;
         }
         sent.retries += 1;
-        let deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+        let deadline = now + rto_for(base, sent.retries);
         sent.deadline = deadline;
         sent.tus_unreleased += tus.len();
         self.stats.tus_retransmitted_selective += tus.len() as u64;
@@ -807,13 +998,23 @@ impl AduTransport {
         }
     }
 
-    /// An ADU was (probably) lost: apply the recovery policy.
+    /// An ADU was (probably) lost: apply the recovery policy and, under
+    /// adaptive control, the congestion response (timeouts and NACKs both
+    /// land here — there is exactly one loss-signal point).
     fn handle_loss_event(&mut self, id: u64, now: SimTime) {
+        if !self.unacked.contains_key(&id) {
+            return;
+        }
+        self.cwnd_on_loss(now);
+        let base = self.rto_base();
         let Some(sent) = self.unacked.get_mut(&id) else {
             return;
         };
         #[cfg(feature = "debug-loss")]
-        eprintln!("loss event: adu {id} now {now} deadline {} retries {}", sent.deadline, sent.retries);
+        eprintln!(
+            "loss event: adu {id} now {now} deadline {} retries {}",
+            sent.deadline, sent.retries
+        );
         if sent.retries >= self.cfg.max_retries {
             let name = sent.name;
             self.unacked.remove(&id);
@@ -823,7 +1024,7 @@ impl AduTransport {
             return;
         }
         sent.retries += 1;
-        let deadline = now + rto_for(self.cfg.retransmit_timeout, sent.retries);
+        let deadline = now + rto_for(base, sent.retries);
         sent.deadline = deadline;
         match self.cfg.recovery {
             RecoveryMode::TransportBuffer => {
@@ -843,7 +1044,84 @@ impl AduTransport {
             }
             RecoveryMode::NoRetransmit => unreachable!("no unacked in NoRetransmit"),
         }
-        let _ = sent.total_len;
+    }
+
+    /// Base retransmission timeout: the RTT-derived RTO under adaptive
+    /// control (once a sample exists), the fixed config value otherwise.
+    fn rto_base(&self) -> SimDuration {
+        if self.cfg.adaptive {
+            if let Some(rto) = self.rtt.rto(self.cfg.rto_min, self.cfg.rto_max) {
+                return rto;
+            }
+        }
+        self.cfg.retransmit_timeout
+    }
+
+    /// AIMD growth on clean ACKs: slow start (+1 ADU per ACKed ADU) below
+    /// `ssthresh`, congestion avoidance (+1/cwnd) above it, capped at the
+    /// application's `window_adus` bound.
+    fn cwnd_on_acked(&mut self, newly_acked: u64) {
+        if !self.cfg.adaptive {
+            return;
+        }
+        for _ in 0..newly_acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.window_adus as f64);
+        self.stats.cwnd_adus = self.cwnd;
+        self.stats.cwnd_peak_adus = self.stats.cwnd_peak_adus.max(self.cwnd);
+    }
+
+    /// AIMD multiplicative decrease, at most once per round trip — the
+    /// TUs already in flight when congestion struck will all signal the
+    /// same event, and it must be charged only once.
+    fn cwnd_on_loss(&mut self, now: SimTime) {
+        if !self.cfg.adaptive {
+            return;
+        }
+        let guard = self.rtt.srtt().unwrap_or(self.cfg.retransmit_timeout);
+        if let Some(last) = self.last_cwnd_cut {
+            if now.saturating_since(last) < guard {
+                return;
+            }
+        }
+        self.last_cwnd_cut = Some(now);
+        self.ssthresh = (self.cwnd / 2.0).max(1.0);
+        self.cwnd = self.ssthresh;
+        self.stats.cwnd_adus = self.cwnd;
+        self.stats.loss_events += 1;
+    }
+
+    /// Fold newly ACKed bytes into the delivery-rate estimate and re-derive
+    /// the TU pace from it: the sender transmits at slightly above the
+    /// rate the receiver demonstrably absorbed (§3's rate-based transfer
+    /// control, computed out of band from the data path).
+    fn note_delivery(&mut self, now: SimTime, bytes: u64) {
+        if !self.cfg.adaptive {
+            return;
+        }
+        self.rate_bytes += bytes;
+        let epoch = *self.rate_epoch.get_or_insert(now);
+        let dt = now.saturating_since(epoch);
+        if dt < MIN_RATE_WINDOW {
+            return;
+        }
+        let sample_bps = self.rate_bytes as f64 * 8.0 / (dt.as_nanos() as f64 / 1e9);
+        self.rate_bps = if self.rate_bps == 0.0 {
+            sample_bps
+        } else {
+            self.rate_bps + (sample_bps - self.rate_bps) / 4.0
+        };
+        self.rate_bytes = 0;
+        self.rate_epoch = Some(now);
+        self.stats.delivery_rate_mbps = self.rate_bps / 1e6;
+        let wire_bits = (self.cfg.mtu_payload + crate::wire::TU_HEADER_BYTES) as f64 * 8.0;
+        let pace_ns = wire_bits / (self.rate_bps * PACING_GAIN) * 1e9;
+        self.pace_now = SimDuration::from_nanos(pace_ns as u64).min(MAX_PACE);
     }
 }
 
@@ -905,7 +1183,9 @@ mod tests {
         for batch in 0..5 {
             for i in 0..20u64 {
                 a.send_adu(
-                    AduName::Seq { index: batch * 20 + i },
+                    AduName::Seq {
+                        index: batch * 20 + i,
+                    },
                     payload(100 + i as usize * 37),
                 )
                 .unwrap();
@@ -966,7 +1246,7 @@ mod tests {
         a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
         let lost = a.poll(SimTime::ZERO);
         assert_eq!(lost.len(), 2); // dropped on the floor
-        // Timeout: probe goes out.
+                                   // Timeout: probe goes out.
         let t1 = SimTime::from_millis(100);
         let probe = a.poll(t1);
         assert_eq!(probe.len(), 1, "first-TU probe only");
@@ -1008,9 +1288,15 @@ mod tests {
         let mut a = AduTransport::new(cfg(RecoveryMode::AppRecompute));
         let mut b = AduTransport::new(cfg(RecoveryMode::AppRecompute));
         let data = payload(900);
-        let id = a.send_adu(AduName::Rpc { call: 1, part: 0 }, data.clone()).unwrap();
+        let id = a
+            .send_adu(AduName::Rpc { call: 1, part: 0 }, data.clone())
+            .unwrap();
         let _lost = a.poll(SimTime::ZERO); // dropped on the floor
-        assert_eq!(a.retransmit_buffer_bytes(), 0, "recompute mode buffers nothing");
+        assert_eq!(
+            a.retransmit_buffer_bytes(),
+            0,
+            "recompute mode buffers nothing"
+        );
         // Timeout fires: transport must ask the app, not retransmit.
         let later = SimTime::from_millis(100);
         let out = a.poll(later);
@@ -1055,7 +1341,8 @@ mod tests {
     fn out_of_order_delivery_counted() {
         let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
         let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
-        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap();
         a.send_adu(AduName::Seq { index: 1 }, payload(500)).unwrap();
         let frames = a.poll(SimTime::ZERO);
         // ADU 0 = 3 TUs, ADU 1 = 1 TU. Drop ADU 0's first TU initially.
@@ -1115,7 +1402,8 @@ mod tests {
             ..cfg(RecoveryMode::TransportBuffer)
         });
         let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
-        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap();
         let frames = a.poll(SimTime::ZERO);
         b.on_message(SimTime::from_micros(10), &frames[0]);
         // Round 1 and 2: selective NACKs. Round 3: abandoned + whole NACK.
@@ -1148,9 +1436,16 @@ mod tests {
         let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
         let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
         for i in 0..10u64 {
-            a.send_adu(AduName::Seq { index: i }, payload(2000 + i as usize)).unwrap();
-            b.send_adu(AduName::Media { frame: i as u32, slot: 0 }, payload(900 + i as usize))
+            a.send_adu(AduName::Seq { index: i }, payload(2000 + i as usize))
                 .unwrap();
+            b.send_adu(
+                AduName::Media {
+                    frame: i as u32,
+                    slot: 0,
+                },
+                payload(900 + i as usize),
+            )
+            .unwrap();
         }
         pump(&mut a, &mut b, SimTime::ZERO);
         let mut from_a = 0;
@@ -1271,7 +1566,8 @@ mod tests {
     fn timestamps_off_by_default_zero_jitter() {
         let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
         let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
-        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap();
         for (i, f) in a.poll(SimTime::ZERO).iter().enumerate() {
             b.on_message(SimTime::from_micros(100 * i as u64), f);
         }
@@ -1327,10 +1623,248 @@ mod tests {
     }
 
     #[test]
+    fn probe_retransmission_carries_timestamp_when_configured() {
+        // Regression: the timeout probe used to go out with flags 0 and
+        // timestamp 0 even under `timestamps: true`, leaving a hole in the
+        // receiver's jitter series.
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        a.send_adu(AduName::Seq { index: 0 }, payload(2000))
+            .unwrap(); // 2 TUs
+        let _lost = a.poll(SimTime::ZERO);
+        let t1 = SimTime::from_millis(100);
+        let probe = a.poll(t1);
+        assert_eq!(probe.len(), 1);
+        assert_eq!(a.stats.probe_tus, 1);
+        let Ok(Message::Tu(tu)) = Message::decode(&probe[0]) else {
+            panic!("probe must decode as a TU");
+        };
+        assert_ne!(tu.flags & TU_FLAG_TIMESTAMP, 0, "probe must be stamped");
+        assert_eq!(tu.timestamp_us, micros_wrapping(t1));
+    }
+
+    #[test]
+    fn selective_repair_tus_carry_timestamps_when_configured() {
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            assembly_timeout: SimDuration::from_millis(5),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap(); // 3 TUs
+        let frames = a.poll(SimTime::ZERO);
+        b.on_message(SimTime::from_micros(10), &frames[0]);
+        let nacks = b.poll(SimTime::from_millis(10));
+        for f in nacks {
+            a.on_message(SimTime::from_millis(10), &f);
+        }
+        let t = SimTime::from_millis(10);
+        let repairs = a.poll(t);
+        assert_eq!(repairs.len(), 2);
+        for f in &repairs {
+            let Ok(Message::Tu(tu)) = Message::decode(f) else {
+                panic!("repair must decode as a TU");
+            };
+            assert_ne!(tu.flags & TU_FLAG_TIMESTAMP, 0, "repair must be stamped");
+            assert_eq!(tu.timestamp_us, micros_wrapping(t));
+        }
+    }
+
+    #[test]
+    fn rtt_sampling_survives_microsecond_clock_wrap() {
+        // Start just shy of the 32-bit µs wrap (~71.6 minutes in) and run
+        // the echo loop across it: samples must stay small and sane, not
+        // jump by ~2^32 µs.
+        let mut a = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut now = SimTime::from_micros((1u64 << 32) - 300);
+        for i in 0..10u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(400)).unwrap();
+            now += SimDuration::from_micros(100);
+            for f in a.poll(now) {
+                b.on_message(now + SimDuration::from_micros(50), &f);
+            }
+            now += SimDuration::from_micros(100);
+            for f in b.poll(now) {
+                a.on_message(now + SimDuration::from_micros(50), &f);
+            }
+        }
+        // The wrap falls inside the second iteration; well over half the
+        // exchanges complete across it (the rest queue behind the
+        // delivery-rate pacer, which is orthogonal to this test).
+        assert!(
+            a.stats.rtt_samples >= 5,
+            "echoes must keep flowing across the wrap"
+        );
+        assert!(
+            a.stats.srtt_us > 0.0 && a.stats.srtt_us < 10_000.0,
+            "srtt must stay near the real ~100 µs RTT, got {}",
+            a.stats.srtt_us
+        );
+    }
+
+    #[test]
+    fn jitter_estimator_survives_microsecond_clock_wrap() {
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+        // Constant 40 µs transit across the 2^32 µs wrap: jitter stays ~0.
+        for i in 0..50u64 {
+            let t = SimTime::from_micros((1u64 << 32) - 25_000 + i * 1000);
+            a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+            for f in a.poll(t) {
+                b.on_message(t + SimDuration::from_micros(40), &f);
+            }
+        }
+        assert_eq!(b.stats.timestamped_tus, 50);
+        assert!(
+            b.stats.jitter_us < 1.0,
+            "the wrap must not spike the jitter estimate, got {}",
+            b.stats.jitter_us
+        );
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_measured_rtt() {
+        let mut a = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        for i in 0..20u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(500)).unwrap();
+        }
+        pump(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.stats.rtt_samples > 0, "echoes must produce samples");
+        assert!(a.stats.rto_us >= 500.0, "RTO is clamped at rto_min");
+        assert!(
+            a.stats.rto_us < 50_000.0,
+            "adaptive RTO must sit far below the fixed 50 ms default, got {} µs",
+            a.stats.rto_us
+        );
+    }
+
+    #[test]
+    fn cwnd_halves_on_loss_and_regrows_on_acks() {
+        let mut a = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut now = SimTime::ZERO;
+        // Clean exchange grows the window past its initial value.
+        for i in 0..30u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(200)).unwrap();
+        }
+        now = pump(&mut a, &mut b, now);
+        let grown = a.stats.cwnd_adus;
+        assert!(
+            grown > CWND_INIT_ADUS,
+            "clean ACKs must grow cwnd, got {grown}"
+        );
+        assert_eq!(a.stats.loss_events, 0);
+        // Lose a transmission outright: the timeout is a loss event.
+        a.send_adu(AduName::Seq { index: 99 }, payload(200))
+            .unwrap();
+        let _lost = a.poll(now); // dropped on the floor
+        now += SimDuration::from_millis(200);
+        let retx = a.poll(now);
+        assert_eq!(a.stats.loss_events, 1);
+        let halved = a.stats.cwnd_adus;
+        assert!(
+            halved <= grown / 2.0 + 1e-9,
+            "multiplicative decrease: {halved} !<= {grown}/2"
+        );
+        // Recovery: deliver the retransmission, keep exchanging cleanly.
+        for f in retx {
+            b.on_message(now, &f);
+        }
+        now = pump(&mut a, &mut b, now);
+        for i in 100..130u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(200)).unwrap();
+        }
+        pump(&mut a, &mut b, now);
+        assert!(
+            a.stats.cwnd_adus > halved,
+            "cwnd must regrow after recovery: {} !> {halved}",
+            a.stats.cwnd_adus
+        );
+        assert!(a.stats.cwnd_peak_adus >= grown);
+    }
+
+    #[test]
+    fn no_retransmit_ignores_congestion_window() {
+        // Real-time flows have no ACK clock; adaptive mode must not gate
+        // them behind a window that can never grow.
+        let mut a = AduTransport::new(AlfConfig {
+            adaptive: true,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        for i in 0..100 {
+            a.send_adu(AduName::Seq { index: i }, payload(10)).unwrap();
+        }
+        let mut sent = 0;
+        for round in 0..20 {
+            sent += a.poll(SimTime::from_micros(round)).len();
+            if a.send_complete() {
+                break;
+            }
+        }
+        assert_eq!(sent, 100, "fire-and-forget must not be ACK-clocked");
+        assert!(a.send_complete());
+    }
+
+    #[test]
+    fn adaptive_off_leaves_fixed_timers_in_force() {
+        // With `adaptive: false`, an arriving echo feeds the estimator (for
+        // observability) but the RTO stays the configured fixed value.
+        let mut a = AduTransport::new(AlfConfig {
+            timestamps: true,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut now = SimTime::ZERO;
+        for i in 0..5u64 {
+            a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+        }
+        now = pump(&mut a, &mut b, now);
+        assert!(a.stats.rtt_samples > 0, "echoes still observed when off");
+        assert_eq!(a.stats.loss_events, 0);
+        assert_eq!(a.stats.cwnd_adus, CWND_INIT_ADUS, "cwnd untouched when off");
+        // A fresh ADU lost on the floor must wait the full fixed timeout.
+        a.send_adu(AduName::Seq { index: 9 }, payload(100)).unwrap();
+        let _lost = a.poll(now);
+        let before = now + SimDuration::from_millis(49);
+        assert!(a.poll(before).is_empty(), "fixed 50 ms RTO still in force");
+        let after = now + SimDuration::from_millis(51);
+        assert!(!a.poll(after).is_empty());
+    }
+
+    #[test]
     fn delivery_latency_recorded() {
         let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
         let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
-        a.send_adu(AduName::Seq { index: 0 }, payload(3000)).unwrap();
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap();
         let frames = a.poll(SimTime::ZERO);
         b.on_message(SimTime::from_millis(1), &frames[0]);
         b.on_message(SimTime::from_millis(2), &frames[1]);

@@ -33,6 +33,12 @@ pub const TU_FLAG_PARITY: u8 = 0x01;
 /// TU flag bit: `timestamp_us` carries a valid sender timestamp.
 pub const TU_FLAG_TIMESTAMP: u8 = 0x02;
 
+/// ACK flag bit: the ACK carries a timestamp echo (`echo` is `Some`).
+const ACK_FLAG_ECHO: u8 = 0x01;
+
+/// Byte offset of `timestamp_us` within an encoded TU frame.
+const TU_TIMESTAMP_OFFSET: usize = 1 + 1 + 2 + 2 + 8 + 4 + 4 + 2;
+
 /// One transmission unit: a fragment of an ADU.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tu {
@@ -68,6 +74,12 @@ pub enum Message {
         assoc: u16,
         /// Acknowledged ADU ids.
         ids: Vec<u64>,
+        /// Timestamp echo for the sender's RTT estimator: the most recent
+        /// stamped TU's `timestamp_us`, plus how long (µs) the receiver
+        /// held it before this ACK left. The sender recovers
+        /// `rtt = now - echoed - hold`, all wrapping 32-bit µs arithmetic —
+        /// the out-of-band transfer-control measurement of §3.
+        echo: Option<(u32, u32)>,
     },
     /// Negative acknowledgement: the receiver declared these ADUs lost
     /// (incomplete past its reassembly deadline).
@@ -157,7 +169,11 @@ impl Message {
                 seal_checksum(&mut out);
                 out
             }
-            Message::NackFrags { assoc, adu_id, ranges } => {
+            Message::NackFrags {
+                assoc,
+                adu_id,
+                ranges,
+            } => {
                 let mut out = Vec::with_capacity(16 + ranges.len() * 8);
                 let mut w = HeaderWriter::new(&mut out);
                 w.put_u8(T_NACK_FRAGS)
@@ -173,15 +189,33 @@ impl Message {
                 seal_checksum(&mut out);
                 out
             }
-            Message::Ack { assoc, ids } | Message::Nack { assoc, ids } => {
-                let ty = if matches!(self, Message::Ack { .. }) {
-                    T_ACK
-                } else {
-                    T_NACK
-                };
+            Message::Ack { assoc, ids, echo } => {
+                let mut out = Vec::with_capacity(16 + ids.len() * 8);
+                let mut w = HeaderWriter::new(&mut out);
+                let flags = if echo.is_some() { ACK_FLAG_ECHO } else { 0 };
+                w.put_u8(T_ACK)
+                    .put_u8(flags)
+                    .put_u16(0)
+                    .put_u16(*assoc)
+                    .put_u16(ids.len() as u16);
+                if let Some((ts, hold)) = echo {
+                    out.extend_from_slice(&ts.to_be_bytes());
+                    out.extend_from_slice(&hold.to_be_bytes());
+                }
+                for id in ids {
+                    out.extend_from_slice(&id.to_be_bytes());
+                }
+                seal_checksum(&mut out);
+                out
+            }
+            Message::Nack { assoc, ids } => {
                 let mut out = Vec::with_capacity(8 + ids.len() * 8);
                 let mut w = HeaderWriter::new(&mut out);
-                w.put_u8(ty).put_u8(0).put_u16(0).put_u16(*assoc).put_u16(ids.len() as u16);
+                w.put_u8(T_NACK)
+                    .put_u8(0)
+                    .put_u16(0)
+                    .put_u16(*assoc)
+                    .put_u16(ids.len() as u16);
                 for id in ids {
                     out.extend_from_slice(&id.to_be_bytes());
                 }
@@ -224,8 +258,7 @@ impl Message {
                 }
                 // Data fragments must fit inside the ADU; parity TUs cover
                 // positions, not content, and may extend past a short tail.
-                if flags & TU_FLAG_PARITY == 0
-                    && frag_off as u64 + frag_len as u64 > adu_len as u64
+                if flags & TU_FLAG_PARITY == 0 && frag_off as u64 + frag_len as u64 > adu_len as u64
                 {
                     return Err(WireError::FragmentOutOfRange);
                 }
@@ -252,10 +285,21 @@ impl Message {
                 if r.remaining() != 0 {
                     return Err(WireError::LengthMismatch);
                 }
-                Ok(Message::NackFrags { assoc, adu_id, ranges })
+                Ok(Message::NackFrags {
+                    assoc,
+                    adu_id,
+                    ranges,
+                })
             }
             T_ACK | T_NACK => {
                 let count = r.get_u16().map_err(|_| WireError::Truncated)? as usize;
+                let echo = if ty == T_ACK && flags & ACK_FLAG_ECHO != 0 {
+                    let ts = r.get_u32().map_err(|_| WireError::Truncated)?;
+                    let hold = r.get_u32().map_err(|_| WireError::Truncated)?;
+                    Some((ts, hold))
+                } else {
+                    None
+                };
                 let mut ids = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
                     ids.push(r.get_u64().map_err(|_| WireError::Truncated)?);
@@ -264,7 +308,7 @@ impl Message {
                     return Err(WireError::LengthMismatch);
                 }
                 if ty == T_ACK {
-                    Ok(Message::Ack { assoc, ids })
+                    Ok(Message::Ack { assoc, ids, echo })
                 } else {
                     Ok(Message::Nack { assoc, ids })
                 }
@@ -272,6 +316,24 @@ impl Message {
             other => Err(WireError::UnknownType(other)),
         }
     }
+}
+
+/// Patch the sender timestamp of an already-encoded TU frame in place,
+/// setting the timestamp flag and resealing the checksum. Stamping at the
+/// instant a TU clears the pacer (rather than when it was fragmented and
+/// queued) keeps RTT samples free of the sender's own queueing delay, and
+/// gives retransmitted TUs fresh stamps — which is what makes the ACK echo
+/// unambiguous without Karn-style sample filtering. Non-TU frames are left
+/// untouched.
+pub fn restamp_tu(frame: &mut [u8], ts_us: u32) {
+    if frame.len() < TU_HEADER_BYTES || frame[0] != T_TU {
+        return;
+    }
+    frame[1] |= TU_FLAG_TIMESTAMP;
+    frame[TU_TIMESTAMP_OFFSET..TU_TIMESTAMP_OFFSET + 4].copy_from_slice(&ts_us.to_be_bytes());
+    frame[2] = 0;
+    frame[3] = 0;
+    seal_checksum(frame);
 }
 
 /// Split an ADU payload into TUs of at most `mtu_payload` fragment bytes.
@@ -341,10 +403,35 @@ mod tests {
     #[test]
     fn ack_nack_roundtrip() {
         for m in [
-            Message::Ack { assoc: 1, ids: vec![] },
-            Message::Ack { assoc: 1, ids: vec![5, 6, 7] },
-            Message::Nack { assoc: 2, ids: vec![u64::MAX] },
-            Message::NackFrags { assoc: 3, adu_id: 9, ranges: vec![] },
+            Message::Ack {
+                assoc: 1,
+                ids: vec![],
+                echo: None,
+            },
+            Message::Ack {
+                assoc: 1,
+                ids: vec![5, 6, 7],
+                echo: None,
+            },
+            Message::Ack {
+                assoc: 1,
+                ids: vec![9],
+                echo: Some((123_456, 78)),
+            },
+            Message::Ack {
+                assoc: 4,
+                ids: vec![],
+                echo: Some((u32::MAX, 0)),
+            },
+            Message::Nack {
+                assoc: 2,
+                ids: vec![u64::MAX],
+            },
+            Message::NackFrags {
+                assoc: 3,
+                adu_id: 9,
+                ranges: vec![],
+            },
             Message::NackFrags {
                 assoc: 3,
                 adu_id: 9,
@@ -433,6 +520,37 @@ mod tests {
     #[should_panic(expected = "mtu_payload must be positive")]
     fn zero_mtu_panics() {
         fragment_adu(1, 1, AduName::Seq { index: 1 }, &[1], 0);
+    }
+
+    #[test]
+    fn restamp_patches_timestamp_and_reseals() {
+        let mut wire = Message::Tu(sample_tu()).encode();
+        restamp_tu(&mut wire, 0xDEAD_BEEF);
+        match Message::decode(&wire).expect("checksum must be resealed") {
+            Message::Tu(tu) => {
+                assert_eq!(tu.timestamp_us, 0xDEAD_BEEF);
+                assert_ne!(tu.flags & TU_FLAG_TIMESTAMP, 0);
+                // Everything else untouched.
+                let orig = sample_tu();
+                assert_eq!(tu.payload, orig.payload);
+                assert_eq!(tu.adu_id, orig.adu_id);
+                assert_eq!(tu.frag_off, orig.frag_off);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restamp_leaves_control_frames_alone() {
+        let mut ack = Message::Ack {
+            assoc: 1,
+            ids: vec![3],
+            echo: None,
+        }
+        .encode();
+        let before = ack.clone();
+        restamp_tu(&mut ack, 99);
+        assert_eq!(ack, before);
     }
 }
 

@@ -114,7 +114,9 @@ impl XorStream {
     /// Materialise `len` keystream bytes starting at `offset` (used by the
     /// fused kernels in `ct-wire`, which take a keystream slice).
     pub fn keystream(&self, offset: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|i| self.keystream_byte(offset + i)).collect()
+        (0..len as u64)
+            .map(|i| self.keystream_byte(offset + i))
+            .collect()
     }
 }
 
@@ -147,9 +149,7 @@ impl Rc4Like {
         }
         let mut j: u8 = 0;
         for i in 0..256 {
-            j = j
-                .wrapping_add(s[i])
-                .wrapping_add(key[i % key.len()]);
+            j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
             s.swap(i, j as usize);
         }
         Self { s, i: 0, j: 0 }

@@ -109,7 +109,11 @@ pub fn segment(vci: u16, pdu_id: u16, pdu: &[u8]) -> Vec<Vec<u8>> {
     let mut offset = 0usize;
     let mut seg: u16 = 0;
     loop {
-        let cap = if seg == 0 { first_capacity } else { rest_capacity };
+        let cap = if seg == 0 {
+            first_capacity
+        } else {
+            rest_capacity
+        };
         let take = cap.min(pdu.len() - offset);
         let mut cell = Vec::with_capacity(CELL_SIZE_BYTES);
         let mut w = HeaderWriter::new(&mut cell);
@@ -161,7 +165,11 @@ fn parse_cell(frame: &[u8]) -> Result<Cell, AtmError> {
     let _rsvd = r.get_slice(3).expect("sized");
     let pdu_id = r.get_u16().expect("sized");
     let seg = r.get_u16().expect("sized");
-    let total_len = if seg == 0 { r.get_u32().expect("sized") } else { 0 };
+    let total_len = if seg == 0 {
+        r.get_u32().expect("sized")
+    } else {
+        0
+    };
     let data = r.rest().to_vec();
     Ok(Cell {
         vci,
@@ -427,7 +435,7 @@ mod tests {
         assert_eq!(cells_for(41), 2);
         assert_eq!(cells_for(40 + 44), 2);
         assert_eq!(cells_for(40 + 45), 3);
-        assert_eq!(cells_for(4000), 1 + (4000 - 40 + 43) / 44);
+        assert_eq!(cells_for(4000), 1 + (4000usize - 40).div_ceil(44));
     }
 
     #[test]
@@ -551,8 +559,20 @@ mod tests {
         let a = net.add_node();
         let b = net.add_node();
         net.connect(a, b, LinkConfig::ideal(), FaultConfig::none());
-        let mut ea = AtmEndpoint::new(a, AtmConfig { vci: 1, ..AtmConfig::default() });
-        let mut eb = AtmEndpoint::new(b, AtmConfig { vci: 2, ..AtmConfig::default() });
+        let mut ea = AtmEndpoint::new(
+            a,
+            AtmConfig {
+                vci: 1,
+                ..AtmConfig::default()
+            },
+        );
+        let mut eb = AtmEndpoint::new(
+            b,
+            AtmConfig {
+                vci: 2,
+                ..AtmConfig::default()
+            },
+        );
         ea.send_pdu(&mut net, b, b"hello").unwrap();
         net.run_until_idle();
         eb.pump(&mut net);

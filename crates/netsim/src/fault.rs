@@ -229,7 +229,9 @@ mod tests {
         let mut inj = injector(FaultConfig::loss(0.25));
         let mut buf = vec![0u8; 16];
         let n = 40_000;
-        let drops = (0..n).filter(|_| inj.apply(SimTime::ZERO, &mut buf).dropped).count();
+        let drops = (0..n)
+            .filter(|_| inj.apply(SimTime::ZERO, &mut buf).dropped)
+            .count();
         let rate = drops as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
     }
@@ -293,7 +295,10 @@ mod tests {
         for _ in 0..1000 {
             let mut ba = vec![0x11u8; 32];
             let mut bb = vec![0x11u8; 32];
-            assert_eq!(a.apply(SimTime::ZERO, &mut ba), b.apply(SimTime::ZERO, &mut bb));
+            assert_eq!(
+                a.apply(SimTime::ZERO, &mut ba),
+                b.apply(SimTime::ZERO, &mut bb)
+            );
             assert_eq!(ba, bb);
         }
     }

@@ -257,7 +257,10 @@ mod tests {
     fn infinite_bandwidth_has_no_serialization() {
         let mut link = LinkState::new(LinkConfig::ideal());
         let arrive = link.offer(SimTime::from_millis(3), 1_000_000).unwrap();
-        assert_eq!(arrive, SimTime::from_millis(3) + SimDuration::from_micros(10));
+        assert_eq!(
+            arrive,
+            SimTime::from_millis(3) + SimDuration::from_micros(10)
+        );
     }
 
     #[test]

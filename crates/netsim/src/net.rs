@@ -263,14 +263,15 @@ impl Network {
                 }
             }
             // Walk back from each dst to find the first hop out of src.
-            for dst in 0..n {
-                if dst == src || !visited[dst] {
+            for (dst, &seen) in visited.iter().enumerate() {
+                if dst == src || !seen {
                     continue;
                 }
                 let mut cur = dst;
                 while let Some(p) = prev[cur] {
                     if p == src {
-                        self.next_hop.insert((NodeId(src), NodeId(dst)), NodeId(cur));
+                        self.next_hop
+                            .insert((NodeId(src), NodeId(dst)), NodeId(cur));
                         break;
                     }
                     cur = p;
@@ -319,7 +320,10 @@ impl Network {
                 from: at,
                 to: frame.dst,
             })?;
-        let dir = self.links.get_mut(&(at, hop)).expect("route uses real link");
+        let dir = self
+            .links
+            .get_mut(&(at, hop))
+            .expect("route uses real link");
         let mut frame = frame;
         // Fault injection happens before link admission: a dropped frame
         // still consumed no transmitter time (it "vanished on the wire" at
@@ -327,13 +331,23 @@ impl Network {
         let outcome = dir.injector.apply(self.now, &mut frame.payload);
         if outcome.dropped {
             self.stats.fault_drops += 1;
-            self.record(FrameEvent::FaultDropped, frame.src, frame.dst, frame.payload.len());
+            self.record(
+                FrameEvent::FaultDropped,
+                frame.src,
+                frame.dst,
+                frame.payload.len(),
+            );
             return Ok(()); // silent loss: senders learn via their own timers
         }
         let offer = dir.state.offer(self.now, frame.payload.len());
         if outcome.corrupted {
             self.stats.corrupted += 1;
-            self.record(FrameEvent::Corrupted, frame.src, frame.dst, frame.payload.len());
+            self.record(
+                FrameEvent::Corrupted,
+                frame.src,
+                frame.dst,
+                frame.payload.len(),
+            );
         }
         let arrive = match offer {
             Ok(t) => t,
@@ -355,7 +369,10 @@ impl Network {
             let dup = frame.clone();
             self.queue.schedule(
                 arrive + SimDuration::from_micros(1),
-                Arrival { node: hop, frame: dup },
+                Arrival {
+                    node: hop,
+                    frame: dup,
+                },
             );
         }
         self.queue.schedule(arrive, Arrival { node: hop, frame });
@@ -371,13 +388,23 @@ impl Network {
         if node == frame.dst {
             self.stats.frames_delivered += 1;
             self.stats.bytes_delivered += frame.payload.len() as u64;
-            self.record(FrameEvent::Delivered, frame.src, frame.dst, frame.payload.len());
+            self.record(
+                FrameEvent::Delivered,
+                frame.src,
+                frame.dst,
+                frame.payload.len(),
+            );
             self.nodes[node.0].push_back(frame);
         } else {
             // Intermediate hop: store-and-forward onward. A forwarding
             // failure at an interior hop is silent loss (like real routers).
             self.stats.hops_forwarded += 1;
-            self.record(FrameEvent::Forwarded, frame.src, frame.dst, frame.payload.len());
+            self.record(
+                FrameEvent::Forwarded,
+                frame.src,
+                frame.dst,
+                frame.payload.len(),
+            );
             let _ = self.forward(node, frame);
         }
         Some(self.now)
@@ -471,7 +498,10 @@ mod tests {
         let a = net.add_node();
         let b = net.add_node();
         // no connect
-        assert_eq!(net.send(a, b, vec![1]), Err(SendError::NoRoute { from: a, to: b }));
+        assert_eq!(
+            net.send(a, b, vec![1]),
+            Err(SendError::NoRoute { from: a, to: b })
+        );
     }
 
     #[test]
@@ -651,7 +681,11 @@ mod tests {
         let events: Vec<FrameEvent> = net.trace().unwrap().records().map(|r| r.event).collect();
         assert_eq!(
             events,
-            vec![FrameEvent::Sent, FrameEvent::Forwarded, FrameEvent::Delivered]
+            vec![
+                FrameEvent::Sent,
+                FrameEvent::Forwarded,
+                FrameEvent::Delivered
+            ]
         );
         let dump = net.trace().unwrap().dump();
         assert!(dump.contains("n0 -> n2"));

@@ -212,7 +212,9 @@ impl<'a> Cursor<'a> {
             }
             tag::OCTET_STRING => {
                 let len = self.length("OCTET STRING")?;
-                Ok(PValue::OctetString(self.bytes(len, "OCTET STRING")?.to_vec()))
+                Ok(PValue::OctetString(
+                    self.bytes(len, "OCTET STRING")?.to_vec(),
+                ))
             }
             tag::UTF8_STRING => {
                 let len = self.length("UTF8String")?;
@@ -231,14 +233,18 @@ impl<'a> Cursor<'a> {
                 let len = self.length("SEQUENCE")?;
                 let end = self.pos + len;
                 if end > self.buf.len() {
-                    return Err(CodecError::Truncated { context: "SEQUENCE" });
+                    return Err(CodecError::Truncated {
+                        context: "SEQUENCE",
+                    });
                 }
                 let mut items = Vec::new();
                 while self.pos < end {
                     items.push(self.value(depth + 1)?);
                 }
                 if self.pos != end {
-                    return Err(CodecError::BadLength { context: "SEQUENCE" });
+                    return Err(CodecError::BadLength {
+                        context: "SEQUENCE",
+                    });
                 }
                 Ok(PValue::Sequence(items))
             }
@@ -299,7 +305,9 @@ pub fn decode_u32_array(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
     let len = c.length("SEQUENCE")?;
     let end = c.pos + len;
     if end > buf.len() {
-        return Err(CodecError::Truncated { context: "SEQUENCE" });
+        return Err(CodecError::Truncated {
+            context: "SEQUENCE",
+        });
     }
     let mut out = Vec::new();
     while c.pos < end {
@@ -316,7 +324,9 @@ pub fn decode_u32_array(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
         out.push(v);
     }
     if c.pos != end {
-        return Err(CodecError::BadLength { context: "SEQUENCE" });
+        return Err(CodecError::BadLength {
+            context: "SEQUENCE",
+        });
     }
     if c.pos != buf.len() {
         return Err(CodecError::TrailingBytes {
@@ -375,7 +385,9 @@ mod tests {
 
     #[test]
     fn u32_array_specialised_matches_generic() {
-        let values: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761) ^ i).collect();
+        let values: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2654435761) ^ i)
+            .collect();
         let fast = encode_u32_array(&values);
         let generic = encode(&PValue::u32_array(&values));
         assert_eq!(fast, generic);
@@ -427,7 +439,9 @@ mod tests {
     fn indefinite_length_rejected() {
         assert!(matches!(
             decode(&[0x30, 0x80, 0x00, 0x00]),
-            Err(CodecError::BadLength { context: "SEQUENCE" })
+            Err(CodecError::BadLength {
+                context: "SEQUENCE"
+            })
         ));
     }
 
@@ -454,7 +468,7 @@ mod tests {
         }
         wire.truncate(wire.len() - 1);
         *wire.last_mut().unwrap() = 0; // innermost empty
-        // Fix lengths: simpler to build inside-out.
+                                       // Fix lengths: simpler to build inside-out.
         let mut inner = vec![tag::SEQUENCE, 0x00];
         for _ in 0..(MAX_DEPTH + 2) {
             let mut outer = vec![tag::SEQUENCE];

@@ -8,9 +8,9 @@
 //! traversal. These kernels implement that fusion for each transfer syntax;
 //! unit and property tests pin them bit-for-bit to their layered equivalents.
 
-use crate::{ber, lwts, CodecError};
 #[cfg(test)]
 use crate::xdr;
+use crate::{ber, lwts, CodecError};
 use ct_wire::checksum::InternetChecksum;
 
 /// BER-encode a `u32` array while computing the Internet checksum of the
@@ -70,7 +70,9 @@ pub fn xdr_decode_u32s_checksummed(
     expected: u16,
 ) -> Result<(Vec<u32>, bool), CodecError> {
     if wire.len() < 4 {
-        return Err(CodecError::Truncated { context: "xdr u32 array" });
+        return Err(CodecError::Truncated {
+            context: "xdr u32 array",
+        });
     }
     let mut ck = InternetChecksum::new();
     let count = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]);
@@ -83,7 +85,9 @@ pub fn xdr_decode_u32s_checksummed(
     }
     let body = &wire[4..];
     if body.len() < n * 4 {
-        return Err(CodecError::Truncated { context: "xdr u32 array" });
+        return Err(CodecError::Truncated {
+            context: "xdr u32 array",
+        });
     }
     if body.len() > n * 4 {
         return Err(CodecError::TrailingBytes {
@@ -151,7 +155,9 @@ mod tests {
     use ct_wire::checksum::internet_checksum;
 
     fn workload(n: usize) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761) ^ i).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) ^ i)
+            .collect()
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl TransferSyntax {
     pub fn decode_u32s(self, bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
         match self {
             TransferSyntax::Raw => {
-                if bytes.len() % 4 != 0 {
+                if !bytes.len().is_multiple_of(4) {
                     return Err(CodecError::Truncated {
                         context: "raw u32 array",
                     });
@@ -156,7 +156,9 @@ pub enum CodecError {
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::Truncated { context } => write!(f, "truncated input while decoding {context}"),
+            CodecError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
             CodecError::UnexpectedTag { found, expected } => {
                 write!(f, "unexpected tag {found:#04x}, expected {expected:#04x}")
             }
@@ -187,7 +189,9 @@ mod tests {
         let values: Vec<u32> = vec![0, 1, 127, 128, 255, 256, 65535, 1 << 20, u32::MAX];
         for syn in SYNTAXES {
             let wire = syn.encode_u32s(&values);
-            let back = syn.decode_u32s(&wire).unwrap_or_else(|e| panic!("{}: {e}", syn.name()));
+            let back = syn
+                .decode_u32s(&wire)
+                .unwrap_or_else(|e| panic!("{}: {e}", syn.name()));
             assert_eq!(back, values, "{}", syn.name());
         }
     }
@@ -196,7 +200,12 @@ mod tests {
     fn empty_array_all_syntaxes() {
         for syn in SYNTAXES {
             let wire = syn.encode_u32s(&[]);
-            assert_eq!(syn.decode_u32s(&wire).unwrap(), Vec::<u32>::new(), "{}", syn.name());
+            assert_eq!(
+                syn.decode_u32s(&wire).unwrap(),
+                Vec::<u32>::new(),
+                "{}",
+                syn.name()
+            );
         }
     }
 
@@ -233,10 +242,17 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert!(CodecError::Truncated { context: "x" }.to_string().contains('x'));
-        assert!(CodecError::UnexpectedTag { found: 4, expected: 2 }
+        assert!(CodecError::Truncated { context: "x" }
             .to_string()
-            .contains("0x04"));
-        assert!(CodecError::TrailingBytes { extra: 3 }.to_string().contains('3'));
+            .contains('x'));
+        assert!(CodecError::UnexpectedTag {
+            found: 4,
+            expected: 2
+        }
+        .to_string()
+        .contains("0x04"));
+        assert!(CodecError::TrailingBytes { extra: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -36,7 +36,9 @@ fn put_header(out: &mut Vec<u8>, ty: u8, count: u32) {
 
 fn check_header(buf: &[u8], ty: u8) -> Result<usize, CodecError> {
     if buf.len() < HEADER_BYTES {
-        return Err(CodecError::Truncated { context: "lwts header" });
+        return Err(CodecError::Truncated {
+            context: "lwts header",
+        });
     }
     if buf[0] != MAGIC {
         return Err(CodecError::UnexpectedTag {
@@ -71,7 +73,9 @@ pub fn decode_u32_array(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
     let count = check_header(buf, TYPE_U32_ARRAY)?;
     let body = &buf[HEADER_BYTES..];
     if body.len() < count * 4 {
-        return Err(CodecError::Truncated { context: "lwts u32 body" });
+        return Err(CodecError::Truncated {
+            context: "lwts u32 body",
+        });
     }
     if body.len() > count * 4 {
         return Err(CodecError::TrailingBytes {
@@ -100,7 +104,9 @@ pub fn decode_opaque(buf: &[u8]) -> Result<&[u8], CodecError> {
     let count = check_header(buf, TYPE_OPAQUE)?;
     let body = &buf[HEADER_BYTES..];
     if body.len() < count {
-        return Err(CodecError::Truncated { context: "lwts opaque body" });
+        return Err(CodecError::Truncated {
+            context: "lwts opaque body",
+        });
     }
     if body.len() > count {
         return Err(CodecError::TrailingBytes {
@@ -126,7 +132,10 @@ mod tests {
     #[test]
     fn u32_roundtrip() {
         let values: Vec<u32> = (0..333u32).map(|i| i.wrapping_mul(2246822519)).collect();
-        assert_eq!(decode_u32_array(&encode_u32_array(&values)).unwrap(), values);
+        assert_eq!(
+            decode_u32_array(&encode_u32_array(&values)).unwrap(),
+            values
+        );
     }
 
     #[test]

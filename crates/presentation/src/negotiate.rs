@@ -54,7 +54,7 @@ impl LocalSyntax {
     /// # Errors
     /// [`CodecError::Truncated`] when the byte length is not a multiple of 4.
     pub fn from_bytes(self, bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
-        if bytes.len() % 4 != 0 {
+        if !bytes.len().is_multiple_of(4) {
             return Err(CodecError::Truncated {
                 context: "local u32 array",
             });
@@ -305,7 +305,9 @@ mod tests {
 
     #[test]
     fn plans_are_executable_and_equivalent() {
-        let values: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761) % 977).collect();
+        let values: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2654435761) % 977)
+            .collect();
         for plan in [
             negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(BE), true).unwrap(),
             negotiate(&SyntaxCaps::full(LE), &SyntaxCaps::full(LE), true).unwrap(),

@@ -87,7 +87,9 @@ impl BerU32Stream {
                     } else {
                         let n = (first & 0x7F) as usize;
                         if n == 0 || n > 4 {
-                            return Err(CodecError::BadLength { context: "SEQUENCE" });
+                            return Err(CodecError::BadLength {
+                                context: "SEQUENCE",
+                            });
                         }
                         if self.carry.len() - pos < 2 + n {
                             break;
@@ -140,7 +142,9 @@ impl BerU32Stream {
                     let v = u32::try_from(v).map_err(|_| CodecError::IntegerOverflow)?;
                     let tlv = 2 + blen;
                     if tlv > self.body_remaining {
-                        return Err(CodecError::BadLength { context: "SEQUENCE" });
+                        return Err(CodecError::BadLength {
+                            context: "SEQUENCE",
+                        });
                     }
                     self.body_remaining -= tlv;
                     pos += tlv;
@@ -229,7 +233,9 @@ mod tests {
     use crate::{ber, lwts};
 
     fn workload(n: usize) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(40503) ^ (i << 7)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(40503) ^ (i << 7))
+            .collect()
     }
 
     #[test]
@@ -240,7 +246,10 @@ mod tests {
             let mut dec = BerU32Stream::new();
             let mut got = Vec::new();
             for chunk in wire.chunks(chunk_size) {
-                got.extend(dec.push(chunk).unwrap_or_else(|e| panic!("chunk {chunk_size}: {e}")));
+                got.extend(
+                    dec.push(chunk)
+                        .unwrap_or_else(|e| panic!("chunk {chunk_size}: {e}")),
+                );
             }
             assert!(dec.is_done(), "chunk {chunk_size}");
             assert_eq!(got, values, "chunk {chunk_size}");

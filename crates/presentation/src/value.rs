@@ -113,9 +113,15 @@ mod tests {
     #[test]
     fn as_u32_array_rejects_non_sequences_and_out_of_range() {
         assert!(PValue::Integer(1).as_u32_array().is_none());
-        assert!(PValue::Sequence(vec![PValue::Integer(-1)]).as_u32_array().is_none());
-        assert!(PValue::Sequence(vec![PValue::Integer(1 << 40)]).as_u32_array().is_none());
-        assert!(PValue::Sequence(vec![PValue::Null]).as_u32_array().is_none());
+        assert!(PValue::Sequence(vec![PValue::Integer(-1)])
+            .as_u32_array()
+            .is_none());
+        assert!(PValue::Sequence(vec![PValue::Integer(1 << 40)])
+            .as_u32_array()
+            .is_none());
+        assert!(PValue::Sequence(vec![PValue::Null])
+            .as_u32_array()
+            .is_none());
     }
 
     #[test]

@@ -221,16 +221,16 @@ mod tests {
     #[test]
     fn u32_array_layout() {
         let wire = encode_u32_array(&[0x01020304, 5]);
-        assert_eq!(
-            wire,
-            vec![0, 0, 0, 2, 0x01, 0x02, 0x03, 0x04, 0, 0, 0, 5]
-        );
+        assert_eq!(wire, vec![0, 0, 0, 2, 0x01, 0x02, 0x03, 0x04, 0, 0, 0, 5]);
     }
 
     #[test]
     fn u32_array_roundtrip() {
         let values: Vec<u32> = (0..777).map(|i| i * 104729).collect();
-        assert_eq!(decode_u32_array(&encode_u32_array(&values)).unwrap(), values);
+        assert_eq!(
+            decode_u32_array(&encode_u32_array(&values)).unwrap(),
+            values
+        );
     }
 
     #[test]
@@ -297,7 +297,10 @@ mod tests {
     fn unknown_discriminant_rejected() {
         let mut out = Vec::new();
         put_u32(&mut out, 99);
-        assert!(matches!(decode(&out), Err(CodecError::UnexpectedTag { .. })));
+        assert!(matches!(
+            decode(&out),
+            Err(CodecError::UnexpectedTag { .. })
+        ));
     }
 
     #[test]

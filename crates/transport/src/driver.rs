@@ -321,8 +321,20 @@ mod tests {
     #[test]
     fn wan_profile_slower_than_lan() {
         let data = payload(100_000);
-        let lan = run_transfer(9, LinkConfig::lan(), FaultConfig::none(), StreamConfig::default(), &data);
-        let wan = run_transfer(9, LinkConfig::wan(), FaultConfig::none(), StreamConfig::default(), &data);
+        let lan = run_transfer(
+            9,
+            LinkConfig::lan(),
+            FaultConfig::none(),
+            StreamConfig::default(),
+            &data,
+        );
+        let wan = run_transfer(
+            9,
+            LinkConfig::wan(),
+            FaultConfig::none(),
+            StreamConfig::default(),
+            &data,
+        );
         assert!(lan.complete && wan.complete);
         assert!(wan.elapsed > lan.elapsed);
     }

@@ -65,7 +65,10 @@ impl std::fmt::Display for SegmentError {
         match self {
             SegmentError::Truncated => write!(f, "segment shorter than header"),
             SegmentError::LengthMismatch { claimed, actual } => {
-                write!(f, "payload length mismatch: header says {claimed}, have {actual}")
+                write!(
+                    f,
+                    "payload length mismatch: header says {claimed}, have {actual}"
+                )
             }
             SegmentError::BadChecksum => write!(f, "segment checksum failed"),
         }

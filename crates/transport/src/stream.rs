@@ -411,9 +411,7 @@ impl StreamTransport {
             let covered: Vec<u64> = self
                 .inflight
                 .range(..seg.ack)
-                .filter(|(&seq, s)| {
-                    seq + s.payload.len() as u64 + u64::from(s.fin) <= seg.ack
-                })
+                .filter(|(&seq, s)| seq + s.payload.len() as u64 + u64::from(s.fin) <= seg.ack)
                 .map(|(&seq, _)| seq)
                 .collect();
             for seq in covered {
@@ -530,10 +528,7 @@ impl StreamTransport {
     /// Pull newly contiguous segments out of the out-of-order store,
     /// charging their wait time to the head-of-line blocking accounts.
     fn drain_ooo(&mut self, now: SimTime) {
-        loop {
-            let Some((&seq, _)) = self.ooo.first_key_value() else {
-                break;
-            };
+        while let Some((&seq, _)) = self.ooo.first_key_value() {
             if seq > self.rcv_nxt {
                 break;
             }
@@ -610,8 +605,7 @@ impl StreamTransport {
                 } else {
                     r.as_nanos() - srtt.as_nanos()
                 };
-                self.rttvar =
-                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + diff) / 4);
+                self.rttvar = SimDuration::from_nanos((3 * self.rttvar.as_nanos() + diff) / 4);
                 self.srtt = Some(SimDuration::from_nanos(
                     (7 * srtt.as_nanos() + r.as_nanos()) / 8,
                 ));
@@ -967,7 +961,7 @@ mod tests {
 
     #[test]
     fn mis_addressed_segment_ignored() {
-        let (mut a, _) = pair();
+        let (a, _) = pair();
         let mut other = StreamTransport::new(StreamConfig::default(), 9, 1);
         other.send(b"to port 1... but b is port 2");
         let frames = other.poll(SimTime::ZERO);

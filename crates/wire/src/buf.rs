@@ -299,10 +299,16 @@ impl fmt::Display for ScatterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScatterError::SourceTooShort { need, have } => {
-                write!(f, "scatter source too short: need {need} bytes, have {have}")
+                write!(
+                    f,
+                    "scatter source too short: need {need} bytes, have {have}"
+                )
             }
             ScatterError::RegionTooShort { need, have } => {
-                write!(f, "application region too short: need {need} bytes, have {have}")
+                write!(
+                    f,
+                    "application region too short: need {need} bytes, have {have}"
+                )
             }
         }
     }

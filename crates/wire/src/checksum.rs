@@ -212,7 +212,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -286,7 +290,10 @@ mod tests {
     fn internet_checksum_odd_length() {
         // Odd tail is padded with a zero byte.
         assert_eq!(internet_checksum(&[0xAB]), !0xAB00u16);
-        assert_eq!(internet_checksum(&[0x12, 0x34, 0x56]), !(0x1234u16 + 0x5600));
+        assert_eq!(
+            internet_checksum(&[0x12, 0x34, 0x56]),
+            !(0x1234u16 + 0x5600)
+        );
     }
 
     #[test]
@@ -381,7 +388,10 @@ mod tests {
         // The canonical IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
     }
 
     #[test]

@@ -78,12 +78,7 @@ pub fn xor_and_checksum(src: &[u8], dst: &mut [u8], keystream: &[u8], key_offset
 ///
 /// Tail bytes (len % 4) are decrypted and checksummed but not swapped,
 /// matching the layered [`crate::swap::swap32_copy`] semantics.
-pub fn xor_swap_checksum(
-    src: &[u8],
-    dst: &mut [u8],
-    keystream: &[u8],
-    key_offset: usize,
-) -> u16 {
+pub fn xor_swap_checksum(src: &[u8], dst: &mut [u8], keystream: &[u8], key_offset: usize) -> u16 {
     assert_eq!(src.len(), dst.len(), "copy length mismatch");
     assert!(!keystream.is_empty(), "empty keystream");
     let klen = keystream.len();
@@ -166,7 +161,9 @@ mod tests {
     use crate::swap::swap32_copy;
 
     fn pattern(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i.wrapping_mul(113) ^ (i >> 5)) as u8).collect()
+        (0..n)
+            .map(|i| (i.wrapping_mul(113) ^ (i >> 5)) as u8)
+            .collect()
     }
 
     const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 15, 16, 17, 31, 33, 100, 4000, 4001];

@@ -18,7 +18,11 @@ pub struct Truncated {
 
 impl fmt::Display for Truncated {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "buffer truncated: need {} bytes, have {}", self.need, self.have)
+        write!(
+            f,
+            "buffer truncated: need {} bytes, have {}",
+            self.need, self.have
+        )
     }
 }
 
@@ -122,7 +126,9 @@ impl<'a> HeaderReader<'a> {
     /// Read a big-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, Truncated> {
         let s = self.take(8)?;
-        Ok(u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+        Ok(u64::from_be_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
     }
 
     /// Borrow the next `n` bytes without copying.
@@ -175,7 +181,9 @@ mod tests {
     #[test]
     fn network_byte_order_on_wire() {
         let mut buf = Vec::new();
-        HeaderWriter::new(&mut buf).put_u16(0x0102).put_u32(0x03040506);
+        HeaderWriter::new(&mut buf)
+            .put_u16(0x0102)
+            .put_u32(0x03040506);
         assert_eq!(buf, [0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
     }
 

@@ -54,7 +54,7 @@ pub fn u32s_to_be_bytes(values: &[u32]) -> Vec<u8> {
 /// Returns `Err(len)` with the offending byte length if `bytes.len()` is not
 /// a multiple of 4.
 pub fn u32s_from_be_bytes(bytes: &[u8]) -> Result<Vec<u32>, usize> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(bytes.len());
     }
     Ok(bytes

@@ -50,7 +50,10 @@ fn main() {
         &adus,
         None,
     );
-    assert!(report.complete && report.verified, "transfer failed: {report:?}");
+    assert!(
+        report.complete && report.verified,
+        "transfer failed: {report:?}"
+    );
 
     // Replay the deliveries into a FileReceiver to demonstrate placement.
     // (run_alf_transfer consumed the transport deliveries internally; here

@@ -28,17 +28,30 @@ fn main() {
     let adu: Vec<u8> = (0..4096).map(|i| (i * 31 % 251) as u8).collect();
 
     println!("chain: checksum -> xor-decrypt -> swap32 -> copy\n");
-    println!("{:<8}{:>14}{:>16}{:>10}", "stages", "layered Mb/s", "integrated Mb/s", "speedup");
+    println!(
+        "{:<8}{:>14}{:>16}{:>10}",
+        "stages", "layered Mb/s", "integrated Mb/s", "speedup"
+    );
     for n in 1..=4 {
         let chain = canonical_receive_chain(n, 0xBEEF);
         // Correctness first: the two executions are bit-identical.
         assert_eq!(chain.run_layered(&adu), chain.run_integrated(&adu));
         let mut sink = 0u16;
         let lay = time_mbps(adu.len(), || {
-            sink ^= chain.run_layered(&adu).checksums.first().copied().unwrap_or(0);
+            sink ^= chain
+                .run_layered(&adu)
+                .checksums
+                .first()
+                .copied()
+                .unwrap_or(0);
         });
         let int = time_mbps(adu.len(), || {
-            sink ^= chain.run_integrated(&adu).checksums.first().copied().unwrap_or(0);
+            sink ^= chain
+                .run_integrated(&adu)
+                .checksums
+                .first()
+                .copied()
+                .unwrap_or(0);
         });
         println!("{n:<8}{lay:>14.0}{int:>16.0}{:>9.2}x", int / lay);
         std::hint::black_box(sink);
@@ -61,7 +74,10 @@ fn main() {
     let chain = canonical_receive_chain(4, 0xBEEF);
     let seekable = XorStream::new(1).constraint();
     let chained = ChainedBlock::new(1, IvMode::Carried).constraint();
-    println!("\nseekable cipher as extra stage: {:?}", chain.check_alf_compatible(&[seekable]));
+    println!(
+        "\nseekable cipher as extra stage: {:?}",
+        chain.check_alf_compatible(&[seekable])
+    );
     match chain.check_alf_compatible(&[chained]) {
         Err(e) => println!("carried-IV cipher rejected:   Err({e})"),
         Ok(()) => unreachable!("must be rejected"),

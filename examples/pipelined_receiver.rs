@@ -35,7 +35,9 @@ fn main() {
 
     // The application data: 200k integers, BER-encoded (the conversion-
     // intensive workload), cut into 16 kB ADUs named by stream position.
-    let values: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let values: Vec<u32> = (0..200_000u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
     let wire = ber::encode_u32_array(&values);
     let adu_size = 16 * 1024;
     println!(
@@ -48,7 +50,12 @@ fn main() {
     let mut net = Network::new(4242);
     let tx_node = net.add_node();
     let rx_node = net.add_node();
-    net.connect(tx_node, rx_node, LinkConfig::gigabit(), FaultConfig::loss(loss_pct / 100.0));
+    net.connect(
+        tx_node,
+        rx_node,
+        LinkConfig::gigabit(),
+        FaultConfig::loss(loss_pct / 100.0),
+    );
     let cfg = AlfConfig {
         recovery: RecoveryMode::TransportBuffer,
         retransmit_timeout: SimDuration::from_millis(5),
@@ -105,7 +112,9 @@ fn main() {
         }
         while let Some((adu, _)) = rx.recv_adu() {
             completions += 1;
-            let AduName::FileRange { offset } = adu.name else { unreachable!() };
+            let AduName::FileRange { offset } = adu.name else {
+                unreachable!()
+            };
             if offset != next_offset {
                 held_back += 1;
             }
@@ -115,7 +124,7 @@ fn main() {
                 next_offset += chunk.len() as u64;
                 decoded += decoder.push(&chunk).expect("valid BER").len();
             }
-            if completions % 25 == 0 {
+            if completions.is_multiple_of(25) {
                 println!(
                     "t={:>10} completions={completions:3} decoded={decoded:6} ints ({:.0}% of stream)",
                     format!("{}", net.now()),
@@ -128,7 +137,11 @@ fn main() {
         }
         if !net.is_idle() {
             net.step();
-        } else if let Some(t) = [tx.next_timeout(), rx.next_timeout()].into_iter().flatten().min() {
+        } else if let Some(t) = [tx.next_timeout(), rx.next_timeout()]
+            .into_iter()
+            .flatten()
+            .min()
+        {
             if t > net.now() {
                 net.advance(t.saturating_since(net.now()));
             }
@@ -139,7 +152,11 @@ fn main() {
         }
     }
 
-    println!("\ndecoded {decoded}/{} integers by {}", values.len(), net.now());
+    println!(
+        "\ndecoded {decoded}/{} integers by {}",
+        values.len(),
+        net.now()
+    );
     println!(
         "ADUs completed: {completions}; completed out of stream order: {held_back} \
          (held briefly for the sequential BER prefix)"

@@ -23,12 +23,7 @@ use ct_netsim::link::LinkConfig;
 fn main() {
     // --- 1. ten ADUs, each named so the receiver knows its disposition ---
     let adus: Vec<Adu> = (0..10u64)
-        .map(|i| {
-            Adu::new(
-                AduName::FileRange { offset: i * 4096 },
-                vec![i as u8; 4096],
-            )
-        })
+        .map(|i| Adu::new(AduName::FileRange { offset: i * 4096 }, vec![i as u8; 4096]))
         .collect();
 
     // --- 2. ship them over a lossy simulated LAN ---
@@ -41,10 +36,16 @@ fn main() {
         &adus,
         None,
     );
-    println!("delivered : {}/{} ADUs", report.adus_delivered, report.adus_offered);
+    println!(
+        "delivered : {}/{} ADUs",
+        report.adus_delivered, report.adus_offered
+    );
     println!("verified  : {}", report.verified);
     println!("elapsed   : {} (simulated)", report.elapsed);
-    println!("retransmit: {} whole-ADU retransmissions", report.sender.adus_retransmitted);
+    println!(
+        "retransmit: {} whole-ADU retransmissions",
+        report.sender.adus_retransmitted
+    );
     println!(
         "out-of-order deliveries: {} (each one a stall avoided)",
         report.receiver.adus_delivered_out_of_order
@@ -53,7 +54,10 @@ fn main() {
     // --- 3. stage-2 processing: one integrated loop over the ADU ---
     let chain = Pipeline::new()
         .stage(Manipulation::Checksum) // verify wire bytes
-        .stage(Manipulation::Xor { key: 0xFEED, offset: 0 }) // decrypt
+        .stage(Manipulation::Xor {
+            key: 0xFEED,
+            offset: 0,
+        }) // decrypt
         .stage(Manipulation::Swap32); // presentation byte-order fix
     chain
         .check_alf_compatible(&[])

@@ -124,5 +124,8 @@ fn main() {
     if completed != in_order {
         println!("small calls overtook big ones — no head-of-line blocking");
     }
-    println!("server served {} calls, {} errors", server.calls_served, server.errors);
+    println!(
+        "server served {} calls, {} errors",
+        server.calls_served, server.errors
+    );
 }

@@ -49,8 +49,8 @@ fn main() {
     let cfg = AlfConfig {
         recovery: RecoveryMode::NoRetransmit,
         assembly_timeout: SimDuration::from_millis(5),
-        fec_group: 3,      // one parity TU per tile: single-TU repair, no RTT
-        timestamps: true,  // regenerate inter-packet timing at the receiver
+        fec_group: 3,     // one parity TU per tile: single-TU repair, no RTT
+        timestamps: true, // regenerate inter-packet timing at the receiver
         // Out-of-band rate control: a 1434-byte TU is ~34 cells = 1802
         // wire bytes ≈ 15 us at 1 Gb/s; pace at 20 us so tile bursts
         // never overrun the cell queue.

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verification plus lint gates. Run from the workspace root.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

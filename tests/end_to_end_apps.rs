@@ -94,13 +94,20 @@ fn snappy(recovery: RecoveryMode) -> AlfConfig {
 fn file_transfer_end_to_end_with_placement() {
     let file: Vec<u8> = (0..300_000).map(|i| (i % 241) as u8).collect();
     let sender = FileSender::new(&file, 8192);
-    let mut world = World::new(17, FaultConfig::loss(0.03), snappy(RecoveryMode::TransportBuffer));
+    let mut world = World::new(
+        17,
+        FaultConfig::loss(0.03),
+        snappy(RecoveryMode::TransportBuffer),
+    );
     let mut rx = FileReceiver::new(file.len());
     let adus = sender.adus();
     let mut offered = 0usize;
     for _ in 0..3_000_000 {
         while offered < adus.len() {
-            match world.a.send_adu(adus[offered].name, adus[offered].payload.clone()) {
+            match world
+                .a
+                .send_adu(adus[offered].name, adus[offered].payload.clone())
+            {
                 Ok(_) => offered += 1,
                 Err(_) => break,
             }
@@ -124,7 +131,11 @@ fn video_end_to_end_loss_tolerant() {
     const FRAMES: u32 = 30;
     const SLOTS: u16 = 6;
     let source = VideoSource::new(FRAMES, SLOTS, 1000);
-    let mut world = World::new(23, FaultConfig::loss(0.04), snappy(RecoveryMode::NoRetransmit));
+    let mut world = World::new(
+        23,
+        FaultConfig::loss(0.04),
+        snappy(RecoveryMode::NoRetransmit),
+    );
     let interval = SimDuration::from_millis(33);
     let mut playout = PlayoutBuffer::new(
         SLOTS,
@@ -136,10 +147,14 @@ fn video_end_to_end_loss_tolerant() {
     let mut next_frame = 0u32;
     while !playout.finished() {
         let now = world.net.now();
-        while next_frame < FRAMES && now >= SimTime::ZERO + interval.saturating_mul(next_frame as u64)
+        while next_frame < FRAMES
+            && now >= SimTime::ZERO + interval.saturating_mul(next_frame as u64)
         {
             for adu in source.frame_adus(next_frame) {
-                world.a.send_adu(adu.name, adu.payload).expect("no window in NoRetransmit");
+                world
+                    .a
+                    .send_adu(adu.name, adu.payload)
+                    .expect("no window in NoRetransmit");
             }
             next_frame += 1;
         }
@@ -165,7 +180,11 @@ fn video_end_to_end_loss_tolerant() {
 
 #[test]
 fn rpc_end_to_end_out_of_order_completion() {
-    let mut world = World::new(29, FaultConfig::loss(0.02), snappy(RecoveryMode::TransportBuffer));
+    let mut world = World::new(
+        29,
+        FaultConfig::loss(0.02),
+        snappy(RecoveryMode::TransportBuffer),
+    );
     let mut client = RpcClient::new();
     let mut server = RpcServer::new();
     // One big call then several small ones.
@@ -187,7 +206,10 @@ fn rpc_end_to_end_out_of_order_completion() {
         }
         for (id, _proc, result) in client.take_completed() {
             if id == 0 {
-                assert_eq!(result, vec![(0..30_000u32).fold(0u32, |a, b| a.wrapping_add(b))]);
+                assert_eq!(
+                    result,
+                    vec![(0..30_000u32).fold(0u32, |a, b| a.wrapping_add(b))]
+                );
             }
             done.push(id);
         }
@@ -212,13 +234,20 @@ fn parallel_sink_paths_agree_over_network_delivery() {
     // Ship shard-named ADUs through the real transport, ingest them at the
     // receiver, and verify the digest equals both local ingest paths.
     let adus = shard_workload(4, 16, 2048);
-    let mut world = World::new(37, FaultConfig::loss(0.02), snappy(RecoveryMode::TransportBuffer));
+    let mut world = World::new(
+        37,
+        FaultConfig::loss(0.02),
+        snappy(RecoveryMode::TransportBuffer),
+    );
     let mut sink = ShardedSink::new(4);
     let mut offered = 0usize;
     let mut received = 0usize;
     for _ in 0..3_000_000 {
         while offered < adus.len() {
-            match world.a.send_adu(adus[offered].name, adus[offered].payload.clone()) {
+            match world
+                .a
+                .send_adu(adus[offered].name, adus[offered].payload.clone())
+            {
                 Ok(_) => offered += 1,
                 Err(_) => break,
             }

@@ -10,7 +10,7 @@ use alf_core::transport::{AlfConfig, RecoveryMode};
 use ct_netsim::fault::FaultConfig;
 use ct_netsim::link::LinkConfig;
 use ct_netsim::net::Network;
-use ct_netsim::time::{SimDuration, SimTime};
+use ct_netsim::time::SimDuration;
 use ct_presentation::negotiate::{negotiate, ConversionPlan, LocalSyntax, SyntaxCaps};
 use ct_presentation::stream::BerU32Stream;
 use ct_presentation::{ber, TransferSyntax};
@@ -36,7 +36,9 @@ fn mux_carries_isolated_associations_over_lossy_network() {
     }
     // Distinct payload per association.
     let payload_for = |assoc: u16, i: u64| -> Vec<u8> {
-        (0..2000).map(|j| (assoc as usize + i as usize * 31 + j) as u8).collect()
+        (0..2000)
+            .map(|j| (assoc as usize + i as usize * 31 + j) as u8)
+            .collect()
     };
     for assoc in [10u16, 20, 30] {
         for i in 0..10u64 {
@@ -63,7 +65,9 @@ fn mux_carries_isolated_associations_over_lossy_network() {
         }
         for assoc in [10u16, 20, 30] {
             while let Some((adu, _)) = b.get_mut(assoc).unwrap().recv_adu() {
-                let AduName::Seq { index } = adu.name else { panic!() };
+                let AduName::Seq { index } = adu.name else {
+                    panic!()
+                };
                 assert_eq!(adu.payload, payload_for(assoc, index), "assoc {assoc}");
                 received += 1;
             }
@@ -73,7 +77,11 @@ fn mux_carries_isolated_associations_over_lossy_network() {
         }
         if !net.is_idle() {
             net.step();
-        } else if let Some(t) = [a.next_timeout(), b.next_timeout()].into_iter().flatten().min() {
+        } else if let Some(t) = [a.next_timeout(), b.next_timeout()]
+            .into_iter()
+            .flatten()
+            .min()
+        {
             if t > net.now() {
                 net.advance(t.saturating_since(net.now()));
             }
@@ -134,7 +142,12 @@ fn negotiated_direct_plan_round_trips_through_transport() {
         .chunks(4000)
         .enumerate()
         .map(|(i, c)| {
-            alf_core::Adu::new(AduName::FileRange { offset: (i * 4000) as u64 }, c.to_vec())
+            alf_core::Adu::new(
+                AduName::FileRange {
+                    offset: (i * 4000) as u64,
+                },
+                c.to_vec(),
+            )
         })
         .collect();
     let r = run_alf_transfer(
@@ -182,7 +195,12 @@ fn streaming_decode_consumes_transport_deliveries() {
         .chunks(8192)
         .enumerate()
         .map(|(i, c)| {
-            alf_core::Adu::new(AduName::FileRange { offset: (i * 8192) as u64 }, c.to_vec())
+            alf_core::Adu::new(
+                AduName::FileRange {
+                    offset: (i * 8192) as u64,
+                },
+                c.to_vec(),
+            )
         })
         .collect();
     let r = run_alf_transfer(
@@ -266,7 +284,10 @@ fn timestamps_survive_the_full_path_and_measure_jitter() {
         None,
     );
     assert!(r.complete && r.verified);
-    assert_eq!(r.receiver.timestamped_tus, r.receiver.adus_delivered + r.sender.adus_retransmitted);
+    assert_eq!(
+        r.receiver.timestamped_tus,
+        r.receiver.adus_delivered + r.sender.adus_retransmitted
+    );
     assert!(
         r.receiver.jitter_us > 10.0,
         "reordering delay must register as jitter, got {}",

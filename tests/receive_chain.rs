@@ -48,7 +48,10 @@ fn two_stage_receive_full_path() {
     // then the presentation layer checks its fused checksum. Here the
     // pipeline decrypts in one pass; XDR decode+verify follows on the
     // plaintext (itself a fused kernel).
-    let chain = Pipeline::new().stage(Manipulation::Xor { key: 0xA11CE, offset: 0 });
+    let chain = Pipeline::new().stage(Manipulation::Xor {
+        key: 0xA11CE,
+        offset: 0,
+    });
     chain.check_alf_compatible(&[cipher.constraint()]).unwrap();
     let out = chain.run_integrated(&adu.payload);
     let (decoded, ck_ok) = fused::xdr_decode_u32s_checksummed(&out.data, wire_ck).unwrap();
@@ -56,7 +59,11 @@ fn two_stage_receive_full_path() {
     assert_eq!(decoded, values);
 
     // Application placement: scatter the first few values into "variables".
-    let flat: Vec<u8> = decoded.iter().take(4).flat_map(|v| v.to_be_bytes()).collect();
+    let flat: Vec<u8> = decoded
+        .iter()
+        .take(4)
+        .flat_map(|v| v.to_be_bytes())
+        .collect();
     let scatter = Scatter::from_extents(vec![
         Extent::new(32, 4),
         Extent::new(0, 4),

@@ -37,10 +37,20 @@ fn fault_profiles() -> Vec<(&'static str, FaultConfig)> {
 fn byte_stream_delivers_exactly_under_all_faults() {
     let data: Vec<u8> = (0..150_000).map(|i| (i % 239) as u8).collect();
     for (name, faults) in fault_profiles() {
-        let r = run_transfer(11, LinkConfig::lan(), faults, StreamConfig::default(), &data);
+        let r = run_transfer(
+            11,
+            LinkConfig::lan(),
+            faults,
+            StreamConfig::default(),
+            &data,
+        );
         assert!(r.complete, "{name}: transfer incomplete");
         assert_eq!(r.bytes, data.len() as u64, "{name}");
-        assert_eq!(r.received_crc32, payload_crc(&data), "{name}: corrupted delivery");
+        assert_eq!(
+            r.received_crc32,
+            payload_crc(&data),
+            "{name}: corrupted delivery"
+        );
     }
 }
 
@@ -132,27 +142,48 @@ fn recovery_modes_cost_signatures() {
     };
 
     let buf = run_alf_transfer(
-        31, LinkConfig::lan(), faults, mk(RecoveryMode::TransportBuffer),
-        Substrate::Packet, &adus, None,
+        31,
+        LinkConfig::lan(),
+        faults,
+        mk(RecoveryMode::TransportBuffer),
+        Substrate::Packet,
+        &adus,
+        None,
     );
     assert!(buf.complete && buf.verified);
     assert_eq!(buf.adus_delivered, 60);
     assert!(buf.sender_buffer_peak > 0, "buffering must cost memory");
 
     let rec = run_alf_transfer(
-        31, LinkConfig::lan(), faults, mk(RecoveryMode::AppRecompute),
-        Substrate::Packet, &adus, Some(&oracle),
+        31,
+        LinkConfig::lan(),
+        faults,
+        mk(RecoveryMode::AppRecompute),
+        Substrate::Packet,
+        &adus,
+        Some(&oracle),
     );
     assert!(rec.complete && rec.verified);
     assert_eq!(rec.adus_delivered, 60);
-    assert_eq!(rec.sender_buffer_peak, 0, "recompute mode must hold no buffer");
+    assert_eq!(
+        rec.sender_buffer_peak, 0,
+        "recompute mode must hold no buffer"
+    );
 
     let nor = run_alf_transfer(
-        31, LinkConfig::lan(), faults, mk(RecoveryMode::NoRetransmit),
-        Substrate::Packet, &adus, None,
+        31,
+        LinkConfig::lan(),
+        faults,
+        mk(RecoveryMode::NoRetransmit),
+        Substrate::Packet,
+        &adus,
+        None,
     );
     assert!(nor.verified);
-    assert!(nor.adus_delivered < 60, "no-retransmit must lose some ADUs at 3% loss");
+    assert!(
+        nor.adus_delivered < 60,
+        "no-retransmit must lose some ADUs at 3% loss"
+    );
     assert!(nor.adus_delivered > 30, "but deliver most");
     assert!(nor.elapsed < buf.elapsed, "and finish fastest");
 }
@@ -160,14 +191,42 @@ fn recovery_modes_cost_signatures() {
 #[test]
 fn both_stacks_deterministic_across_reruns() {
     let data: Vec<u8> = (0..80_000).map(|i| (i % 199) as u8).collect();
-    let t1 = run_transfer(5, LinkConfig::lan(), FaultConfig::loss(0.02), StreamConfig::default(), &data);
-    let t2 = run_transfer(5, LinkConfig::lan(), FaultConfig::loss(0.02), StreamConfig::default(), &data);
+    let t1 = run_transfer(
+        5,
+        LinkConfig::lan(),
+        FaultConfig::loss(0.02),
+        StreamConfig::default(),
+        &data,
+    );
+    let t2 = run_transfer(
+        5,
+        LinkConfig::lan(),
+        FaultConfig::loss(0.02),
+        StreamConfig::default(),
+        &data,
+    );
     assert_eq!(t1.elapsed, t2.elapsed);
     assert_eq!(t1.sender.segments_out, t2.sender.segments_out);
 
     let adus = seq_workload(25, 3000);
-    let a1 = run_alf_transfer(5, LinkConfig::lan(), FaultConfig::loss(0.02), AlfConfig::default(), Substrate::Packet, &adus, None);
-    let a2 = run_alf_transfer(5, LinkConfig::lan(), FaultConfig::loss(0.02), AlfConfig::default(), Substrate::Packet, &adus, None);
+    let a1 = run_alf_transfer(
+        5,
+        LinkConfig::lan(),
+        FaultConfig::loss(0.02),
+        AlfConfig::default(),
+        Substrate::Packet,
+        &adus,
+        None,
+    );
+    let a2 = run_alf_transfer(
+        5,
+        LinkConfig::lan(),
+        FaultConfig::loss(0.02),
+        AlfConfig::default(),
+        Substrate::Packet,
+        &adus,
+        None,
+    );
     assert_eq!(a1.elapsed, a2.elapsed);
     assert_eq!(a1.sender.tus_sent, a2.sender.tus_sent);
 }

@@ -49,8 +49,7 @@ fn buffer_mode_repairs_cell_loss() {
     assert!(r.complete && r.verified, "{r:?}");
     assert_eq!(r.adus_delivered, 25);
     assert!(
-        r.sender.adus_retransmitted + r.sender.tus_retransmitted_selective + r.sender.probe_tus
-            > 0,
+        r.sender.adus_retransmitted + r.sender.tus_retransmitted_selective + r.sender.probe_tus > 0,
         "cell loss must have cost repair traffic"
     );
 }
@@ -96,7 +95,7 @@ fn atm_constants_and_overheads() {
     let payload = 4400usize;
     let cells = atm::cells_for(payload);
     // 4400 bytes at 44/cell with the BOM cell carrying 4 fewer.
-    assert_eq!(cells, 1 + (payload - 40 + 43) / 44);
+    assert_eq!(cells, 1 + (payload - 40).div_ceil(44));
     let wire = cells * atm::CELL_SIZE_BYTES;
     let tax = wire as f64 / payload as f64;
     assert!(tax > 1.2 && tax < 1.25, "cell tax {tax}");
@@ -107,7 +106,15 @@ fn packet_and_atm_same_content_under_reordering() {
     let adus = seq_workload(20, 3000);
     let faults = FaultConfig::reordering(0.3, SimDuration::from_micros(600));
     for substrate in [Substrate::Packet, Substrate::Atm] {
-        let r = run_alf_transfer(8, LinkConfig::gigabit(), faults, AlfConfig::default(), substrate, &adus, None);
+        let r = run_alf_transfer(
+            8,
+            LinkConfig::gigabit(),
+            faults,
+            AlfConfig::default(),
+            substrate,
+            &adus,
+            None,
+        );
         assert!(r.complete && r.verified, "{substrate:?}: {r:?}");
         assert_eq!(r.adus_delivered, 20, "{substrate:?}");
     }

@@ -1,0 +1,233 @@
+//! A self-contained, offline subset of the `criterion` crate's API.
+//!
+//! The real `criterion` cannot be fetched in this build environment; this
+//! crate keeps the workspace's `cargo bench` targets compiling and useful.
+//! It implements the configuration builder, benchmark groups, per-function
+//! timing with warm-up, and throughput reporting — as a plain text report
+//! (median ns/iter and MB/s or Melem/s), with no statistics engine, HTML
+//! output, or command-line filtering.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark context and configuration (subset).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (each sample times a batch of iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+            _name: name,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let cfg = self.clone();
+        run_one(&cfg, None, &id.into(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        run_one(&cfg, self.throughput, &id.into(), f);
+        self
+    }
+
+    /// Finish the group (report separator; no-op otherwise).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` for this sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // learning the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= cfg.warm_up_time {
+            break b.elapsed.max(Duration::from_nanos(1));
+        }
+    };
+    // Size each sample so that sample_size samples fill measurement_time.
+    let budget = cfg.measurement_time.as_nanos().max(1) / cfg.sample_size as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MB/s", n as f64 / median * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.2} Melem/s", n as f64 / median * 1e9 / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("  {id:<44} {median:>12.1} ns/iter{rate}");
+}
+
+/// Declare a benchmark group (subset of criterion's forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque-value hint, re-exported for compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1000));
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn runs_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        target(&mut c);
+        c.bench_function("direct", |b| b.iter(|| 2 + 2));
+    }
+}

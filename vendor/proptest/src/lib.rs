@@ -1,0 +1,581 @@
+//! A self-contained, offline subset of the `proptest` crate's API.
+//!
+//! The real `proptest` cannot be fetched in this build environment, so this
+//! crate implements just enough of its surface for the workspace's property
+//! tests to compile and run: deterministic pseudo-random case generation,
+//! the `proptest!`/`prop_oneof!`/`prop_assert*!` macros, range and
+//! collection strategies, `prop_map`/`prop_recursive`, and
+//! `prop::sample::Index`. There is **no shrinking**: a failing case panics
+//! with the generating seed so it can be replayed by rerunning the test.
+
+#![deny(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration (subset: case count only).
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic split-mix / xorshift generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one test case, derived from the test name and case index.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= case as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            Self { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64* — plenty for test-case generation.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators (subset).
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy: Clone {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> U + Clone,
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy {
+                gen: Rc::new(move |rng| this.generate(rng)),
+            }
+        }
+
+        /// Build a recursive strategy: `f` receives the strategy for the
+        /// previous depth level and returns the next level. Depth is
+        /// bounded by `depth`; `_desired_size`/`_expected_branch` are
+        /// accepted for API compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.clone().boxed();
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                let deeper = f(current).boxed();
+                let leaf2 = leaf.clone();
+                current = Union {
+                    options: vec![leaf2, deeper],
+                }
+                .boxed();
+            }
+            current
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<V> {
+        gen: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally likely alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        /// The alternatives.
+        pub options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Build from type-erased alternatives.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// `&str` as a strategy: a minimal regex-class generator supporting the
+    /// `[class]{min,max}` shape (e.g. `"[a-zA-Z0-9 ]{0,32}"`), which is all
+    /// the workspace uses. Any other pattern is generated literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            if let Some((chars, min, max)) = parse_class_repeat(self) {
+                let n = min + rng.below((max - min + 1) as u64) as usize;
+                (0..n)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            } else {
+                (*self).to_string()
+            }
+        }
+    }
+
+    /// Parse `[set]{min,max}` into (alphabet, min, max).
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (min_s, max_s) = reps.split_once(',')?;
+        let (min, max) = (min_s.trim().parse().ok()?, max_s.trim().parse().ok()?);
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                for c in lo..=hi {
+                    chars.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        (!chars.is_empty() && min <= max).then_some((chars, min, max))
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait: default strategies per type (subset).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Random index selection (`prop::sample`, subset).
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose size is unknown at generation time
+    /// (`proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements. `len` must be
+        /// non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+
+        /// Select an element from a non-empty slice.
+        pub fn get<'a, T>(&self, values: &'a [T]) -> &'a T {
+            &values[self.index(values.len())]
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with element strategy `S` and a length range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The macro- and glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias exposed by the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                // The closure gives `prop_assume!` and `return Ok(())` an
+                // early exit, like real proptest's Result-returning bodies.
+                #[allow(clippy::redundant_closure_call)]
+                let _: ::std::result::Result<(), ()> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+            }
+        }
+    )*};
+}
+
+/// Uniform random choice among the listed strategies (all arms must yield
+/// the same value type). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Assert inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Discard the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("r", 0);
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_strings_match() {
+        let mut rng = crate::test_runner::TestRng::for_case("s", 1);
+        for _ in 0..200 {
+            let s = "[a-c0-1 ]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "abc01 ".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(
+            xs in prop::collection::vec(any::<u8>(), 0..16),
+            n in 1usize..10,
+        ) {
+            prop_assume!(n > 0);
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert!(n < 10);
+        }
+    }
+}
