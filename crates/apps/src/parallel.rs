@@ -325,7 +325,7 @@ mod tests {
         // window, rate pacing all live) and self-route into the sink as
         // they complete — out of order is fine, the digest is
         // order-insensitive.
-        use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode};
+        use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode, SendRefused};
         use ct_netsim::time::{SimDuration, SimTime};
 
         let adus = shard_workload(4, 25, 600);
@@ -345,12 +345,14 @@ mod tests {
         let mut offered = 0usize;
         let mut now = SimTime::ZERO;
         for _ in 0..100_000 {
-            while offered < adus.len()
-                && tx
-                    .send_adu(adus[offered].name, adus[offered].payload.clone())
-                    .is_ok()
-            {
-                offered += 1;
+            while offered < adus.len() {
+                match tx.send_adu(adus[offered].name, adus[offered].payload.clone()) {
+                    Ok(_) => offered += 1,
+                    // Transient: the window (ours or the receiver's) will
+                    // reopen as ACKs arrive — retry on the next tick.
+                    Err(SendRefused::WindowFull | SendRefused::Backpressured) => break,
+                    Err(e) => panic!("shard ingest refused fatally: {e}"),
+                }
             }
             now += SimDuration::from_micros(50);
             for f in tx.poll(now) {

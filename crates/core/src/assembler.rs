@@ -149,6 +149,27 @@ pub struct AssemblerStats {
     pub adus_completed: u64,
     /// ADUs abandoned (deadline or budget) — §5's whole-ADU loss.
     pub adus_abandoned: u64,
+    /// Incomplete ADUs evicted to fit the byte budget (DropOldest policy).
+    pub adus_shed: u64,
+    /// TUs refused because the byte budget left no room (Backpressure
+    /// policy, or an ADU larger than the whole budget).
+    pub tus_refused: u64,
+}
+
+/// What to do when admitting a new assembly would exceed the byte budget.
+///
+/// The choice follows the recovery mode: media streams (`NoRetransmit`)
+/// prefer fresh data over stale — evict the oldest incomplete ADU. Buffered
+/// and recompute modes must never lose data silently — refuse the TU and let
+/// the advertised window push back on the sender, which still holds the ADU
+/// and will retransmit once the window reopens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Evict oldest incomplete assemblies until the newcomer fits.
+    DropOldest,
+    /// Refuse the newcomer's TUs; the sender retransmits later.
+    #[default]
+    Backpressure,
 }
 
 /// Stage-1 reassembler: turns TUs into complete ADUs, out of order.
@@ -162,6 +183,12 @@ pub struct Assembler {
     released: BTreeMap<u64, ()>,
     deadline: SimDuration,
     max_pending: usize,
+    /// Byte ceiling across all incomplete assemblies (0 = unlimited).
+    budget_bytes: usize,
+    shed: ShedPolicy,
+    /// ADUs evicted by [`ShedPolicy::DropOldest`], for the transport to
+    /// report as lost.
+    shed_notices: Vec<(u64, AduName)>,
     /// Counters.
     pub stats: AssemblerStats,
 }
@@ -177,16 +204,93 @@ impl Assembler {
             released: BTreeMap::new(),
             deadline,
             max_pending,
+            budget_bytes: 0,
+            shed: ShedPolicy::default(),
+            shed_notices: Vec::new(),
             stats: AssemblerStats::default(),
         }
     }
 
+    /// Install a reassembly byte budget (0 = unlimited) and the policy to
+    /// apply when a new assembly would exceed it.
+    pub fn set_budget(&mut self, bytes: usize, shed: ShedPolicy) {
+        self.budget_bytes = bytes;
+        self.shed = shed;
+    }
+
+    /// The installed byte budget (0 = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes of budget currently free — what the ACK advertises as the
+    /// receiver window. `None` when no budget is installed.
+    pub fn budget_free(&self) -> Option<usize> {
+        if self.budget_bytes == 0 {
+            None
+        } else {
+            Some(self.budget_bytes.saturating_sub(self.pending_bytes()))
+        }
+    }
+
+    /// Drain the `(adu_id, name)` of assemblies evicted by
+    /// [`ShedPolicy::DropOldest`] since the last call.
+    pub fn take_shed(&mut self) -> Vec<(u64, AduName)> {
+        std::mem::take(&mut self.shed_notices)
+    }
+
+    /// Decide whether a first TU of a new ADU may allocate its assembly
+    /// buffer under the byte budget, shedding per policy if needed.
+    fn admit(&mut self, total: u32) -> bool {
+        if self.budget_bytes == 0 {
+            return true;
+        }
+        let need = total as usize;
+        if need > self.budget_bytes {
+            // Can never fit, regardless of policy.
+            self.stats.tus_refused += 1;
+            return false;
+        }
+        match self.shed {
+            ShedPolicy::Backpressure => {
+                if self.pending_bytes() + need > self.budget_bytes {
+                    self.stats.tus_refused += 1;
+                    return false;
+                }
+                true
+            }
+            ShedPolicy::DropOldest => {
+                while self.pending_bytes() + need > self.budget_bytes {
+                    let oldest = self
+                        .pending
+                        .iter()
+                        .min_by_key(|(_, a)| a.first_tu_at)
+                        .map(|(&id, _)| id);
+                    match oldest {
+                        Some(id) => {
+                            let a = self.pending.remove(&id).expect("listed");
+                            self.stats.adus_shed += 1;
+                            self.shed_notices.push((id, a.name));
+                        }
+                        None => break,
+                    }
+                }
+                true
+            }
+        }
+    }
+
     /// Offer one verified TU. Completed ADUs become available via
-    /// [`Assembler::pop_ready`].
-    pub fn on_tu(&mut self, now: SimTime, tu: &Tu) {
+    /// [`Assembler::pop_ready`]. Returns `false` when the TU was refused
+    /// under a [`ShedPolicy::Backpressure`] byte budget (the caller should
+    /// signal the sender rather than treat the TU as consumed).
+    pub fn on_tu(&mut self, now: SimTime, tu: &Tu) -> bool {
         if self.released.contains_key(&tu.adu_id) {
             self.stats.duplicate_tus += 1;
-            return;
+            return true;
+        }
+        if !self.pending.contains_key(&tu.adu_id) && !self.admit(tu.adu_len) {
+            return false;
         }
         self.stats.tus_in += 1;
         let assembly = self
@@ -198,7 +302,7 @@ impl Assembler {
         // or a protocol error: ignore it rather than corrupt the buffer.
         if assembly.total != tu.adu_len || assembly.name != tu.name {
             self.stats.duplicate_tus += 1;
-            return;
+            return true;
         }
         let newly = assembly.insert(tu.frag_off, &tu.payload);
         if newly > 0 {
@@ -227,6 +331,7 @@ impl Assembler {
             self.pending.remove(&oldest);
             self.stats.adus_abandoned += 1;
         }
+        true
     }
 
     /// Abandon assemblies whose deadline has passed; returns the
@@ -310,6 +415,11 @@ impl Assembler {
     /// Bytes currently buffered in incomplete assemblies.
     pub fn pending_bytes(&self) -> usize {
         self.pending.values().map(|a| a.buf.len()).sum()
+    }
+
+    /// Number of released-ADU ids retained for duplicate suppression.
+    pub fn released_count(&self) -> usize {
+        self.released.len()
     }
 
     fn trim_released(&mut self) {
@@ -467,6 +577,112 @@ mod tests {
         }
         assert!(a.pending_count() <= 3);
         assert!(a.stats.adus_abandoned >= 1);
+    }
+
+    #[test]
+    fn max_pending_eviction_drops_oldest_keeps_newest() {
+        // Pin down *which* assembly the max_pending overflow path evicts:
+        // the one whose first TU arrived earliest.
+        let mut a = Assembler::new(SimDuration::from_secs(10), 2);
+        for id in 0..3u64 {
+            let data = payload(2000);
+            let tus = fragment_adu(1, id, AduName::Seq { index: id }, &data, 1000);
+            a.on_tu(SimTime::from_millis(id), &tus[0]); // all incomplete
+        }
+        // Inserting id=2 pushed pending to 3 > 2, evicting id=0 (oldest).
+        assert_eq!(a.pending_count(), 2);
+        assert_eq!(a.stats.adus_abandoned, 1);
+        assert!(a.declared_len(0).is_none());
+        assert!(a.declared_len(1).is_some());
+        assert!(a.declared_len(2).is_some());
+        // The survivor still completes normally.
+        let data = payload(2000);
+        let tus = fragment_adu(1, 1, AduName::Seq { index: 1 }, &data, 1000);
+        a.on_tu(SimTime::from_millis(5), &tus[1]);
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn released_memory_is_bounded() {
+        // Duplicate-suppression memory must not grow without bound: after
+        // many completions the released map is trimmed to its cap, and the
+        // trimmed (oldest) ids lose their suppression.
+        let mut a = asm();
+        let data = payload(100);
+        for id in 0..5000u64 {
+            let tus = fragment_adu(1, id, AduName::Seq { index: id }, &data, 1000);
+            a.on_tu(SimTime::ZERO, &tus[0]);
+        }
+        assert_eq!(a.stats.adus_completed, 5000);
+        assert_eq!(a.released_count(), 4096);
+        assert!(!a.was_released(0)); // trimmed out
+        assert!(a.was_released(4999)); // still suppressed
+    }
+
+    #[test]
+    fn backpressure_budget_refuses_new_assembly() {
+        let mut a = asm();
+        a.set_budget(3000, ShedPolicy::Backpressure);
+        let d0 = payload(2000);
+        let tus0 = fragment_adu(1, 0, AduName::Seq { index: 0 }, &d0, 1000);
+        assert!(a.on_tu(SimTime::ZERO, &tus0[0])); // 2000 bytes allocated
+                                                   // A second 2000-byte ADU would exceed the 3000-byte budget: refused.
+        let tus1 = fragment_adu(1, 1, AduName::Seq { index: 1 }, &payload(2000), 1000);
+        assert!(!a.on_tu(SimTime::ZERO, &tus1[0]));
+        assert_eq!(a.stats.tus_refused, 1);
+        assert_eq!(a.pending_count(), 1);
+        assert!(a.pending_bytes() <= 3000);
+        // TUs for the already-admitted assembly still land.
+        assert!(a.on_tu(SimTime::ZERO, &tus0[1]));
+        let (id, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(adu.payload, d0);
+        // Budget freed: the refused ADU is admitted on retransmit.
+        assert!(a.on_tu(SimTime::from_millis(1), &tus1[0]));
+        assert_eq!(a.pending_count(), 1);
+    }
+
+    #[test]
+    fn drop_oldest_budget_evicts_until_fit() {
+        let mut a = asm();
+        a.set_budget(3000, ShedPolicy::DropOldest);
+        for id in 0..2u64 {
+            let tus = fragment_adu(1, id, AduName::Seq { index: id }, &payload(1400), 1000);
+            a.on_tu(SimTime::from_millis(id), &tus[0]); // incomplete
+        }
+        assert_eq!(a.pending_bytes(), 2800);
+        // A third 1400-byte ADU needs room: the oldest (id 0) is shed.
+        let tus = fragment_adu(1, 2, AduName::Seq { index: 2 }, &payload(1400), 1000);
+        assert!(a.on_tu(SimTime::from_millis(2), &tus[0]));
+        assert_eq!(a.stats.adus_shed, 1);
+        assert!(a.pending_bytes() <= 3000);
+        assert_eq!(a.take_shed(), vec![(0, AduName::Seq { index: 0 })]);
+        assert!(a.take_shed().is_empty());
+    }
+
+    #[test]
+    fn oversize_adu_refused_under_any_policy() {
+        for policy in [ShedPolicy::DropOldest, ShedPolicy::Backpressure] {
+            let mut a = asm();
+            a.set_budget(1000, policy);
+            let tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &payload(4000), 1000);
+            assert!(!a.on_tu(SimTime::ZERO, &tus[0]));
+            assert_eq!(a.stats.tus_refused, 1);
+            assert_eq!(a.pending_count(), 0);
+        }
+    }
+
+    #[test]
+    fn budget_free_tracks_pending() {
+        let mut a = asm();
+        assert_eq!(a.budget_free(), None);
+        a.set_budget(8000, ShedPolicy::Backpressure);
+        assert_eq!(a.budget_free(), Some(8000));
+        let tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &payload(5000), 1000);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        assert_eq!(a.budget_free(), Some(3000));
     }
 
     #[test]

@@ -59,6 +59,18 @@ pub struct AlfReport {
     pub reassembly_peak: usize,
     /// Observed network loss rate (frames or cells, per substrate).
     pub net_loss_rate: f64,
+    /// The sender declared the peer unreachable (dead-peer timeout fired
+    /// and the run stopped instead of retrying forever).
+    pub peer_unreachable: bool,
+}
+
+/// Scenario shaping beyond the static link/fault configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOpts {
+    /// Link outage windows `(from, until)` applied to both directions of
+    /// the A–B link — partitions that heal (use [`SimTime::MAX`] as `until`
+    /// for one that never does).
+    pub outages: Vec<(SimTime, SimTime)>,
 }
 
 /// A recompute oracle for [`RecoveryMode::AppRecompute`] runs: given an ADU
@@ -79,10 +91,38 @@ pub fn run_alf_transfer(
     adus: &[Adu],
     recompute: Option<RecomputeFn<'_>>,
 ) -> AlfReport {
+    run_alf_transfer_scenario(
+        seed,
+        link,
+        faults,
+        cfg,
+        substrate,
+        adus,
+        recompute,
+        &ScenarioOpts::default(),
+    )
+}
+
+/// [`run_alf_transfer`] with additional scenario shaping (scheduled link
+/// outages — partitions that heal or don't).
+#[allow(clippy::too_many_arguments)]
+pub fn run_alf_transfer_scenario(
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+    cfg: AlfConfig,
+    substrate: Substrate,
+    adus: &[Adu],
+    recompute: Option<RecomputeFn<'_>>,
+    opts: &ScenarioOpts,
+) -> AlfReport {
     let mut net = Network::new(seed);
     let node_a = net.add_node();
     let node_b = net.add_node();
     net.connect(node_a, node_b, link, faults);
+    for &(from, until) in &opts.outages {
+        net.schedule_outage(node_a, node_b, from, until);
+    }
     // Out-of-band rate computation (§3): derive the TU pace from the
     // substrate's per-TU wire time unless the caller fixed one — or
     // enabled adaptive control, which measures its own rate from ACKs.
@@ -232,6 +272,13 @@ pub fn run_alf_transfer(
             complete = true;
             break;
         }
+        // Dead peer: the sender flushed everything to loss reports (drained
+        // above) and refuses new work — stop instead of spinning. Offered-
+        // but-unsubmitted ADUs stay unaccounted, so `complete` stays false
+        // unless the flush covered the whole workload.
+        if a.peer_unreachable() {
+            break;
+        }
         // NoRetransmit: the sender is done instantly, but the receiver may
         // be waiting on partial ADUs that will never complete. Run the
         // clock past the assembly deadline once the wire is quiet.
@@ -319,6 +366,7 @@ pub fn run_alf_transfer(
         sender_buffer_peak,
         reassembly_peak,
         net_loss_rate: net.stats().loss_rate(),
+        peer_unreachable: a.peer_unreachable(),
     }
 }
 

@@ -65,5 +65,6 @@ pub mod transport;
 pub mod wire;
 
 pub use adu::{Adu, AduName};
+pub use assembler::ShedPolicy;
 pub use pipeline::{Manipulation, Pipeline, PipelineError};
-pub use transport::{AduTransport, AlfConfig, AlfStats, RecoveryMode};
+pub use transport::{AduTransport, AlfConfig, AlfStats, RecoveryMode, SendRefused};

@@ -22,10 +22,10 @@
 //! [`ct_transport::StreamTransport`]: ../../ct_transport/stream/struct.StreamTransport.html
 
 use crate::adu::{Adu, AduName};
-use crate::assembler::Assembler;
+use crate::assembler::{Assembler, ShedPolicy};
 use crate::fec;
 use crate::wire::{
-    fragment_adu, restamp_tu, Message, WireError, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
+    fragment_adu, restamp_tu, Message, WireError, RWND_UNLIMITED, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
 };
 use ct_netsim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -177,6 +177,20 @@ pub struct AlfConfig {
     pub rto_min: SimDuration,
     /// Upper clamp on the adaptive RTO.
     pub rto_max: SimDuration,
+    /// Receiver reassembly budget in **bytes** (0 = unlimited). When set,
+    /// every ACK advertises the free budget as the receiver window, the
+    /// sender holds first transmissions to `min(cwnd, rwnd)`, and overload
+    /// sheds per the recovery mode: drop-oldest for
+    /// [`RecoveryMode::NoRetransmit`], backpressure (refuse, sender
+    /// retransmits) for the buffered modes — never silent loss.
+    pub reassembly_budget_bytes: usize,
+    /// Declare the peer unreachable after this long with outstanding work
+    /// and no inbound traffic (`ZERO` = never give up). On expiry every
+    /// in-flight and queued ADU is reported lost by name,
+    /// [`AduTransport::peer_unreachable`] turns true, and `send_adu`
+    /// refuses with [`SendRefused::PeerUnreachable`] until the peer is
+    /// heard from again.
+    pub peer_timeout: SimDuration,
 }
 
 impl Default for AlfConfig {
@@ -198,6 +212,8 @@ impl Default for AlfConfig {
             adaptive: false,
             rto_min: SimDuration::from_micros(500),
             rto_max: SimDuration::from_secs(2),
+            reassembly_budget_bytes: 0,
+            peer_timeout: SimDuration::ZERO,
         }
     }
 }
@@ -262,6 +278,23 @@ pub struct AlfStats {
     pub loss_events: u64,
     /// Smoothed delivery rate measured from ACKed bytes, Mb/s.
     pub delivery_rate_mbps: f64,
+    /// Incomplete ADUs the receiver shed (evicted) to honor its byte
+    /// budget (drop-oldest policy).
+    pub adus_shed: u64,
+    /// TUs the receiver refused under backpressure (byte budget full; the
+    /// sender still holds the ADU and retransmits once the window reopens).
+    pub tus_backpressured: u64,
+    /// Zero-window probes sent while the peer advertised no free budget.
+    pub zero_window_probes: u64,
+    /// `send_adu` refusals attributed to receiver pushback
+    /// ([`SendRefused::Backpressured`]).
+    pub send_backpressured: u64,
+    /// Karn-style global RTO backoff escalations (consecutive timeout
+    /// sweeps with no intervening ACK progress).
+    pub rto_backoff_events: u64,
+    /// Times the peer was declared unreachable after `peer_timeout` of
+    /// silence with outstanding work.
+    pub peer_unreachable_events: u64,
 }
 
 /// Sender-side record of an unacknowledged ADU.
@@ -348,6 +381,23 @@ pub struct AduTransport {
     /// Completed ADUs awaiting the application: `(id, adu, latency)`.
     deliver: Vec<(u64, Adu, SimDuration)>,
     highest_delivered: Option<u64>,
+    /// Latest receiver window advertised by the peer's ACKs, bytes.
+    peer_rwnd: u32,
+    /// First transmissions are currently stalled on `peer_rwnd`.
+    rwnd_blocked: bool,
+    /// Next zero-window probe instant, with its backoff exponent.
+    next_probe_at: Option<SimTime>,
+    probe_backoff: u32,
+    /// Karn-style global backoff exponent added to every per-ADU RTO while
+    /// timeouts fire without ACK progress; reset when new data is ACKed.
+    timeout_backoff: u32,
+    /// Last instant any valid peer message arrived (dead-peer clock).
+    last_peer_activity: Option<SimTime>,
+    /// The peer was declared unreachable (cleared if it is heard again).
+    peer_dead: bool,
+    /// The receiver owes the peer a window update: emit an ACK next poll
+    /// even if no ADU ids are pending (probe answers, post-shed updates).
+    window_ack_due: bool,
     /// Counters.
     pub stats: AlfStats,
 }
@@ -357,15 +407,25 @@ pub struct AduTransport {
 pub enum SendRefused {
     /// The unacknowledged-ADU window is full; poll and retry.
     WindowFull,
+    /// The *receiver* is pushing back: its advertised reassembly window has
+    /// no room, so the local window filled while waiting on the peer.
+    /// Distinct from [`SendRefused::WindowFull`] so applications can tell
+    /// receiver overload from their own window sizing.
+    Backpressured,
     /// ADU larger than the u32 length field permits.
     TooBig,
+    /// The peer has been silent past `peer_timeout`; see
+    /// [`AduTransport::peer_unreachable`].
+    PeerUnreachable,
 }
 
 impl std::fmt::Display for SendRefused {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SendRefused::WindowFull => write!(f, "ADU window full"),
+            SendRefused::Backpressured => write!(f, "receiver window exhausted (backpressure)"),
             SendRefused::TooBig => write!(f, "ADU exceeds 4 GiB limit"),
+            SendRefused::PeerUnreachable => write!(f, "peer unreachable"),
         }
     }
 }
@@ -375,6 +435,18 @@ impl std::error::Error for SendRefused {}
 impl AduTransport {
     /// Create an endpoint.
     pub fn new(cfg: AlfConfig) -> Self {
+        let mut assembler = Assembler::new(cfg.assembly_timeout, cfg.max_partial_adus);
+        if cfg.reassembly_budget_bytes > 0 {
+            // The shed policy follows the recovery mode: media streams
+            // prefer fresh data (drop-oldest); buffered modes must never
+            // lose silently (backpressure — the sender retransmits).
+            let shed = if cfg.recovery == RecoveryMode::NoRetransmit {
+                ShedPolicy::DropOldest
+            } else {
+                ShedPolicy::Backpressure
+            };
+            assembler.set_budget(cfg.reassembly_budget_bytes, shed);
+        }
         Self {
             cfg,
             next_adu_id: 0,
@@ -388,7 +460,7 @@ impl AduTransport {
             loss_reports: Vec::new(),
             txq: std::collections::VecDeque::new(),
             next_tx_at: SimTime::ZERO,
-            assembler: Assembler::new(cfg.assembly_timeout, cfg.max_partial_adus),
+            assembler,
             parities: BTreeMap::new(),
             prev_timing: None,
             echo_pending: None,
@@ -402,6 +474,14 @@ impl AduTransport {
             rate_bps: 0.0,
             deliver: Vec::new(),
             highest_delivered: None,
+            peer_rwnd: RWND_UNLIMITED,
+            rwnd_blocked: false,
+            next_probe_at: None,
+            probe_backoff: 0,
+            timeout_backoff: 0,
+            last_peer_activity: None,
+            peer_dead: false,
+            window_ack_due: false,
             stats: AlfStats {
                 cwnd_adus: CWND_INIT_ADUS,
                 cwnd_peak_adus: CWND_INIT_ADUS,
@@ -423,15 +503,31 @@ impl AduTransport {
     ///
     /// # Errors
     /// [`SendRefused::WindowFull`] when too many ADUs are unacknowledged
-    /// (buffered modes only), [`SendRefused::TooBig`] for > u32 payloads.
+    /// (buffered modes only) — or [`SendRefused::Backpressured`] when that
+    /// window filled because the *peer's* advertised reassembly window is
+    /// exhausted; [`SendRefused::TooBig`] for > u32 payloads;
+    /// [`SendRefused::PeerUnreachable`] after the dead-peer declaration.
     pub fn send_adu(&mut self, name: AduName, payload: Vec<u8>) -> Result<u64, SendRefused> {
+        if self.peer_dead {
+            return Err(SendRefused::PeerUnreachable);
+        }
         if payload.len() > u32::MAX as usize {
             return Err(SendRefused::TooBig);
         }
         if self.cfg.recovery != RecoveryMode::NoRetransmit
             && self.unacked.len() + self.queue.len() >= self.cfg.window_adus
         {
+            if self.rwnd_blocked {
+                self.stats.send_backpressured += 1;
+                return Err(SendRefused::Backpressured);
+            }
             return Err(SendRefused::WindowFull);
+        }
+        if self.cfg.peer_timeout > SimDuration::ZERO && !self.work_outstanding() {
+            // Idle → busy transition: the dead-peer clock must measure
+            // silence from this submission, not from the idle stretch
+            // before it (next poll restarts it).
+            self.last_peer_activity = None;
         }
         let id = self.next_adu_id;
         self.next_adu_id += 1;
@@ -473,6 +569,19 @@ impl AduTransport {
             }
             _ => false,
         }
+    }
+
+    /// The peer has been silent past `peer_timeout` with work outstanding;
+    /// every in-flight ADU has been reported lost and `send_adu` refuses.
+    /// Clears automatically if the peer is heard from again.
+    pub fn peer_unreachable(&self) -> bool {
+        self.peer_dead
+    }
+
+    /// The peer's most recently advertised receiver window, in bytes
+    /// ([`crate::wire::RWND_UNLIMITED`] when it runs without a budget).
+    pub fn peer_rwnd(&self) -> u32 {
+        self.peer_rwnd
     }
 
     /// True when nothing is queued, paced, or unacknowledged (sender drained).
@@ -526,14 +635,32 @@ impl AduTransport {
     pub fn poll(&mut self, now: SimTime) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
 
+        // Sender: dead-peer clock. While work is outstanding and the peer
+        // is silent past `peer_timeout`, give up *once*: flush everything
+        // to loss reports instead of retrying forever.
+        self.check_peer_silence(now);
+
         // Receiver: overdue assemblies get selective-fragment NACKs for a
         // few rounds, then a whole-ADU NACK and abandonment.
         let actions = self.assembler.expire_policy(now, self.cfg.nack_frag_rounds);
         for (id, ranges) in actions.request_frags {
             self.nack_frag_out.push((id, ranges));
         }
+        let mut budget_freed = !actions.abandoned.is_empty();
         for (id, _name) in actions.abandoned {
             self.nack_queue.push(id);
+        }
+        // Receiver: assemblies shed to honor the byte budget (drop-oldest
+        // policy). NACK them so a retransmitting sender stops resending.
+        for (id, _name) in self.assembler.take_shed() {
+            self.nack_queue.push(id);
+            budget_freed = true;
+        }
+        self.stats.adus_shed = self.assembler.stats.adus_shed;
+        if budget_freed && self.assembler.budget_bytes() > 0 {
+            // Freed budget is a window update the (possibly stalled)
+            // sender needs to hear about even if no ACK ids are pending.
+            self.window_ack_due = true;
         }
 
         // Sender: retransmission deadlines.
@@ -543,8 +670,18 @@ impl AduTransport {
             .filter(|(_, s)| now >= s.deadline && !s.awaiting_recompute && s.tus_unreleased == 0)
             .map(|(&id, _)| id)
             .collect();
+        let timeouts_fired = !overdue.is_empty();
         for id in overdue {
             self.handle_loss_event(id, now);
+        }
+        if timeouts_fired {
+            // Karn-style escalation, applied from the *next* sweep on:
+            // consecutive timeout sweeps with no intervening ACK progress
+            // stretch every RTO further (the ACK handler resets this once
+            // new data is acknowledged). A single isolated timeout keeps
+            // the plain per-ADU backoff.
+            self.timeout_backoff = (self.timeout_backoff + 1).min(6);
+            self.stats.rto_backoff_events += 1;
         }
 
         // Sender: explicit retransmissions (timeout-, NACK- or recompute-
@@ -563,7 +700,7 @@ impl AduTransport {
                     sent.payload.take()
                 };
                 if let Some(payload) = payload {
-                    sent.deadline = now + rto_for(base, sent.retries);
+                    sent.deadline = now + rto_for(base, sent.retries + self.timeout_backoff);
                     let name = sent.name;
                     let queued = if full || payload.len() <= self.cfg.mtu_payload {
                         self.stats.adus_retransmitted += 1;
@@ -596,16 +733,47 @@ impl AduTransport {
             }
         }
 
-        // Sender: first transmissions — gated by the congestion window
-        // under adaptive control (NoRetransmit flows have no ACK clock to
-        // grow one, so they are never held back).
-        let admit = if self.cfg.adaptive && self.cfg.recovery != RecoveryMode::NoRetransmit {
-            (self.cwnd as usize)
-                .saturating_sub(self.unacked.len())
-                .min(self.queue.len())
+        // Sender: first transmissions — gated by min(cwnd, rwnd): the
+        // congestion window under adaptive control, and the peer's
+        // advertised reassembly window in bytes. NoRetransmit flows are
+        // held back by neither (no ACK clock to grow a cwnd; the receiver
+        // sheds drop-oldest rather than pushing back).
+        let cwnd_slots = if self.cfg.adaptive && self.cfg.recovery != RecoveryMode::NoRetransmit {
+            (self.cwnd as usize).saturating_sub(self.unacked.len())
         } else {
-            self.queue.len()
+            usize::MAX
         };
+        let mut rwnd_free = if self.cfg.recovery == RecoveryMode::NoRetransmit
+            || self.peer_rwnd == RWND_UNLIMITED
+        {
+            None
+        } else {
+            let inflight: u64 = self.unacked.values().map(|s| u64::from(s.total_len)).sum();
+            Some(u64::from(self.peer_rwnd).saturating_sub(inflight))
+        };
+        let mut admit = 0usize;
+        let was_blocked = self.rwnd_blocked;
+        self.rwnd_blocked = false;
+        for (i, (_, _, payload)) in self.queue.iter().enumerate() {
+            if i >= cwnd_slots {
+                break;
+            }
+            if let Some(free) = rwnd_free {
+                let need = payload.len() as u64;
+                if need > free {
+                    // Admitting this ADU could overflow the receiver's
+                    // budget and be shed; hold it until the window reopens.
+                    self.rwnd_blocked = true;
+                    break;
+                }
+                rwnd_free = Some(free - need);
+            }
+            admit = i + 1;
+        }
+        if was_blocked && !self.rwnd_blocked {
+            self.next_probe_at = None;
+            self.probe_backoff = 0;
+        }
         let queue: Vec<_> = self.queue.drain(..admit).collect();
         for (id, name, payload) in queue {
             let keep_payload = self.cfg.recovery == RecoveryMode::TransportBuffer;
@@ -654,16 +822,41 @@ impl AduTransport {
             if let Some(sent) = self.unacked.get_mut(&id) {
                 let retries = sent.retries;
                 sent.tus_unreleased = sent.tus_unreleased.saturating_sub(1);
-                sent.deadline = now + rto_for(base, retries);
+                sent.deadline = now + rto_for(base, retries + self.timeout_backoff);
             }
             self.stats.tus_sent += 1;
             out.push(frame);
         }
 
+        // Sender: zero-window probing. When the peer's window has us fully
+        // stalled (nothing in flight whose ACKs could carry an update),
+        // probe with exponential backoff so a window reopening is noticed
+        // without retransmitting data into a full receiver.
+        if self.rwnd_blocked && self.unacked.is_empty() && self.txq.is_empty() && !self.peer_dead {
+            let due = self.next_probe_at.is_none_or(|t| now >= t);
+            if due {
+                out.push(
+                    Message::WindowProbe {
+                        assoc: self.cfg.assoc,
+                    }
+                    .encode(),
+                );
+                self.stats.zero_window_probes += 1;
+                self.stats.control_sent += 1;
+                let wait = rto_for(self.rto_base(), self.probe_backoff);
+                self.probe_backoff = (self.probe_backoff + 1).min(6);
+                self.next_probe_at = Some(now + wait);
+            }
+        }
+
         // Control: coalesced ACKs / NACKs. The ACK echoes the most recent
         // stamped TU's timestamp plus how long we held it, so the sender
-        // can recover a round-trip sample.
-        if !self.ack_queue.is_empty() {
+        // can recover a round-trip sample — and always advertises the
+        // receiver window (free reassembly budget). A pending window
+        // update (probe answer, freed budget) forces an ACK out even with
+        // no ids to acknowledge.
+        if !self.ack_queue.is_empty() || self.window_ack_due {
+            self.window_ack_due = false;
             let ids = std::mem::take(&mut self.ack_queue);
             let echo = self
                 .echo_pending
@@ -674,6 +867,7 @@ impl AduTransport {
                     assoc: self.cfg.assoc,
                     ids,
                     echo,
+                    rwnd: self.advertised_rwnd(),
                 }
                 .encode(),
             );
@@ -713,6 +907,11 @@ impl AduTransport {
                 return;
             }
         };
+        // Any intact message restarts the dead-peer clock — and revives a
+        // peer previously declared unreachable (its lost ADUs stay lost;
+        // new sends flow again).
+        self.last_peer_activity = Some(now);
+        self.peer_dead = false;
         match msg {
             Message::Tu(tu) => {
                 if tu.assoc != self.cfg.assoc {
@@ -735,8 +934,14 @@ impl AduTransport {
                     } else {
                         self.stats.bad_messages += 1;
                     }
-                } else {
-                    self.assembler.on_tu(now, &tu);
+                } else if !self.assembler.on_tu(now, &tu) {
+                    // Byte budget full, backpressure policy: the TU is
+                    // refused (not silently lost — the sender still holds
+                    // the ADU). Owe the peer a window update so it stops
+                    // pushing until budget frees.
+                    self.stats.tus_backpressured += 1;
+                    self.window_ack_due = true;
+                    return;
                 }
                 self.try_fec_reconstruct(now, tu.adu_id, tu.name);
                 while let Some((id, adu, first_at)) = self.assembler.pop_ready() {
@@ -751,10 +956,16 @@ impl AduTransport {
                     self.deliver.push((id, adu, latency));
                 }
             }
-            Message::Ack { assoc, ids, echo } => {
+            Message::Ack {
+                assoc,
+                ids,
+                echo,
+                rwnd,
+            } => {
                 if assoc != self.cfg.assoc {
                     return;
                 }
+                self.peer_rwnd = rwnd;
                 #[cfg(feature = "debug-loss")]
                 eprintln!("ack in: {ids:?} at {now}");
                 if let Some((ts, hold)) = echo {
@@ -783,6 +994,8 @@ impl AduTransport {
                 if newly_acked > 0 {
                     self.cwnd_on_acked(newly_acked);
                     self.note_delivery(now, acked_bytes);
+                    // ACK progress ends the Karn-style escalation.
+                    self.timeout_backoff = 0;
                 }
             }
             Message::Nack { assoc, ids } => {
@@ -805,11 +1018,19 @@ impl AduTransport {
                 }
                 self.retransmit_fragments(now, adu_id, &ranges);
             }
+            Message::WindowProbe { assoc } => {
+                if assoc != self.cfg.assoc {
+                    return;
+                }
+                // Answer with a (possibly id-less) ACK carrying the
+                // current receiver window.
+                self.window_ack_due = true;
+            }
         }
     }
 
-    /// The earliest pending sender timer (retransmission deadline or
-    /// pacing wake-up).
+    /// The earliest pending sender timer (retransmission deadline, pacing
+    /// wake-up, zero-window probe, or dead-peer declaration).
     pub fn next_timeout(&self) -> Option<SimTime> {
         let retx = self
             .unacked
@@ -819,10 +1040,20 @@ impl AduTransport {
             .min();
         let pace =
             (!self.txq.is_empty() && self.pace_now > SimDuration::ZERO).then_some(self.next_tx_at);
-        match (retx, pace) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let probe = if self.rwnd_blocked && !self.peer_dead {
+            self.next_probe_at
+        } else {
+            None
+        };
+        let dead = if self.cfg.peer_timeout > SimDuration::ZERO
+            && !self.peer_dead
+            && self.work_outstanding()
+        {
+            self.last_peer_activity.map(|t| t + self.cfg.peer_timeout)
+        } else {
+            None
+        };
+        [retx, pace, probe, dead].into_iter().flatten().min()
     }
 
     /// Receiver memory currently invested in partial ADUs.
@@ -838,6 +1069,62 @@ impl AduTransport {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Sender work that expects the peer to eventually answer.
+    fn work_outstanding(&self) -> bool {
+        !self.unacked.is_empty()
+            || !self.queue.is_empty()
+            || !self.txq.is_empty()
+            || !self.retransmit_now.is_empty()
+    }
+
+    /// Dead-peer clock: declare the peer unreachable after `peer_timeout`
+    /// of silence with work outstanding, flushing everything to loss
+    /// reports (application terms — names, never byte ranges).
+    fn check_peer_silence(&mut self, now: SimTime) {
+        if self.cfg.peer_timeout == SimDuration::ZERO || self.peer_dead {
+            return;
+        }
+        if !self.work_outstanding() {
+            // Idle: nothing is owed, so silence is not evidence of death.
+            self.last_peer_activity = Some(now);
+            return;
+        }
+        let since = *self.last_peer_activity.get_or_insert(now);
+        if now.saturating_since(since) < self.cfg.peer_timeout {
+            return;
+        }
+        self.peer_dead = true;
+        self.stats.peer_unreachable_events += 1;
+        for (id, sent) in std::mem::take(&mut self.unacked) {
+            self.stats.adus_given_up += 1;
+            self.stats.losses_reported += 1;
+            self.loss_reports.push(LossReport {
+                adu_id: id,
+                name: sent.name,
+            });
+        }
+        for (id, name, _) in std::mem::take(&mut self.queue) {
+            self.stats.adus_given_up += 1;
+            self.stats.losses_reported += 1;
+            self.loss_reports.push(LossReport { adu_id: id, name });
+        }
+        self.txq.clear();
+        self.retransmit_now.clear();
+        self.recompute_out.clear();
+        self.next_probe_at = None;
+        self.probe_backoff = 0;
+        self.rwnd_blocked = false;
+    }
+
+    /// The receiver window to advertise: free reassembly budget in bytes,
+    /// [`RWND_UNLIMITED`] when running without a budget.
+    fn advertised_rwnd(&self) -> u32 {
+        match self.assembler.budget_free() {
+            Some(free) => free.min(u32::MAX as usize) as u32,
+            None => RWND_UNLIMITED,
+        }
+    }
 
     /// Fragment and queue an ADU's TUs (plus FEC parity when configured);
     /// returns how many were queued.
@@ -989,7 +1276,7 @@ impl AduTransport {
             return;
         }
         sent.retries += 1;
-        let deadline = now + rto_for(base, sent.retries);
+        let deadline = now + rto_for(base, sent.retries + self.timeout_backoff);
         sent.deadline = deadline;
         sent.tus_unreleased += tus.len();
         self.stats.tus_retransmitted_selective += tus.len() as u64;
@@ -1024,7 +1311,7 @@ impl AduTransport {
             return;
         }
         sent.retries += 1;
-        let deadline = now + rto_for(base, sent.retries);
+        let deadline = now + rto_for(base, sent.retries + self.timeout_backoff);
         sent.deadline = deadline;
         match self.cfg.recovery {
             RecoveryMode::TransportBuffer => {
@@ -1325,8 +1612,10 @@ mod tests {
         let name = AduName::Media { frame: 9, slot: 1 };
         a.send_adu(name, payload(100)).unwrap();
         let mut now = SimTime::ZERO;
-        // Let every (re)transmission vanish.
-        for _ in 0..5 {
+        // Let every (re)transmission vanish. The horizon covers the
+        // per-ADU backoff *and* the global consecutive-timeout backoff
+        // that stretches each RTO while no ACKs arrive.
+        for _ in 0..15 {
             now += SimDuration::from_millis(100);
             let _ = a.poll(now);
         }
@@ -1872,5 +2161,300 @@ mod tests {
         let (_, latency) = b.recv_adu().unwrap();
         assert_eq!(latency, SimDuration::from_millis(3));
         assert_eq!(b.stats.delivery_latency_max, SimDuration::from_millis(3));
+    }
+
+    // ------------------------------------------------------------------
+    // Flow control, backpressure, partition survival
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn acks_advertise_receiver_window() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(AlfConfig {
+            reassembly_budget_bytes: 64 * 1024,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        a.send_adu(AduName::Seq { index: 0 }, payload(1000))
+            .unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        for f in &frames {
+            b.on_message(SimTime::ZERO, f);
+        }
+        let out = b.poll(SimTime::from_micros(10));
+        let ack = out
+            .iter()
+            .find_map(|f| match Message::decode(f) {
+                Ok(Message::Ack { ids, rwnd, .. }) => Some((ids, rwnd)),
+                _ => None,
+            })
+            .expect("an ACK");
+        assert_eq!(ack.0, vec![0]);
+        // The ADU completed and was released: the whole budget is free.
+        assert_eq!(ack.1, 64 * 1024);
+        // An endpoint without a budget advertises an unlimited window.
+        let mut c = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        c.on_message(SimTime::ZERO, &frames[0]);
+        let out = c.poll(SimTime::from_micros(10));
+        let rwnd = out
+            .iter()
+            .find_map(|f| match Message::decode(f) {
+                Ok(Message::Ack { rwnd, .. }) => Some(rwnd),
+                _ => None,
+            })
+            .expect("an ACK");
+        assert_eq!(rwnd, RWND_UNLIMITED);
+    }
+
+    #[test]
+    fn backpressure_never_exceeds_budget_and_recovers() {
+        const BUDGET: usize = 8 * 1024;
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        let mut b = AduTransport::new(AlfConfig {
+            reassembly_budget_bytes: BUDGET,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        // Far more in flight than the receiver can hold at once, with the
+        // final TU of each ADU lost on first transmission so assemblies
+        // pile up incomplete — the condition that actually squeezes the
+        // budget and forces refusals.
+        let mut sent = Vec::new();
+        for i in 0..6u64 {
+            let data = payload(3000 + i as usize);
+            a.send_adu(AduName::Seq { index: i }, data.clone()).unwrap();
+            sent.push(data);
+        }
+        let mut now = SimTime::ZERO;
+        let mut got = Vec::new();
+        let mut tail_drops = 0;
+        for _ in 0..30_000 {
+            now += SimDuration::from_micros(50);
+            let fa = a.poll(now);
+            let fb = b.poll(now);
+            for f in fa {
+                if tail_drops < 6 {
+                    if let Ok(Message::Tu(tu)) = Message::decode(&f) {
+                        if tu.frag_off > 0
+                            && tu.frag_off as usize + tu.payload.len() == tu.adu_len as usize
+                        {
+                            tail_drops += 1;
+                            continue; // the network eats the closing TU
+                        }
+                    }
+                }
+                b.on_message(now, &f);
+            }
+            for f in fb {
+                a.on_message(now, &f);
+            }
+            // The invariant the budget exists to enforce:
+            assert!(
+                b.reassembly_bytes() <= BUDGET,
+                "reassembly {} exceeds budget",
+                b.reassembly_bytes()
+            );
+            while let Some((adu, _)) = b.recv_adu() {
+                got.push(adu);
+            }
+            if got.len() == sent.len() && a.send_complete() {
+                break;
+            }
+        }
+        assert_eq!(got.len(), sent.len(), "backpressure must not lose data");
+        got.sort_by_key(|adu| match adu.name {
+            AduName::Seq { index } => index,
+            _ => unreachable!(),
+        });
+        for (adu, want) in got.iter().zip(&sent) {
+            assert_eq!(&adu.payload, want, "byte-identical delivery");
+        }
+        assert!(
+            b.stats.tus_backpressured > 0,
+            "the squeeze must actually have engaged"
+        );
+        assert_eq!(b.assembler_stats().adus_shed, 0, "no silent shedding");
+    }
+
+    #[test]
+    fn zero_window_probe_backs_off_and_resumes() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(1000))
+            .unwrap();
+        a.send_adu(AduName::Seq { index: 1 }, payload(1000))
+            .unwrap();
+        // The peer slams the window shut before anything is admitted.
+        let shut = Message::Ack {
+            assoc: 1,
+            ids: vec![],
+            echo: None,
+            rwnd: 0,
+        }
+        .encode();
+        a.on_message(SimTime::ZERO, &shut);
+        let frames = a.poll(SimTime::ZERO);
+        assert!(
+            frames
+                .iter()
+                .all(|f| matches!(Message::decode(f), Ok(Message::WindowProbe { .. }))),
+            "no data may move through a zero window"
+        );
+        assert_eq!(a.stats.zero_window_probes, 1);
+        // Probes back off exponentially: the second comes after ~RTO, not
+        // on the next poll.
+        assert!(a.poll(SimTime::from_millis(1)).is_empty());
+        assert!(!a.poll(SimTime::from_millis(51)).is_empty());
+        assert_eq!(a.stats.zero_window_probes, 2);
+        assert!(a.poll(SimTime::from_millis(100)).is_empty());
+        let t3 = a.next_timeout().expect("probe timer armed");
+        assert!(t3 >= SimTime::from_millis(151), "backoff doubled");
+        // The window reopens: queued data flows and probe state resets.
+        let open = Message::Ack {
+            assoc: 1,
+            ids: vec![],
+            echo: None,
+            rwnd: RWND_UNLIMITED,
+        }
+        .encode();
+        a.on_message(SimTime::from_millis(200), &open);
+        let frames = a.poll(SimTime::from_millis(200));
+        assert!(frames
+            .iter()
+            .any(|f| matches!(Message::decode(f), Ok(Message::Tu(_)))));
+        assert_eq!(a.stats.zero_window_probes, 2, "no probe after reopen");
+    }
+
+    #[test]
+    fn window_probe_answered_with_id_less_ack() {
+        let mut b = AduTransport::new(AlfConfig {
+            reassembly_budget_bytes: 4096,
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        b.on_message(SimTime::ZERO, &Message::WindowProbe { assoc: 1 }.encode());
+        let out = b.poll(SimTime::from_micros(10));
+        let (ids, rwnd) = out
+            .iter()
+            .find_map(|f| match Message::decode(f) {
+                Ok(Message::Ack { ids, rwnd, .. }) => Some((ids, rwnd)),
+                _ => None,
+            })
+            .expect("probe answered");
+        assert!(ids.is_empty());
+        assert_eq!(rwnd, 4096);
+    }
+
+    #[test]
+    fn silent_peer_declared_unreachable_then_heals() {
+        let mut a = AduTransport::new(AlfConfig {
+            peer_timeout: SimDuration::from_secs(1),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        let name = AduName::Seq { index: 7 };
+        a.send_adu(name, payload(500)).unwrap();
+        let mut now = SimTime::ZERO;
+        // Nothing ever answers.
+        while now < SimTime::from_millis(1500) {
+            now += SimDuration::from_millis(25);
+            let _ = a.poll(now);
+        }
+        assert!(a.peer_unreachable());
+        assert_eq!(a.stats.peer_unreachable_events, 1);
+        let losses = a.take_loss_reports();
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].name, name, "flushed in application terms");
+        assert!(a.send_complete(), "no infinite retry loop");
+        assert_eq!(
+            a.send_adu(AduName::Seq { index: 8 }, payload(10)),
+            Err(SendRefused::PeerUnreachable)
+        );
+        // The peer comes back: any intact message revives the association.
+        let ack = Message::Ack {
+            assoc: 1,
+            ids: vec![],
+            echo: None,
+            rwnd: RWND_UNLIMITED,
+        }
+        .encode();
+        a.on_message(now, &ack);
+        assert!(!a.peer_unreachable());
+        assert!(a.send_adu(AduName::Seq { index: 8 }, payload(10)).is_ok());
+    }
+
+    #[test]
+    fn idle_endpoint_never_declares_peer_dead() {
+        let mut a = AduTransport::new(AlfConfig {
+            peer_timeout: SimDuration::from_millis(100),
+            ..cfg(RecoveryMode::TransportBuffer)
+        });
+        // Long silence with nothing outstanding: silence is not evidence.
+        for ms in (0..2000).step_by(50) {
+            let _ = a.poll(SimTime::from_millis(ms));
+        }
+        assert!(!a.peer_unreachable());
+        // Work submitted *after* the silence gets the full timeout.
+        a.send_adu(AduName::Seq { index: 0 }, payload(100)).unwrap();
+        let _ = a.poll(SimTime::from_millis(2000));
+        assert!(!a.peer_unreachable());
+        let _ = a.poll(SimTime::from_millis(2099));
+        assert!(!a.peer_unreachable());
+        let _ = a.poll(SimTime::from_millis(2150));
+        assert!(a.peer_unreachable());
+    }
+
+    #[test]
+    fn consecutive_timeouts_stretch_rto() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(100)).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut fires = Vec::new();
+        let mut last_frames = 0usize;
+        for _ in 0..400 {
+            now += SimDuration::from_millis(10);
+            let n = a.poll(now).len();
+            if n > 0 && last_frames == 0 {
+                fires.push(now);
+            }
+            last_frames = n;
+        }
+        // Gaps between successive (re)transmissions grow strictly: the
+        // per-ADU doubling is compounded by the global backoff.
+        assert!(fires.len() >= 3, "need several retransmissions: {fires:?}");
+        let gaps: Vec<_> = fires
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]))
+            .collect();
+        for pair in gaps.windows(2) {
+            assert!(pair[1] > pair[0], "RTO must keep stretching: {gaps:?}");
+        }
+        assert!(a.stats.rto_backoff_events >= 2);
+    }
+
+    #[test]
+    fn drop_oldest_shedding_for_media_counted() {
+        const BUDGET: usize = 4096;
+        let mut b = AduTransport::new(AlfConfig {
+            reassembly_budget_bytes: BUDGET,
+            ..cfg(RecoveryMode::NoRetransmit)
+        });
+        // Three incomplete 3000-byte assemblies can't coexist under 4 KiB:
+        // each newcomer evicts the previous (oldest) one.
+        for id in 0..3u64 {
+            let tus = fragment_adu(
+                1,
+                id,
+                AduName::Media {
+                    frame: id as u32,
+                    slot: 0,
+                },
+                &payload(3000),
+                1400,
+            );
+            b.on_message(
+                SimTime::from_millis(id),
+                &Message::Tu(tus[0].clone()).encode(),
+            );
+            assert!(b.reassembly_bytes() <= BUDGET);
+        }
+        assert_eq!(b.assembler_stats().adus_shed, 2);
+        let _ = b.poll(SimTime::from_millis(10));
+        assert_eq!(b.stats.adus_shed, 2, "sheds surface in AlfStats");
     }
 }

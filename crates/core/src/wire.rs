@@ -24,6 +24,11 @@ const T_TU: u8 = 1;
 const T_ACK: u8 = 2;
 const T_NACK: u8 = 3;
 const T_NACK_FRAGS: u8 = 4;
+const T_WINDOW_PROBE: u8 = 5;
+
+/// Receiver-window value meaning "no limit advertised" (the receiver runs
+/// without a byte-denominated reassembly budget).
+pub const RWND_UNLIMITED: u32 = u32::MAX;
 
 /// TU flag bit: this TU carries FEC parity, not data. Its payload is
 /// `[k: u8][xor bytes]` covering the `k` data fragments starting at
@@ -80,6 +85,11 @@ pub enum Message {
         /// `rtt = now - echoed - hold`, all wrapping 32-bit µs arithmetic —
         /// the out-of-band transfer-control measurement of §3.
         echo: Option<(u32, u32)>,
+        /// Receiver window: bytes of reassembly budget still free. The
+        /// sender holds new ADUs whose bytes would not fit —
+        /// receiver-driven flow control at ADU granularity.
+        /// [`RWND_UNLIMITED`] when the receiver enforces no budget.
+        rwnd: u32,
     },
     /// Negative acknowledgement: the receiver declared these ADUs lost
     /// (incomplete past its reassembly deadline).
@@ -99,6 +109,13 @@ pub enum Message {
         adu_id: u64,
         /// Missing `(offset, len)` byte ranges within the ADU.
         ranges: Vec<(u32, u32)>,
+    },
+    /// Zero-window probe: the sender is blocked on a closed receiver
+    /// window and asks for a fresh advertisement. The receiver answers
+    /// with an (possibly id-less) ACK carrying its current `rwnd`.
+    WindowProbe {
+        /// Association identifier.
+        assoc: u16,
     },
 }
 
@@ -189,15 +206,21 @@ impl Message {
                 seal_checksum(&mut out);
                 out
             }
-            Message::Ack { assoc, ids, echo } => {
-                let mut out = Vec::with_capacity(16 + ids.len() * 8);
+            Message::Ack {
+                assoc,
+                ids,
+                echo,
+                rwnd,
+            } => {
+                let mut out = Vec::with_capacity(20 + ids.len() * 8);
                 let mut w = HeaderWriter::new(&mut out);
                 let flags = if echo.is_some() { ACK_FLAG_ECHO } else { 0 };
                 w.put_u8(T_ACK)
                     .put_u8(flags)
                     .put_u16(0)
                     .put_u16(*assoc)
-                    .put_u16(ids.len() as u16);
+                    .put_u16(ids.len() as u16)
+                    .put_u32(*rwnd);
                 if let Some((ts, hold)) = echo {
                     out.extend_from_slice(&ts.to_be_bytes());
                     out.extend_from_slice(&hold.to_be_bytes());
@@ -205,6 +228,17 @@ impl Message {
                 for id in ids {
                     out.extend_from_slice(&id.to_be_bytes());
                 }
+                seal_checksum(&mut out);
+                out
+            }
+            Message::WindowProbe { assoc } => {
+                let mut out = Vec::with_capacity(8);
+                let mut w = HeaderWriter::new(&mut out);
+                w.put_u8(T_WINDOW_PROBE)
+                    .put_u8(0)
+                    .put_u16(0)
+                    .put_u16(*assoc)
+                    .put_u16(0); // pad to the 8-byte minimum
                 seal_checksum(&mut out);
                 out
             }
@@ -293,6 +327,11 @@ impl Message {
             }
             T_ACK | T_NACK => {
                 let count = r.get_u16().map_err(|_| WireError::Truncated)? as usize;
+                let rwnd = if ty == T_ACK {
+                    r.get_u32().map_err(|_| WireError::Truncated)?
+                } else {
+                    RWND_UNLIMITED
+                };
                 let echo = if ty == T_ACK && flags & ACK_FLAG_ECHO != 0 {
                     let ts = r.get_u32().map_err(|_| WireError::Truncated)?;
                     let hold = r.get_u32().map_err(|_| WireError::Truncated)?;
@@ -308,10 +347,22 @@ impl Message {
                     return Err(WireError::LengthMismatch);
                 }
                 if ty == T_ACK {
-                    Ok(Message::Ack { assoc, ids, echo })
+                    Ok(Message::Ack {
+                        assoc,
+                        ids,
+                        echo,
+                        rwnd,
+                    })
                 } else {
                     Ok(Message::Nack { assoc, ids })
                 }
+            }
+            T_WINDOW_PROBE => {
+                let _pad = r.get_u16().map_err(|_| WireError::Truncated)?;
+                if r.remaining() != 0 {
+                    return Err(WireError::LengthMismatch);
+                }
+                Ok(Message::WindowProbe { assoc })
             }
             other => Err(WireError::UnknownType(other)),
         }
@@ -407,22 +458,27 @@ mod tests {
                 assoc: 1,
                 ids: vec![],
                 echo: None,
+                rwnd: RWND_UNLIMITED,
             },
             Message::Ack {
                 assoc: 1,
                 ids: vec![5, 6, 7],
                 echo: None,
+                rwnd: 0,
             },
             Message::Ack {
                 assoc: 1,
                 ids: vec![9],
                 echo: Some((123_456, 78)),
+                rwnd: 65_536,
             },
             Message::Ack {
                 assoc: 4,
                 ids: vec![],
                 echo: Some((u32::MAX, 0)),
+                rwnd: 1,
             },
+            Message::WindowProbe { assoc: 9 },
             Message::Nack {
                 assoc: 2,
                 ids: vec![u64::MAX],
@@ -546,6 +602,7 @@ mod tests {
             assoc: 1,
             ids: vec![3],
             echo: None,
+            rwnd: RWND_UNLIMITED,
         }
         .encode();
         let before = ack.clone();

@@ -8,6 +8,38 @@
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
+/// A Gilbert–Elliott two-state burst-loss model: the channel flips between
+/// a *good* and a *bad* state per frame (a first-order Markov chain), with
+/// an independent drop probability in each state. Unlike the memoryless
+/// `drop` probability, losses under this model arrive in bursts whose mean
+/// length is `1 / p_exit_bad` frames — the correlated-loss pattern real
+/// radio links and congested queues produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-frame probability of a good → bad transition.
+    pub p_enter_bad: f64,
+    /// Per-frame probability of a bad → good transition.
+    pub p_exit_bad: f64,
+    /// Drop probability while in the good state (usually 0).
+    pub loss_good: f64,
+    /// Drop probability while in the bad state (usually near 1).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Bursty loss with a clean good state: enter a bad burst with
+    /// probability `p_enter_bad` per frame, escape it with `p_exit_bad`,
+    /// and drop at `loss_bad` while inside.
+    pub fn bursty(p_enter_bad: f64, p_exit_bad: f64, loss_bad: f64) -> Self {
+        Self {
+            p_enter_bad,
+            p_exit_bad,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+}
+
 /// Per-link fault injection configuration.
 ///
 /// All probabilities are per-frame (or per-cell on ATM links) and
@@ -30,6 +62,9 @@ pub struct FaultConfig {
     pub rate_limit_frames: u32,
     /// Token-bucket refill interval (smoltcp's `--shaping-interval`).
     pub rate_interval: SimDuration,
+    /// Correlated burst loss (Gilbert–Elliott), on top of — and consulted
+    /// before — the memoryless `drop` probability. `None` disables.
+    pub burst: Option<GilbertElliott>,
 }
 
 impl Default for FaultConfig {
@@ -42,6 +77,7 @@ impl Default for FaultConfig {
             reorder_delay: SimDuration::from_micros(500),
             rate_limit_frames: 0,
             rate_interval: SimDuration::from_millis(50),
+            burst: None,
         }
     }
 }
@@ -87,6 +123,14 @@ impl FaultConfig {
         }
     }
 
+    /// Only Gilbert–Elliott burst loss.
+    pub fn bursty_loss(model: GilbertElliott) -> Self {
+        Self {
+            burst: Some(model),
+            ..Self::default()
+        }
+    }
+
     /// True if every fault probability is zero and no rate limit is set.
     pub fn is_clean(&self) -> bool {
         self.drop == 0.0
@@ -94,6 +138,7 @@ impl FaultConfig {
             && self.duplicate == 0.0
             && self.reorder == 0.0
             && self.rate_limit_frames == 0
+            && self.burst.is_none()
     }
 }
 
@@ -130,6 +175,12 @@ pub struct FaultInjector {
     /// Token bucket state: tokens left in the current interval.
     tokens: u32,
     bucket_refill_at: SimTime,
+    /// Gilbert–Elliott channel state: currently in the bad (bursting) state.
+    burst_bad: bool,
+    /// Scheduled link outages `(from, until)`, checked against `now`:
+    /// frames offered inside a window vanish. `SimTime::MAX` as `until`
+    /// models a partition that never heals.
+    outages: Vec<(SimTime, SimTime)>,
 }
 
 impl FaultInjector {
@@ -140,6 +191,8 @@ impl FaultInjector {
             rng,
             tokens: config.rate_limit_frames,
             bucket_refill_at: SimTime::ZERO,
+            burst_bad: false,
+            outages: Vec::new(),
         }
     }
 
@@ -148,15 +201,46 @@ impl FaultInjector {
         &self.config
     }
 
-    /// Replace the configuration (e.g. mid-experiment sweeps).
+    /// Replace the configuration (e.g. mid-experiment sweeps). Transient
+    /// channel state is reset with it: the token bucket refills at the new
+    /// rate on the next frame (stale tokens from the old rate must not leak
+    /// into the new regime) and the burst model restarts in the good state.
+    /// Scheduled outages are wall-clock facts about the link, not channel
+    /// parameters, and survive.
     pub fn set_config(&mut self, config: FaultConfig) {
         self.config = config;
+        self.tokens = config.rate_limit_frames;
+        self.bucket_refill_at = SimTime::ZERO;
+        self.burst_bad = false;
+    }
+
+    /// Schedule a link outage: every frame offered in `[from, until)` is
+    /// dropped. Pass [`SimTime::MAX`] as `until` for a partition that never
+    /// heals. Windows may overlap; each is checked independently.
+    pub fn schedule_outage(&mut self, from: SimTime, until: SimTime) {
+        self.outages.push((from, until));
+    }
+
+    /// Whether the link is up (outside every scheduled outage) at `now`.
+    pub fn link_up(&self, now: SimTime) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|&(from, until)| now >= from && now < until)
     }
 
     /// Decide the fate of one frame at simulated instant `now`. If
     /// corruption fires, a random bit of `payload` is flipped in place
     /// (mirroring smoltcp's `--corrupt-chance`, which mutates one octet).
     pub fn apply(&mut self, now: SimTime, payload: &mut [u8]) -> FaultOutcome {
+        // A downed link drops everything, deterministically and before any
+        // randomness is consumed.
+        if !self.link_up(now) {
+            return FaultOutcome {
+                dropped: true,
+                ..FaultOutcome::clean()
+            };
+        }
         if self.config.is_clean() {
             return FaultOutcome::clean();
         }
@@ -175,6 +259,30 @@ impl FaultInjector {
                 };
             }
             self.tokens -= 1;
+        }
+        // Gilbert–Elliott burst loss: advance the two-state chain, then
+        // drop at the current state's rate. Consulted before the memoryless
+        // `drop` so a burst reads as a burst, not as thinned random loss.
+        if let Some(ge) = self.config.burst {
+            let flip = if self.burst_bad {
+                ge.p_exit_bad
+            } else {
+                ge.p_enter_bad
+            };
+            if self.rng.chance(flip) {
+                self.burst_bad = !self.burst_bad;
+            }
+            let p = if self.burst_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if self.rng.chance(p) {
+                return FaultOutcome {
+                    dropped: true,
+                    ..FaultOutcome::clean()
+                };
+            }
         }
         let dropped = self.rng.chance(self.config.drop);
         if dropped {
@@ -325,6 +433,116 @@ mod tests {
         assert!(!inj.apply(SimTime::from_millis(11), &mut buf).dropped);
         assert!(!inj.apply(SimTime::from_millis(12), &mut buf).dropped);
         assert!(inj.apply(SimTime::from_millis(13), &mut buf).dropped);
+    }
+
+    #[test]
+    fn set_config_resets_token_bucket() {
+        // Regression: set_config used to leave the previous rate's leftover
+        // tokens (and refill instant) in place, so a mid-interval config
+        // change kept shaping at the OLD rate until the next refill.
+        let mut inj = injector(FaultConfig::rate_limited(5, SimDuration::from_millis(10)));
+        let mut buf = vec![0u8; 8];
+        for _ in 0..3 {
+            assert!(!inj.apply(SimTime::ZERO, &mut buf).dropped);
+        }
+        // Shrink the budget mid-interval: the new 1-frame limit must apply
+        // immediately, not inherit the 2 stale tokens.
+        inj.set_config(FaultConfig::rate_limited(1, SimDuration::from_millis(10)));
+        assert!(!inj.apply(SimTime::from_millis(1), &mut buf).dropped);
+        assert!(
+            inj.apply(SimTime::from_millis(2), &mut buf).dropped,
+            "second frame in the interval must exceed the new 1-frame bucket"
+        );
+    }
+
+    #[test]
+    fn outage_window_drops_then_heals() {
+        let mut inj = injector(FaultConfig::none());
+        inj.schedule_outage(SimTime::from_millis(10), SimTime::from_millis(20));
+        let mut buf = vec![0u8; 8];
+        assert!(!inj.apply(SimTime::from_millis(5), &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_millis(10), &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_millis(19), &mut buf).dropped);
+        assert!(!inj.apply(SimTime::from_millis(20), &mut buf).dropped);
+        assert!(inj.link_up(SimTime::from_millis(25)));
+        assert!(!inj.link_up(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn permanent_outage_never_heals() {
+        let mut inj = injector(FaultConfig::none());
+        inj.schedule_outage(SimTime::from_millis(1), SimTime::MAX);
+        let mut buf = vec![0u8; 8];
+        assert!(!inj.apply(SimTime::ZERO, &mut buf).dropped);
+        assert!(inj.apply(SimTime::from_secs(3600), &mut buf).dropped);
+    }
+
+    #[test]
+    fn outages_survive_set_config() {
+        let mut inj = injector(FaultConfig::none());
+        inj.schedule_outage(SimTime::from_millis(10), SimTime::from_millis(20));
+        inj.set_config(FaultConfig::loss(0.0));
+        let mut buf = vec![0u8; 8];
+        assert!(inj.apply(SimTime::from_millis(15), &mut buf).dropped);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Mean burst length 1/p_exit = 20 frames; stationary bad-state
+        // share p_enter/(p_enter+p_exit) ≈ 9%. Measure both the aggregate
+        // rate and the run-length structure that memoryless loss lacks.
+        let model = GilbertElliott::bursty(0.005, 0.05, 1.0);
+        let mut inj = injector(FaultConfig::bursty_loss(model));
+        let mut buf = vec![0u8; 8];
+        let n = 200_000;
+        let mut drops = 0u64;
+        let mut runs = 0u64;
+        let mut prev_dropped = false;
+        for _ in 0..n {
+            let d = inj.apply(SimTime::ZERO, &mut buf).dropped;
+            if d {
+                drops += 1;
+                if !prev_dropped {
+                    runs += 1;
+                }
+            }
+            prev_dropped = d;
+        }
+        let rate = drops as f64 / n as f64;
+        assert!(
+            (rate - 0.09).abs() < 0.03,
+            "stationary loss rate ≈ 9%, got {rate}"
+        );
+        let mean_run = drops as f64 / runs as f64;
+        assert!(
+            mean_run > 5.0,
+            "losses must cluster into bursts (mean run {mean_run}), not coin flips"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_good_state_clean() {
+        // Never entering the bad state ⇒ no drops at all.
+        let model = GilbertElliott::bursty(0.0, 1.0, 1.0);
+        let mut inj = injector(FaultConfig::bursty_loss(model));
+        let mut buf = vec![0u8; 8];
+        for _ in 0..1000 {
+            assert!(!inj.apply(SimTime::ZERO, &mut buf).dropped);
+        }
+    }
+
+    #[test]
+    fn set_config_resets_burst_state() {
+        // Drive the channel into the bad state, then reconfigure: the chain
+        // must restart in the good state.
+        let stuck_bad = GilbertElliott::bursty(1.0, 0.0, 1.0);
+        let mut inj = injector(FaultConfig::bursty_loss(stuck_bad));
+        let mut buf = vec![0u8; 8];
+        assert!(inj.apply(SimTime::ZERO, &mut buf).dropped);
+        inj.set_config(FaultConfig::bursty_loss(GilbertElliott::bursty(
+            0.0, 1.0, 1.0,
+        )));
+        assert!(!inj.apply(SimTime::ZERO, &mut buf).dropped);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod time;
 pub mod trace;
 
 pub use atm::{AtmConfig, AtmEndpoint, CELL_HEADER_BYTES, CELL_PAYLOAD_BYTES, CELL_SIZE_BYTES};
-pub use fault::FaultConfig;
+pub use fault::{FaultConfig, GilbertElliott};
 pub use link::LinkConfig;
 pub use net::{Frame, Network, NodeId};
 pub use rng::SimRng;

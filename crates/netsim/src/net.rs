@@ -209,6 +209,30 @@ impl Network {
             .set_config(faults);
     }
 
+    /// Schedule a bidirectional outage of the `a <-> b` link: frames
+    /// offered in `[from, until)` vanish in both directions — a partition.
+    /// Pass [`SimTime::MAX`] as `until` for a partition that never heals.
+    /// Panics if the link is absent.
+    pub fn schedule_outage(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        for key in [(a, b), (b, a)] {
+            self.links
+                .get_mut(&key)
+                .expect("link exists")
+                .injector
+                .schedule_outage(from, until);
+        }
+    }
+
+    /// Whether the directed link `a -> b` is up (outside every scheduled
+    /// outage) at the current instant. Panics if the link is absent.
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.links
+            .get(&(a, b))
+            .expect("link exists")
+            .injector
+            .link_up(self.now)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -703,6 +727,31 @@ mod tests {
         net.run_until_idle();
         let events: Vec<FrameEvent> = net.trace().unwrap().records().map(|r| r.event).collect();
         assert_eq!(events, vec![FrameEvent::Sent, FrameEvent::FaultDropped]);
+    }
+
+    #[test]
+    fn partition_drops_during_window_and_heals() {
+        let (mut net, a, b) = two_nodes(16, FaultConfig::none());
+        net.schedule_outage(a, b, SimTime::from_millis(1), SimTime::from_millis(5));
+        // Before the partition: delivered.
+        net.send(a, b, vec![1]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.pending(b), 1);
+        // During: both directions dead.
+        net.advance(SimTime::from_millis(2).saturating_since(net.now()));
+        assert!(!net.link_up(a, b));
+        assert!(!net.link_up(b, a));
+        net.send(a, b, vec![2]).unwrap();
+        net.send(b, a, vec![3]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.pending(b), 1, "frame sent mid-partition vanished");
+        assert_eq!(net.pending(a), 0);
+        // After the heal: delivered again.
+        net.advance(SimTime::from_millis(6).saturating_since(net.now()));
+        assert!(net.link_up(a, b));
+        net.send(a, b, vec![4]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.pending(b), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use alf_core::adu::AduName;
 use alf_core::driver::Substrate;
-use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode};
+use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode, SendRefused};
 use ct_netsim::fault::FaultConfig;
 use ct_netsim::link::LinkConfig;
 use ct_netsim::net::Network;
@@ -94,7 +94,10 @@ fn main() {
             let (off, bytes) = &chunks[next_chunk];
             match tx.send_adu(AduName::FileRange { offset: *off }, bytes.clone()) {
                 Ok(_) => next_chunk += 1,
-                Err(_) => break, // window full; retry after ACKs
+                // Our window or the receiver's budget is full; retry after
+                // ACKs reopen it.
+                Err(SendRefused::WindowFull | SendRefused::Backpressured) => break,
+                Err(e) => panic!("transfer refused fatally: {e}"),
             }
         }
         let now = net.now();

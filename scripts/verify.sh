@@ -1,8 +1,15 @@
 #!/usr/bin/env sh
 # Tier-1 verification plus lint gates. Run from the workspace root.
+#
+# SOAK=1 additionally runs the extended chaos sweep (32 extra seeds of
+# fault churn against the flow-controlled transport; see tests/chaos.rs).
 set -eux
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${SOAK:-0}" = "1" ]; then
+    SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended
+fi

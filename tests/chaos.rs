@@ -1,0 +1,225 @@
+//! Chaos soak: randomized fault churn against a flow-controlled ALF
+//! transfer, with invariants checked **inside** the pump loop — not just at
+//! the end.
+//!
+//! Each seeded run drives two [`AduTransport`] endpoints directly over the
+//! simulated [`Network`] while the fault regime mutates every ~100–250 ms:
+//! uniform loss, Gilbert–Elliott loss bursts, duplication, corruption,
+//! rate-limit flaps, and scheduled partitions that heal. After a fixed churn
+//! horizon the link is left clean and the run must converge.
+//!
+//! Invariants, checked every iteration:
+//!
+//! * every delivered ADU is byte-identical to what was offered;
+//! * no ADU is delivered twice (at-most-once);
+//! * receiver reassembly memory never exceeds its byte budget;
+//! * the buffered sender never gives an ADU up (the churn heals, so the
+//!   transfer must complete — silence is not an acceptable failure mode).
+//!
+//! `SOAK=1` (see `scripts/verify.sh`) widens the sweep from 8 to 32 seeds.
+
+use std::collections::{HashMap, HashSet};
+
+use alf_core::driver::workload_payload;
+use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode};
+use alf_core::AduName;
+use ct_netsim::fault::{FaultConfig, GilbertElliott};
+use ct_netsim::link::LinkConfig;
+use ct_netsim::net::Network;
+use ct_netsim::rng::SimRng;
+use ct_netsim::time::{SimDuration, SimTime};
+
+const BUDGET: usize = 48 * 1024;
+const ADUS: u64 = 48;
+const ADU_BYTES: usize = 6 * 1024;
+/// Fault regimes stop mutating here; the run must then converge.
+const CHURN_UNTIL: SimTime = SimTime::from_secs(3);
+
+/// Pick the next fault regime. The menu spans every injector knob so a
+/// multi-seed sweep exercises their interactions, not just each in
+/// isolation.
+fn next_regime(rng: &mut SimRng) -> FaultConfig {
+    match rng.next_below(6) {
+        0 => FaultConfig::none(),
+        1 => FaultConfig::loss(0.05),
+        2 => FaultConfig::bursty_loss(GilbertElliott::bursty(0.05, 0.3, 0.6)),
+        3 => FaultConfig {
+            duplicate: 0.08,
+            ..FaultConfig::none()
+        },
+        4 => FaultConfig {
+            corrupt: 0.03,
+            ..FaultConfig::none()
+        },
+        _ => FaultConfig::rate_limited(40, SimDuration::from_millis(5)),
+    }
+}
+
+fn chaos_run(seed: u64) {
+    let mut rng = SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut net = Network::new(seed);
+    let node_a = net.add_node();
+    let node_b = net.add_node();
+    net.connect(node_a, node_b, LinkConfig::lan(), FaultConfig::none());
+
+    let cfg = AlfConfig {
+        recovery: RecoveryMode::TransportBuffer,
+        reassembly_budget_bytes: BUDGET,
+        window_adus: 16,
+        // The churn horizon is finite and the link heals, so giving up is a
+        // bug, not a policy: make the retry budget effectively unlimited.
+        max_retries: 200,
+        ..AlfConfig::default()
+    };
+    let mut a = AduTransport::new(cfg);
+    let mut b = AduTransport::new(cfg);
+
+    let expected: HashMap<u64, Vec<u8>> = (0..ADUS)
+        .map(|i| (i, workload_payload(i, ADU_BYTES)))
+        .collect();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut next_offer: u64 = 0;
+    let mut next_phase_at = SimTime::from_millis(50);
+    let mut healed = false;
+    let mut done = false;
+
+    for _ in 0..4_000_000u64 {
+        let now = net.now();
+
+        // Fault churn: mutate the regime, or cut the link outright for a
+        // while (the outage end is always finite, so every partition heals).
+        if now < CHURN_UNTIL {
+            if now >= next_phase_at {
+                if rng.chance(0.25) {
+                    let dur = SimDuration::from_millis(50 + rng.next_below(200));
+                    net.schedule_outage(node_a, node_b, now, now + dur);
+                } else {
+                    net.set_faults(node_a, node_b, next_regime(&mut rng));
+                }
+                next_phase_at = now + SimDuration::from_millis(100 + rng.next_below(150));
+            }
+        } else if !healed {
+            net.set_faults(node_a, node_b, FaultConfig::none());
+            healed = true;
+        }
+
+        // Offer work while the window (and the receiver's budget) accepts.
+        while next_offer < ADUS {
+            let payload = expected[&next_offer].clone();
+            match a.send_adu(AduName::Seq { index: next_offer }, payload) {
+                Ok(_) => next_offer += 1,
+                Err(_) => break,
+            }
+        }
+
+        let mut moved = false;
+        for msg in a.poll(now) {
+            moved = true;
+            let _ = net.send(node_a, node_b, msg);
+        }
+        for msg in b.poll(now) {
+            moved = true;
+            let _ = net.send(node_b, node_a, msg);
+        }
+        while let Some(frame) = net.recv(node_b) {
+            moved = true;
+            b.on_message(net.now(), &frame.payload);
+        }
+        while let Some(frame) = net.recv(node_a) {
+            moved = true;
+            a.on_message(net.now(), &frame.payload);
+        }
+
+        // --- In-loop invariants ---
+        while let Some((adu, _latency)) = b.recv_adu() {
+            let AduName::Seq { index } = adu.name else {
+                panic!("seed {seed}: unexpected ADU name {:?}", adu.name);
+            };
+            assert!(
+                seen.insert(index),
+                "seed {seed}: ADU {index} delivered twice (at-most-once violated)"
+            );
+            assert_eq!(
+                &adu.payload, &expected[&index],
+                "seed {seed}: ADU {index} delivered with corrupted bytes"
+            );
+        }
+        assert!(
+            b.reassembly_bytes() <= BUDGET,
+            "seed {seed}: reassembly {} bytes exceeds the {BUDGET} byte budget at {now}",
+            b.reassembly_bytes()
+        );
+        let lost = a.take_loss_reports();
+        assert!(
+            lost.is_empty(),
+            "seed {seed}: buffered sender gave up on {:?} under healable churn",
+            lost.iter().map(|l| l.name).collect::<Vec<_>>()
+        );
+
+        if next_offer == ADUS && a.send_complete() && seen.len() as u64 == ADUS {
+            done = true;
+            break;
+        }
+        assert!(
+            net.now() < SimTime::from_secs(60),
+            "seed {seed}: run exceeded 60 simulated seconds ({}/{ADUS} delivered)",
+            seen.len()
+        );
+
+        // Advance the world, mirroring the driver: drain in-flight frames
+        // first, re-poll at the same instant while endpoints are producing,
+        // then jump to the next timer (or the next churn phase, whichever
+        // is sooner, so regimes mutate on schedule).
+        if !net.is_idle() {
+            net.step();
+        } else if moved {
+            // Queued output leaves at the current instant on the next pass.
+        } else {
+            let timer = [a.next_timeout(), b.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            let phase = (net.now() < CHURN_UNTIL).then_some(next_phase_at);
+            match [timer, phase].into_iter().flatten().min() {
+                Some(t) if t > now => net.advance(t.saturating_since(now)),
+                Some(_) => {}
+                None if b.reassembly_bytes() > 0 => {
+                    net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
+                }
+                None => panic!(
+                    "seed {seed}: wedged with nothing scheduled ({}/{ADUS} delivered)",
+                    seen.len()
+                ),
+            }
+        }
+    }
+
+    assert!(
+        done,
+        "seed {seed}: transfer did not converge after churn healed ({}/{ADUS} delivered)",
+        seen.len()
+    );
+    assert!(
+        b.reassembly_bytes() == 0 || b.reassembly_bytes() <= BUDGET,
+        "seed {seed}: terminal reassembly state exceeds budget"
+    );
+}
+
+#[test]
+fn chaos_soak_eight_seeds() {
+    for seed in 0..8 {
+        chaos_run(seed);
+    }
+}
+
+/// Extended sweep, opt-in via `SOAK=1` (wired into `scripts/verify.sh`).
+#[test]
+fn chaos_soak_extended() {
+    if std::env::var("SOAK").map(|v| v != "0" && !v.is_empty()) != Ok(true) {
+        eprintln!("chaos_soak_extended: set SOAK=1 to run the 32-seed sweep");
+        return;
+    }
+    for seed in 8..40 {
+        chaos_run(seed);
+    }
+}

@@ -36,7 +36,9 @@ fn two_stage_receive_full_path() {
     for tu in &tus {
         let bytes = Message::Tu(tu.clone()).encode();
         match Message::decode(&bytes).expect("clean wire") {
-            Message::Tu(tu) => asm.on_tu(SimTime::ZERO, &tu),
+            Message::Tu(tu) => {
+                asm.on_tu(SimTime::ZERO, &tu);
+            }
             _ => unreachable!(),
         }
     }
