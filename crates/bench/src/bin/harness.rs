@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin harness [t1|e2|e3|e4|e5|t2|x1|x2|x3|x4|x5|x6|x7|x8|all]
+//! cargo run --release -p ct-bench --bin harness [t1|e2|e3|e4|e5|t2|x1|x2|x3|x4|x5|x6|x7|x8|x9|all]
 //! cargo run --release -p ct-bench --bin harness x8 [budget_kib]
 //! ```
 //!
@@ -26,6 +26,7 @@ use ct_netsim::fault::FaultConfig;
 use ct_netsim::link::LinkConfig;
 use ct_netsim::time::{SimDuration, SimTime};
 use ct_presentation::{ber, fused as pfused, lwts, xdr, TransferSyntax};
+use ct_telemetry::{Telemetry, TouchLedger};
 use ct_transport::segment::Segment;
 use ct_transport::stack::{run_layered_transfer, Record, StackConfig};
 use ct_transport::stream::{StreamConfig, StreamTransport};
@@ -41,7 +42,7 @@ use ct_wire::serial_effective_mbps;
 const PACKET_BYTES: usize = 4000;
 
 const EXPERIMENTS: &[&str] = &[
-    "t1", "e2", "e3", "e4", "e5", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+    "t1", "e2", "e3", "e4", "e5", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
 ];
 
 fn main() {
@@ -110,6 +111,9 @@ fn main() {
             },
         };
         x8_robustness(budget_kib);
+    }
+    if all || which == "x9" {
+        x9_telemetry();
     }
 }
 
@@ -988,6 +992,103 @@ fn x7_adaptive_control() {
 // X8 — robustness: partitions, dead peers, receiver flow control
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// X9 — observability: the data-touch ledger and the flight recorder
+// ---------------------------------------------------------------------
+
+fn x9_telemetry() {
+    heading(
+        "X9",
+        "observability: memory passes per delivered byte, layered vs integrated",
+        "'the throughput of the system is more and more limited by the memory \
+         bandwidth' (\u{a7}6) — ct-telemetry's data-touch ledger turns the pass \
+         count from an estimate into a measurement, and the flight recorder \
+         replaces printf archaeology when a run misbehaves",
+    );
+
+    // Part 1: every kernel reports its traversals to the ledger; divide by
+    // delivered bytes and the ILP claim becomes a measured number.
+    let input: Vec<u8> = (0..64 * 1024)
+        .map(|i: usize| (i.wrapping_mul(197) ^ (i >> 3)) as u8)
+        .collect();
+    let mut t = Table::new(&[
+        "stages",
+        "layered passes/B",
+        "integrated passes/B",
+        "layered/integrated",
+    ]);
+    let mut deepest: Option<TouchLedger> = None;
+    for n in 1..=4usize {
+        let p = canonical_receive_chain(n, 0xFEED);
+        let lay = TouchLedger::new();
+        let int = TouchLedger::new();
+        let a = p.run_layered_ledgered(&input, &lay);
+        let b = p.run_integrated_ledgered(&input, &int);
+        assert_eq!(a, b, "the two engineerings must be bit-identical");
+        lay.deliver(input.len() as u64);
+        int.deliver(input.len() as u64);
+        let (lp, ip) = (
+            lay.passes_per_delivered_byte(),
+            int.passes_per_delivered_byte(),
+        );
+        assert!(
+            ip < lp,
+            "integrated must touch strictly fewer bytes at n={n}: {ip} !< {lp}"
+        );
+        t.row(&[
+            format!("{n}"),
+            format!("{lp:.3}"),
+            format!("{ip:.3}"),
+            format!("{:.2}x", lp / ip),
+        ]);
+        if n == 4 {
+            deepest = Some(lay);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "
+per-stage ledger of the 4-stage layered chain:"
+    );
+    println!("{}", deepest.expect("n=4 ran").render());
+
+    // Part 2: a telemetry-enabled ALF run over a lossy link — the registry
+    // and the tail of the flight recorder, as a failure dump would show it.
+    let tel = Telemetry::with_tracing(256);
+    let adus = seq_workload(30, 4000);
+    let r = run_alf_transfer_scenario(
+        9,
+        LinkConfig::lan(),
+        FaultConfig::loss(0.03),
+        AlfConfig::default(),
+        Substrate::Packet,
+        &adus,
+        None,
+        &ScenarioOpts {
+            telemetry: Some(tel.clone()),
+            ..ScenarioOpts::default()
+        },
+    );
+    assert!(r.complete && r.verified, "telemetry run failed: {r:?}");
+    println!("metrics registry after a 30-ADU transfer at 3% loss:");
+    print!("{}", tel.metrics().render_text());
+    println!(
+        "
+flight recorder: last 8 of {} events ({} overwritten):",
+        tel.trace_len(),
+        tel.trace_overwritten()
+    );
+    print!("{}", tel.trace_dump_last(8));
+    println!(
+        "
+The integrated pass count stays flat at 2 passes per delivered byte\n\
+         while the layered chain climbs by 2 per stage: exactly the memory\n\
+         traffic \u{a7}6 says dominates. The registry and recorder cost nothing\n\
+         when disarmed (the overhead guard in tests/telemetry.rs pins the\n\
+         counters-on fast path under 2% of E2 throughput)."
+    );
+}
+
 fn x8_robustness(budget_kib: usize) {
     heading(
         "X8",
@@ -1023,6 +1124,7 @@ fn x8_robustness(budget_kib: usize) {
             base,
             ScenarioOpts {
                 outages: vec![(SimTime::from_millis(20), SimTime::from_millis(2020))],
+                ..ScenarioOpts::default()
             },
         ),
         (
@@ -1034,6 +1136,7 @@ fn x8_robustness(budget_kib: usize) {
             },
             ScenarioOpts {
                 outages: vec![(SimTime::from_millis(20), SimTime::MAX)],
+                ..ScenarioOpts::default()
             },
         ),
         (

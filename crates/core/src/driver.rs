@@ -71,6 +71,14 @@ pub struct ScenarioOpts {
     /// the A–B link — partitions that heal (use [`SimTime::MAX`] as `until`
     /// for one that never does).
     pub outages: Vec<(SimTime, SimTime)>,
+    /// Observability handle shared by the network and both endpoints. When
+    /// set, the network counts frame events, both transports record flight-
+    /// recorder events (sender under layer `"sender"`, receiver under
+    /// `"receiver"`, if tracing is armed), a per-ADU delivery-latency
+    /// histogram accumulates under `alf.delivery_latency_us`, and the final
+    /// [`AlfStats`] of both ends publish under `alf.sender.*` /
+    /// `alf.receiver.*` when the run settles.
+    pub telemetry: Option<ct_telemetry::Telemetry>,
 }
 
 /// A recompute oracle for [`RecoveryMode::AppRecompute`] runs: given an ADU
@@ -145,6 +153,11 @@ pub fn run_alf_transfer_scenario(
     }
     let mut a = AduTransport::new(cfg);
     let mut b = AduTransport::new(cfg);
+    if let Some(tel) = &opts.telemetry {
+        net.attach_telemetry(tel.clone());
+        a.attach_telemetry(tel.clone(), "sender");
+        b.attach_telemetry(tel.clone(), "receiver");
+    }
     // ATM endpoints (used only when substrate == Atm).
     let mut atm_a = AtmEndpoint::new(node_a, AtmConfig::default());
     let mut atm_b = AtmEndpoint::new(node_b, AtmConfig::default());
@@ -245,8 +258,12 @@ pub fn run_alf_transfer_scenario(
         }
 
         // Application drains out-of-order deliveries.
-        while let Some((adu, _latency)) = b.recv_adu() {
+        while let Some((adu, latency)) = b.recv_adu() {
             delivered_bytes += adu.len() as u64;
+            if let Some(tel) = &opts.telemetry {
+                tel.metrics_mut()
+                    .observe("alf.delivery_latency_us", latency.as_nanos() / 1_000);
+            }
             match expected.get(&adu.name) {
                 Some(want) if *want == adu.payload.as_slice() => delivered_ok += 1,
                 _ => {
@@ -344,6 +361,18 @@ pub fn run_alf_transfer_scenario(
     }
 
     let elapsed = net.now().saturating_since(start);
+    if let Some(tel) = &opts.telemetry {
+        // End-of-run publication: both endpoints' counters, plus the bytes
+        // the application actually received into the data-touch ledger (so
+        // ledgered manipulation stages divide into passes-per-byte).
+        let mut reg = tel.metrics_mut();
+        a.stats.publish(&mut reg, "alf.sender");
+        b.stats.publish(&mut reg, "alf.receiver");
+        reg.counter_set("alf.run.delivered_bytes", delivered_bytes);
+        reg.counter_set("alf.run.elapsed_ns", elapsed.as_nanos());
+        drop(reg);
+        tel.ledger().deliver(delivered_bytes);
+    }
     let stats_b = b.stats;
     let delivered = stats_b.adus_delivered;
     let latency_mean = stats_b

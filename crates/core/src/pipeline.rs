@@ -206,6 +206,64 @@ impl Pipeline {
         PipelineOutput { data, checksums }
     }
 
+    /// [`Pipeline::run_layered`] with every memory pass reported to the
+    /// data-touch ledger: the initial move as stage `pipeline/move`, then
+    /// each manipulation through its ledgered kernel (`wire/checksum`,
+    /// `crypto/xor`, `wire/swap32`, `wire/copy`). For the canonical N-stage
+    /// receive chain this books `1 + N` traversals — the number
+    /// [`Pipeline::layered_passes`] predicts and experiment X9 tabulates.
+    pub fn run_layered_ledgered(
+        &self,
+        input: &[u8],
+        ledger: &ct_telemetry::TouchLedger,
+    ) -> PipelineOutput {
+        let mut data = input.to_vec();
+        ledger.touch("pipeline/move", input.len() as u64, data.len() as u64);
+        let mut checksums = Vec::new();
+        for s in &self.stages {
+            match s {
+                Manipulation::Checksum => {
+                    checksums.push(ct_wire::ledgered::internet_checksum_unrolled(&data, ledger));
+                }
+                Manipulation::Xor { key, offset } => {
+                    let cipher = XorStream::new(*key);
+                    let mut out = vec![0u8; data.len()];
+                    cipher.apply_ledgered(*offset, &data, &mut out, ledger);
+                    data = out;
+                }
+                Manipulation::Swap32 => {
+                    let mut out = vec![0u8; data.len()];
+                    ct_wire::ledgered::swap32_copy(&data, &mut out, ledger);
+                    data = out;
+                }
+                Manipulation::Copy => {
+                    let mut out = vec![0u8; data.len()];
+                    ct_wire::ledgered::copy_bytes(&data, &mut out, ledger);
+                    data = out;
+                }
+            }
+        }
+        PipelineOutput { data, checksums }
+    }
+
+    /// [`Pipeline::run_integrated`] with its single traversal reported to
+    /// the data-touch ledger as stage `pipeline/integrated` (`len` reads +
+    /// `len` writes, regardless of chain depth — that constancy is the ILP
+    /// claim).
+    pub fn run_integrated_ledgered(
+        &self,
+        input: &[u8],
+        ledger: &ct_telemetry::TouchLedger,
+    ) -> PipelineOutput {
+        let out = self.run_integrated(input);
+        ledger.touch(
+            "pipeline/integrated",
+            input.len() as u64,
+            out.data.len() as u64,
+        );
+        out
+    }
+
     /// Execute integrated: one traversal; each aligned word runs through
     /// the entire chain while in registers. Bit-identical to
     /// [`Pipeline::run_layered`].
@@ -555,6 +613,39 @@ mod tests {
     fn layered_pass_count() {
         assert_eq!(Pipeline::new().layered_passes(), 1);
         assert_eq!(canonical_receive_chain(4, 0).layered_passes(), 5);
+    }
+
+    #[test]
+    fn ledgered_runs_match_plain_and_account_passes() {
+        let input = pattern(1024);
+        for n in 1..=4 {
+            let p = canonical_receive_chain(n, 0xFEED);
+            let lay_ledger = ct_telemetry::TouchLedger::new();
+            let int_ledger = ct_telemetry::TouchLedger::new();
+            let lay = p.run_layered_ledgered(&input, &lay_ledger);
+            let int = p.run_integrated_ledgered(&input, &int_ledger);
+            assert_eq!(lay, p.run_layered(&input), "n={n}");
+            assert_eq!(int, p.run_integrated(&input), "n={n}");
+            lay_ledger.deliver(input.len() as u64);
+            int_ledger.deliver(input.len() as u64);
+            // Layered: initial move (r+w) + checksum (r) + (n-1) r+w stages.
+            let expect_lay = 2.0 + 1.0 + (n as f64 - 1.0) * 2.0;
+            assert!(
+                (lay_ledger.passes_per_delivered_byte() - expect_lay).abs() < 1e-9,
+                "n={n} layered {}",
+                lay_ledger.passes_per_delivered_byte()
+            );
+            // Integrated: always exactly one read + one write pass.
+            assert!(
+                (int_ledger.passes_per_delivered_byte() - 2.0).abs() < 1e-9,
+                "n={n} integrated {}",
+                int_ledger.passes_per_delivered_byte()
+            );
+            assert!(
+                int_ledger.passes_per_delivered_byte() < lay_ledger.passes_per_delivered_byte(),
+                "integrated strictly fewer at n={n}"
+            );
+        }
     }
 
     #[test]

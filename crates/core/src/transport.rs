@@ -28,6 +28,7 @@ use crate::wire::{
     fragment_adu, restamp_tu, Message, WireError, RWND_UNLIMITED, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
 };
 use ct_netsim::time::{SimDuration, SimTime};
+use ct_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// The per-ADU retransmission deadline with exponential backoff: the base
@@ -297,6 +298,69 @@ pub struct AlfStats {
     pub peer_unreachable_events: u64,
 }
 
+impl AlfStats {
+    /// Publish every counter and estimator into a metrics registry under
+    /// `prefix` (e.g. `alf.a.adus_sent`). Intended for end-of-run
+    /// publication, not the per-frame hot path: it allocates one name
+    /// string per metric.
+    pub fn publish(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
+        let counters: [(&str, u64); 24] = [
+            ("adus_sent", self.adus_sent),
+            ("tus_sent", self.tus_sent),
+            ("control_sent", self.control_sent),
+            ("adus_delivered", self.adus_delivered),
+            (
+                "adus_delivered_out_of_order",
+                self.adus_delivered_out_of_order,
+            ),
+            ("adus_retransmitted", self.adus_retransmitted),
+            (
+                "tus_retransmitted_selective",
+                self.tus_retransmitted_selective,
+            ),
+            ("probe_tus", self.probe_tus),
+            ("timestamped_tus", self.timestamped_tus),
+            ("fec_parity_sent", self.fec_parity_sent),
+            ("fec_reconstructions", self.fec_reconstructions),
+            ("recompute_requests", self.recompute_requests),
+            ("adus_given_up", self.adus_given_up),
+            ("losses_reported", self.losses_reported),
+            ("bad_messages", self.bad_messages),
+            ("rtt_samples", self.rtt_samples),
+            ("loss_events", self.loss_events),
+            ("adus_shed", self.adus_shed),
+            ("tus_backpressured", self.tus_backpressured),
+            ("zero_window_probes", self.zero_window_probes),
+            ("send_backpressured", self.send_backpressured),
+            ("rto_backoff_events", self.rto_backoff_events),
+            ("peer_unreachable_events", self.peer_unreachable_events),
+            (
+                "delivery_latency_total_us",
+                self.delivery_latency_total.as_nanos() / 1_000,
+            ),
+        ];
+        for (name, v) in counters {
+            reg.counter_set(&format!("{prefix}.{name}"), v);
+        }
+        reg.counter_set(
+            &format!("{prefix}.delivery_latency_max_us"),
+            self.delivery_latency_max.as_nanos() / 1_000,
+        );
+        let gauges: [(&str, f64); 7] = [
+            ("jitter_us", self.jitter_us),
+            ("srtt_us", self.srtt_us),
+            ("rttvar_us", self.rttvar_us),
+            ("rto_us", self.rto_us),
+            ("cwnd_adus", self.cwnd_adus),
+            ("cwnd_peak_adus", self.cwnd_peak_adus),
+            ("delivery_rate_mbps", self.delivery_rate_mbps),
+        ];
+        for (name, v) in gauges {
+            reg.gauge_set(&format!("{prefix}.{name}"), v);
+        }
+    }
+}
+
 /// Sender-side record of an unacknowledged ADU.
 #[derive(Debug)]
 struct SentAdu {
@@ -398,6 +462,9 @@ pub struct AduTransport {
     /// The receiver owes the peer a window update: emit an ACK next poll
     /// even if no ADU ids are pending (probe answers, post-shed updates).
     window_ack_due: bool,
+    /// Attached observability handle plus the endpoint's role label
+    /// (`"sender"` / `"receiver"` — the flight recorder's `layer` field).
+    telemetry: Option<(Telemetry, &'static str)>,
     /// Counters.
     pub stats: AlfStats,
 }
@@ -482,6 +549,7 @@ impl AduTransport {
             last_peer_activity: None,
             peer_dead: false,
             window_ack_due: false,
+            telemetry: None,
             stats: AlfStats {
                 cwnd_adus: CWND_INIT_ADUS,
                 cwnd_peak_adus: CWND_INIT_ADUS,
@@ -493,6 +561,43 @@ impl AduTransport {
     /// The configuration in force.
     pub fn config(&self) -> &AlfConfig {
         &self.cfg
+    }
+
+    /// Attach an observability handle. `role` labels this endpoint's events
+    /// in the flight recorder (conventionally `"sender"` or `"receiver"`);
+    /// it is the `layer` field of every [`ct_telemetry::Event`] the
+    /// endpoint records. Counters are NOT updated per event — drivers call
+    /// [`AlfStats::publish`] when the run settles.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry, role: &'static str) {
+        self.telemetry = Some((telemetry, role));
+    }
+
+    /// Record one flight-recorder event — a no-op unless telemetry is
+    /// attached with tracing armed, so the hot path pays one branch and
+    /// allocates nothing when disabled.
+    fn trace(
+        &self,
+        at: SimTime,
+        kind: &'static str,
+        name: Option<AduName>,
+        a: u64,
+        b: u64,
+        len: u64,
+    ) {
+        if let Some((tel, role)) = &self.telemetry {
+            if tel.tracing_enabled() {
+                tel.record(ct_telemetry::Event {
+                    at_nanos: at.as_nanos(),
+                    layer: role,
+                    kind,
+                    assoc: u32::from(self.cfg.assoc),
+                    adu: name.map(|n| n.to_string()),
+                    a,
+                    b,
+                    len,
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -704,11 +809,13 @@ impl AduTransport {
                     let name = sent.name;
                     let queued = if full || payload.len() <= self.cfg.mtu_payload {
                         self.stats.adus_retransmitted += 1;
+                        self.trace(now, "adu_retx", Some(name), id, 0, payload.len() as u64);
                         self.emit_adu(now, id, name, &payload)
                     } else {
                         // Probe: resend only the first TU; the receiver's
                         // missing-range NACKs drive the rest of the repair.
                         self.stats.probe_tus += 1;
+                        self.trace(now, "probe", Some(name), id, 0, self.cfg.mtu_payload as u64);
                         let mut tu = crate::wire::Tu {
                             flags: 0,
                             assoc: self.cfg.assoc,
@@ -791,6 +898,7 @@ impl AduTransport {
                     },
                 );
             }
+            self.trace(now, "adu_send", Some(name), id, 0, payload.len() as u64);
             let queued = self.emit_adu(now, id, name, &payload);
             if let Some(sent) = self.unacked.get_mut(&id) {
                 sent.tus_unreleased += queued;
@@ -825,6 +933,7 @@ impl AduTransport {
                 sent.deadline = now + rto_for(base, retries + self.timeout_backoff);
             }
             self.stats.tus_sent += 1;
+            self.trace(now, "tu_send", None, id, 0, frame.len() as u64);
             out.push(frame);
         }
 
@@ -843,6 +952,7 @@ impl AduTransport {
                 );
                 self.stats.zero_window_probes += 1;
                 self.stats.control_sent += 1;
+                self.trace(now, "win_probe", None, u64::from(self.probe_backoff), 0, 0);
                 let wait = rto_for(self.rto_base(), self.probe_backoff);
                 self.probe_backoff = (self.probe_backoff + 1).min(6);
                 self.next_probe_at = Some(now + wait);
@@ -904,6 +1014,7 @@ impl AduTransport {
             Ok(m) => m,
             Err(WireError::BadChecksum) | Err(_) => {
                 self.stats.bad_messages += 1;
+                self.trace(now, "bad_msg", None, 0, 0, buf.len() as u64);
                 return;
             }
         };
@@ -952,6 +1063,14 @@ impl AduTransport {
                     self.stats.adus_delivered += 1;
                     self.stats.delivery_latency_total += latency;
                     self.stats.delivery_latency_max = self.stats.delivery_latency_max.max(latency);
+                    self.trace(
+                        now,
+                        "adu_deliver",
+                        Some(adu.name),
+                        id,
+                        latency.as_nanos() / 1_000,
+                        adu.payload.len() as u64,
+                    );
                     self.ack_queue.push(id);
                     self.deliver.push((id, adu, latency));
                 }
@@ -1096,6 +1215,14 @@ impl AduTransport {
         }
         self.peer_dead = true;
         self.stats.peer_unreachable_events += 1;
+        self.trace(
+            now,
+            "peer_dead",
+            None,
+            self.unacked.len() as u64,
+            self.queue.len() as u64,
+            0,
+        );
         for (id, sent) in std::mem::take(&mut self.unacked) {
             self.stats.adus_given_up += 1;
             self.stats.losses_reported += 1;
@@ -1280,6 +1407,15 @@ impl AduTransport {
         sent.deadline = deadline;
         sent.tus_unreleased += tus.len();
         self.stats.tus_retransmitted_selective += tus.len() as u64;
+        let retx_bytes: usize = tus.iter().map(|t| t.payload.len()).sum();
+        self.trace(
+            now,
+            "tu_retx",
+            Some(name),
+            adu_id,
+            tus.len() as u64,
+            retx_bytes as u64,
+        );
         for tu in tus {
             self.txq.push_back((adu_id, Message::Tu(tu).encode()));
         }
@@ -1307,6 +1443,7 @@ impl AduTransport {
             self.unacked.remove(&id);
             self.stats.adus_given_up += 1;
             self.stats.losses_reported += 1;
+            self.trace(now, "adu_lost", Some(name), id, 0, 0);
             self.loss_reports.push(LossReport { adu_id: id, name });
             return;
         }

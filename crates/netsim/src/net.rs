@@ -28,6 +28,7 @@ use crate::link::{LinkConfig, LinkRefusal, LinkState};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FrameEvent, FrameTrace, NetStats, TraceRecord};
+use ct_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -120,6 +121,7 @@ pub struct Network {
     rng: SimRng,
     stats: NetStats,
     trace: Option<FrameTrace>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Network {
@@ -136,6 +138,7 @@ impl Network {
             rng: SimRng::new(seed),
             stats: NetStats::default(),
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -150,6 +153,13 @@ impl Network {
         self.trace.as_ref()
     }
 
+    /// Attach a shared telemetry sink: frame events additionally land in
+    /// its unified flight recorder (layer `"net"`, operands = node ids) and
+    /// its counters mirror [`NetStats`] as `net.*` at each event.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
     fn record(&mut self, event: FrameEvent, src: NodeId, dst: NodeId, len: usize) {
         if let Some(t) = self.trace.as_mut() {
             t.record(TraceRecord {
@@ -159,6 +169,29 @@ impl Network {
                 dst,
                 len,
             });
+        }
+        if let Some(tel) = self.telemetry.as_ref() {
+            let (kind, counter) = match event {
+                FrameEvent::Sent => ("frame_send", "net.frame_send"),
+                FrameEvent::Delivered => ("frame_deliver", "net.frame_deliver"),
+                FrameEvent::Forwarded => ("frame_forward", "net.frame_forward"),
+                FrameEvent::FaultDropped => ("frame_drop", "net.frame_drop"),
+                FrameEvent::CongestionDropped => ("frame_congest", "net.frame_congest"),
+                FrameEvent::Corrupted => ("frame_corrupt", "net.frame_corrupt"),
+            };
+            tel.metrics_mut().counter_add(counter, 1);
+            if tel.tracing_enabled() {
+                tel.record(ct_telemetry::Event {
+                    at_nanos: self.now.as_nanos(),
+                    layer: "net",
+                    kind,
+                    assoc: 0,
+                    adu: None,
+                    a: src.0 as u64,
+                    b: dst.0 as u64,
+                    len: len as u64,
+                });
+            }
         }
     }
 

@@ -4,10 +4,16 @@
 //! optional bounded ring of per-frame events (the spirit of smoltcp's
 //! `--pcap` option, rendered as text rather than libpcap) that
 //! [`crate::net::Network::enable_trace`] turns on for debugging runs.
+//!
+//! The ring itself is `ct-telemetry`'s shared [`Ring`] — [`FrameTrace`] is
+//! a thin domain-typed alias over it, kept for one release so existing
+//! callers don't churn. New code that wants net events alongside transport
+//! and pipeline events should attach a `ct_telemetry::Telemetry` handle via
+//! `crate::net::Network::attach_telemetry` instead.
 
 use crate::net::NodeId;
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use ct_telemetry::Ring;
 use std::fmt;
 
 /// What happened to a frame at a trace point.
@@ -56,35 +62,38 @@ pub struct TraceRecord {
     pub len: usize,
 }
 
-/// A bounded ring buffer of frame events.
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  {}  {} -> {}  {} B",
+            format!("{}", self.at),
+            self.event,
+            self.src,
+            self.dst,
+            self.len
+        )
+    }
+}
+
+/// A bounded ring buffer of frame events — a domain-typed wrapper over the
+/// shared [`ct_telemetry::Ring`] flight recorder.
 #[derive(Debug, Default)]
 pub struct FrameTrace {
-    ring: VecDeque<TraceRecord>,
-    capacity: usize,
-    /// Records pushed out of the ring by newer ones.
-    pub overwritten: u64,
+    ring: Ring<TraceRecord>,
 }
 
 impl FrameTrace {
     /// A trace holding the most recent `capacity` records.
     pub fn new(capacity: usize) -> Self {
         Self {
-            ring: VecDeque::with_capacity(capacity.min(4096)),
-            capacity,
-            overwritten: 0,
+            ring: Ring::new(capacity),
         }
     }
 
     /// Append a record, evicting the oldest when full.
     pub fn record(&mut self, rec: TraceRecord) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.overwritten += 1;
-        }
-        self.ring.push_back(rec);
+        self.ring.push(rec);
     }
 
     /// The retained records, oldest first.
@@ -102,21 +111,14 @@ impl FrameTrace {
         self.ring.is_empty()
     }
 
+    /// Records pushed out of the ring by newer ones.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.overwritten()
+    }
+
     /// Render as a text dump, one line per record.
     pub fn dump(&self) -> String {
-        let mut out = String::new();
-        for r in &self.ring {
-            out.push_str(&format!(
-                "{:>12}  {}  {} -> {}  {} B
-",
-                format!("{}", r.at),
-                r.event,
-                r.src,
-                r.dst,
-                r.len
-            ));
-        }
-        out
+        self.ring.dump()
     }
 }
 
@@ -194,7 +196,7 @@ mod tests {
             t.record(rec(i, FrameEvent::Sent));
         }
         assert_eq!(t.len(), 3);
-        assert_eq!(t.overwritten, 2);
+        assert_eq!(t.overwritten(), 2);
         let times: Vec<u64> = t.records().map(|r| r.at.as_nanos()).collect();
         assert_eq!(times, vec![2, 3, 4]);
     }

@@ -1,0 +1,193 @@
+//! The data-touch ledger: per-stage byte-read / byte-write accounting.
+//!
+//! The paper's central quantitative claim is that data-manipulation passes
+//! dominate protocol cost, and that ILP wins by eliminating memory passes
+//! per delivered byte. The ledger makes that a *measured* figure instead of
+//! one inferred from Mb/s: every manipulation stage (wire kernels, codecs,
+//! ciphers, pipeline executions, transport copies) reports how many bytes
+//! it read and wrote, and [`TouchLedger::passes_per_delivered_byte`]
+//! divides the total by the bytes the application actually received.
+//!
+//! The ledger uses interior mutability (`Cell`/`RefCell`) so a shared
+//! telemetry handle can be threaded through call chains that only hold
+//! `&self`. It is single-threaded by design, like the simulator.
+
+use std::cell::{Cell, RefCell};
+
+/// Accumulated touches for one named stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTouch {
+    /// Stage name, e.g. `"wire/checksum"` or `"pipeline/integrated"`.
+    pub stage: &'static str,
+    /// Bytes read by this stage so far.
+    pub reads: u64,
+    /// Bytes written by this stage so far.
+    pub writes: u64,
+    /// Number of times the stage reported.
+    pub calls: u64,
+}
+
+/// The per-byte data-touch ledger.
+///
+/// Stage names are `&'static str` and the stage list stays tiny (one entry
+/// per distinct manipulation stage), so a `touch` is a short linear scan —
+/// no hashing, no allocation — cheap enough to leave on in benchmarks.
+#[derive(Debug, Default)]
+pub struct TouchLedger {
+    stages: RefCell<Vec<StageTouch>>,
+    delivered: Cell<u64>,
+}
+
+impl TouchLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Report that `stage` read `reads` bytes and wrote `writes` bytes.
+    pub fn touch(&self, stage: &'static str, reads: u64, writes: u64) {
+        let mut stages = self.stages.borrow_mut();
+        for s in stages.iter_mut() {
+            if s.stage == stage {
+                s.reads += reads;
+                s.writes += writes;
+                s.calls += 1;
+                return;
+            }
+        }
+        stages.push(StageTouch {
+            stage,
+            reads,
+            writes,
+            calls: 1,
+        });
+    }
+
+    /// Report `bytes` of application data delivered (the denominator).
+    pub fn deliver(&self, bytes: u64) {
+        self.delivered.set(self.delivered.get() + bytes);
+    }
+
+    /// Application bytes delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Total bytes read across all stages.
+    pub fn total_reads(&self) -> u64 {
+        self.stages.borrow().iter().map(|s| s.reads).sum()
+    }
+
+    /// Total bytes written across all stages.
+    pub fn total_writes(&self) -> u64 {
+        self.stages.borrow().iter().map(|s| s.writes).sum()
+    }
+
+    /// Total memory touches: reads + writes.
+    pub fn total_touched(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Memory passes per delivered byte — the paper's figure of merit.
+    /// Zero when nothing was delivered.
+    pub fn passes_per_delivered_byte(&self) -> f64 {
+        let delivered = self.delivered.get();
+        if delivered == 0 {
+            0.0
+        } else {
+            self.total_touched() as f64 / delivered as f64
+        }
+    }
+
+    /// Snapshot of the per-stage accounts, in first-report order.
+    pub fn stages(&self) -> Vec<StageTouch> {
+        self.stages.borrow().clone()
+    }
+
+    /// Forget everything (stages and the delivered count).
+    pub fn reset(&self) {
+        self.stages.borrow_mut().clear();
+        self.delivered.set(0);
+    }
+
+    /// Render the per-stage accounts as an aligned text table.
+    pub fn render(&self) -> String {
+        let stages = self.stages.borrow();
+        let width = stages
+            .iter()
+            .map(|s| s.stage.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = format!(
+            "{:<width$}  {:>12}  {:>12}  {:>8}\n",
+            "stage", "bytes read", "bytes written", "calls"
+        );
+        for s in stages.iter() {
+            out.push_str(&format!(
+                "{:<width$}  {:>12}  {:>12}  {:>8}\n",
+                s.stage, s.reads, s.writes, s.calls
+            ));
+        }
+        out.push_str(&format!(
+            "delivered {} B; {:.3} memory passes per delivered byte\n",
+            self.delivered.get(),
+            self.passes_per_delivered_byte()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_stage() {
+        let l = TouchLedger::new();
+        l.touch("wire/copy", 100, 100);
+        l.touch("wire/copy", 50, 50);
+        l.touch("wire/checksum", 150, 0);
+        let stages = l.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage, "wire/copy");
+        assert_eq!(stages[0].reads, 150);
+        assert_eq!(stages[0].writes, 150);
+        assert_eq!(stages[0].calls, 2);
+        assert_eq!(l.total_reads(), 300);
+        assert_eq!(l.total_writes(), 150);
+        assert_eq!(l.total_touched(), 450);
+    }
+
+    #[test]
+    fn passes_per_byte() {
+        let l = TouchLedger::new();
+        assert_eq!(l.passes_per_delivered_byte(), 0.0);
+        l.touch("a", 200, 100);
+        l.deliver(100);
+        assert!((l.passes_per_delivered_byte() - 3.0).abs() < 1e-12);
+        l.deliver(50);
+        assert!((l.passes_per_delivered_byte() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let l = TouchLedger::new();
+        l.touch("a", 1, 1);
+        l.deliver(1);
+        l.reset();
+        assert_eq!(l.total_touched(), 0);
+        assert_eq!(l.delivered(), 0);
+        assert!(l.stages().is_empty());
+    }
+
+    #[test]
+    fn render_names_stages() {
+        let l = TouchLedger::new();
+        l.touch("pipeline/integrated", 64, 64);
+        l.deliver(64);
+        let r = l.render();
+        assert!(r.contains("pipeline/integrated"));
+        assert!(r.contains("2.000 memory passes"));
+    }
+}

@@ -1,0 +1,225 @@
+//! `ct-telemetry`: stack-wide observability for the ALF/ILP workspace.
+//!
+//! One deterministic, sim-time-stamped, zero-dependency subsystem with
+//! three legs (DESIGN.md §8):
+//!
+//! * a **metrics registry** ([`MetricsRegistry`]) — named counters, gauges,
+//!   and log2-bucket histograms with snapshot/diff and text + JSONL export;
+//! * **structured event tracing** — a bounded flight-recorder [`Ring`] of
+//!   [`Event`]s keyed by association, ADU name, and layer, shared by the
+//!   network simulator and both transports so one ordered record shows a
+//!   frame drop next to the retransmission it provoked;
+//! * a **data-touch ledger** ([`TouchLedger`]) — every manipulation stage
+//!   reports byte-reads/byte-writes, yielding "memory passes per delivered
+//!   byte", the paper's figure of merit, measured instead of inferred.
+//!
+//! The [`Telemetry`] handle bundles all three behind an `Rc`, so cloning it
+//! into the simulator, both transport endpoints, and the driver shares one
+//! sink. It is single-threaded by design, exactly like the simulator; all
+//! mutation goes through interior mutability so instrumented code only
+//! needs `&self`.
+//!
+//! Determinism: timestamps are simulated nanoseconds, map iteration is
+//! `BTreeMap`-ordered, and nothing reads the host clock — identically
+//! seeded runs emit byte-identical trace and metrics streams.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod ledger;
+pub mod metrics;
+pub mod ring;
+pub mod trace;
+
+pub use ledger::{StageTouch, TouchLedger};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use ring::Ring;
+pub use trace::{Event, ParsedEvent};
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+/// The shared telemetry state behind a [`Telemetry`] handle.
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: RefCell<MetricsRegistry>,
+    recorder: RefCell<Option<Ring<Event>>>,
+    ledger: TouchLedger,
+}
+
+/// A cloneable handle to one telemetry sink: metrics registry + flight
+/// recorder + data-touch ledger.
+///
+/// Clones share state (`Rc`); drop-in for threading one sink through the
+/// simulator, both transports, and the driver. The fast path keeps costs
+/// honest: counters and ledger touches are a few arithmetic ops, and
+/// tracing is a no-op (no allocation, no formatting) until
+/// [`Telemetry::enable_tracing`] arms the ring.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl Telemetry {
+    /// A fresh sink with tracing disarmed (counters and ledger active).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh sink with the flight recorder armed at `capacity` events.
+    pub fn with_tracing(capacity: usize) -> Self {
+        let t = Self::new();
+        t.enable_tracing(capacity);
+        t
+    }
+
+    /// Arm the flight recorder with a ring of `capacity` events,
+    /// discarding any previously recorded events.
+    pub fn enable_tracing(&self, capacity: usize) {
+        *self.inner.recorder.borrow_mut() = Some(Ring::new(capacity));
+    }
+
+    /// Whether the flight recorder is armed. Instrumented code checks this
+    /// before building an [`Event`] so disabled tracing costs one branch.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.recorder.borrow().is_some()
+    }
+
+    /// Record an event (dropped silently when tracing is disarmed).
+    pub fn record(&self, event: Event) {
+        if let Some(ring) = self.inner.recorder.borrow_mut().as_mut() {
+            ring.push(event);
+        }
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&self) -> RefMut<'_, MetricsRegistry> {
+        self.inner.metrics.borrow_mut()
+    }
+
+    /// Read access to the metrics registry.
+    pub fn metrics(&self) -> Ref<'_, MetricsRegistry> {
+        self.inner.metrics.borrow()
+    }
+
+    /// The data-touch ledger.
+    pub fn ledger(&self) -> &TouchLedger {
+        &self.inner.ledger
+    }
+
+    /// Retained trace events (0 when tracing is disarmed).
+    pub fn trace_len(&self) -> usize {
+        self.inner.recorder.borrow().as_ref().map_or(0, Ring::len)
+    }
+
+    /// Events evicted from the ring by newer ones.
+    pub fn trace_overwritten(&self) -> u64 {
+        self.inner
+            .recorder
+            .borrow()
+            .as_ref()
+            .map_or(0, Ring::overwritten)
+    }
+
+    /// Text dump of the whole retained flight record, one event per line.
+    pub fn trace_dump(&self) -> String {
+        self.inner
+            .recorder
+            .borrow()
+            .as_ref()
+            .map_or_else(String::new, Ring::dump)
+    }
+
+    /// Text dump of the last `n` retained events (the failure-dump shape:
+    /// recent history, newest last).
+    pub fn trace_dump_last(&self, n: usize) -> String {
+        self.inner
+            .recorder
+            .borrow()
+            .as_ref()
+            .map_or_else(String::new, |r| r.dump_last(n))
+    }
+
+    /// JSONL export of the retained flight record, one event per line.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        if let Some(ring) = self.inner.recorder.borrow().as_ref() {
+            for e in ring.iter() {
+                e.write_jsonl(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Retained events as a vector (cloned), oldest first.
+    pub fn trace_events(&self) -> Vec<Event> {
+        self.inner
+            .recorder
+            .borrow()
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: &'static str) -> Event {
+        Event {
+            at_nanos: at,
+            layer: "test",
+            kind,
+            assoc: 1,
+            adu: None,
+            a: 0,
+            b: 0,
+            len: 0,
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.metrics_mut().counter_add("x", 1);
+        t2.metrics_mut().counter_add("x", 1);
+        assert_eq!(t.metrics().counter("x"), 2);
+        t.ledger().touch("s", 10, 0);
+        assert_eq!(t2.ledger().total_reads(), 10);
+    }
+
+    #[test]
+    fn tracing_disarmed_drops_events() {
+        let t = Telemetry::new();
+        assert!(!t.tracing_enabled());
+        t.record(ev(1, "a"));
+        assert_eq!(t.trace_len(), 0);
+        assert_eq!(t.trace_dump(), "");
+        assert_eq!(t.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn tracing_armed_records_and_bounds() {
+        let t = Telemetry::with_tracing(2);
+        for i in 0..5 {
+            t.record(ev(i, "a"));
+        }
+        assert_eq!(t.trace_len(), 2);
+        assert_eq!(t.trace_overwritten(), 3);
+        let events = t.trace_events();
+        assert_eq!(events[0].at_nanos, 3);
+        assert_eq!(t.trace_dump_last(1).lines().count(), 1);
+    }
+
+    #[test]
+    fn jsonl_matches_events() {
+        let t = Telemetry::with_tracing(8);
+        t.record(ev(1, "x"));
+        t.record(ev(2, "y"));
+        let parsed = Event::parse_jsonl(&t.trace_jsonl()).unwrap();
+        let want: Vec<ParsedEvent> = t.trace_events().iter().map(ParsedEvent::from).collect();
+        assert_eq!(parsed, want);
+    }
+}

@@ -1,0 +1,534 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! histograms, with snapshot/diff and deterministic text + JSONL export.
+//!
+//! Everything is keyed by `String` in `BTreeMap`s so every rendering —
+//! text, JSONL, diff — iterates in one deterministic order regardless of
+//! insertion history. That is what makes "identically-seeded runs emit
+//! byte-identical telemetry" a property rather than an accident.
+
+use crate::json::{self, JsonError, JsonValue};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Bucket 0 holds zeros; bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The bucket index for a value: 0 for 0, else `floor(log2 v) + 1`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the exclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `q * count`. Returns 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Bucket i covers [2^(i-1), 2^i); its upper edge is 2^i.
+                return if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// This histogram minus an `earlier` snapshot of it: counts, sums, and
+    /// buckets subtract; `min`/`max` are kept from `self` (extrema cannot
+    /// be un-observed).
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter (creating it at zero first).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        // get_mut-then-insert keeps the common (existing-key) path
+        // allocation-free; `entry` would build a String every call.
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set a counter to an absolute value (for publishing an externally
+    /// maintained stat block at end of run).
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v = value;
+        } else {
+            self.counters.insert(name.to_string(), value);
+        }
+    }
+
+    /// Current counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record a histogram sample (creating the histogram on first use).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A histogram by name, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A point-in-time copy, for later [`MetricsRegistry::diff`].
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// This registry minus an `earlier` snapshot: counters and histograms
+    /// subtract (saturating; keys present only in `self` pass through);
+    /// gauges keep their latest value.
+    pub fn diff(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => h.diff(e),
+                    None => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        MetricsRegistry {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Render as aligned text, one metric per line, deterministic order.
+    pub fn render_text(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter  {name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge    {name:<width$}  {v:.3}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist     {name:<width$}  count={} sum={} min={} max={} mean={:.1} p50<={} p99<={}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+            ));
+        }
+        out
+    }
+
+    /// Export as JSONL: one metric per line, deterministic order.
+    ///
+    /// Non-finite gauge values export as `null` (and parse back as absent).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::write_escaped(&mut out, name);
+            out.push_str(&format!(",\"value\":{v}}}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json::write_escaped(&mut out, name);
+            if v.is_finite() {
+                out.push_str(&format!(",\"value\":{v:?}}}\n"));
+            } else {
+                out.push_str(",\"value\":null}\n");
+            }
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"hist\",\"name\":");
+            json::write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (i, (idx, c)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{c}]"));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a registry (semantic inverse of
+    /// [`MetricsRegistry::to_jsonl`] for finite gauges).
+    ///
+    /// # Errors
+    /// [`JsonError`] on malformed lines or missing/ill-typed fields.
+    pub fn from_jsonl(input: &str) -> Result<MetricsRegistry, JsonError> {
+        let mut reg = MetricsRegistry::new();
+        for line in input.lines().filter(|l| !l.trim().is_empty()) {
+            let v = json::parse(line)?;
+            let bad = |message| JsonError { message, at: 0 };
+            let kind = v
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or(bad("missing type"))?;
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or(bad("missing name"))?
+                .to_string();
+            match kind {
+                "counter" => {
+                    let value = v
+                        .get("value")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or(bad("counter value"))?;
+                    reg.counter_set(&name, value);
+                }
+                "gauge" => match v.get("value") {
+                    Some(JsonValue::Null) | None => {}
+                    Some(val) => {
+                        reg.gauge_set(&name, val.as_f64().ok_or(bad("gauge value"))?);
+                    }
+                },
+                "hist" => {
+                    let field = |k| {
+                        v.get(k)
+                            .and_then(JsonValue::as_u64)
+                            .ok_or(bad("hist field"))
+                    };
+                    let mut h = Histogram {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets: [0; BUCKETS],
+                    };
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(JsonValue::as_arr)
+                        .ok_or(bad("hist buckets"))?;
+                    for pair in buckets {
+                        let pair = pair.as_arr().ok_or(bad("hist bucket pair"))?;
+                        let idx = pair
+                            .first()
+                            .and_then(JsonValue::as_u64)
+                            .ok_or(bad("bucket index"))? as usize;
+                        let c = pair
+                            .get(1)
+                            .and_then(JsonValue::as_u64)
+                            .ok_or(bad("bucket count"))?;
+                        if idx >= BUCKETS {
+                            return Err(bad("bucket index out of range"));
+                        }
+                        h.buckets[idx] = c;
+                    }
+                    reg.histograms.insert(name, h);
+                }
+                _ => return Err(bad("unknown metric type")),
+            }
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_placement() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        assert_eq!(h.quantile_upper_bound(0.5), 4); // 3rd of 5 samples is in [2,4)
+        assert_eq!(h.quantile_upper_bound(1.0), 128);
+        assert_eq!(Histogram::default().min(), 0);
+        assert_eq!(Histogram::default().quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn counters_gauges_basics() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_set("b", 7);
+        r.gauge_set("g", 1.5);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 7);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.gauge("absent"), None);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 10);
+        r.observe("h", 8);
+        let snap = r.snapshot();
+        r.counter_add("c", 5);
+        r.observe("h", 8);
+        r.observe("h", 2);
+        r.gauge_set("g", 3.0);
+        let d = r.diff(&snap);
+        assert_eq!(d.counter("c"), 5);
+        assert_eq!(d.histogram("h").unwrap().count(), 2);
+        assert_eq!(d.histogram("h").unwrap().sum(), 10);
+        assert_eq!(d.gauge("g"), Some(3.0));
+    }
+
+    #[test]
+    fn text_render_is_deterministic_and_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("zz", 1);
+        r.counter_add("aa", 2);
+        r.gauge_set("mid", 0.25);
+        r.observe("lat", 1000);
+        let t1 = r.render_text();
+        let t2 = r.clone().render_text();
+        assert_eq!(t1, t2);
+        let aa = t1.find("aa").unwrap();
+        let zz = t1.find("zz").unwrap();
+        assert!(aa < zz, "BTreeMap order: aa before zz");
+        assert!(t1.contains("hist"));
+        assert!(t1.contains("p99<="));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("frames \"quoted\"", 42);
+        r.counter_set("big", u64::MAX);
+        r.gauge_set("rate\nline", 0.1);
+        for v in [0, 1, 5, 5, 1 << 40] {
+            r.observe("lat", v);
+        }
+        let jsonl = r.to_jsonl();
+        let back = MetricsRegistry::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed() {
+        assert!(MetricsRegistry::from_jsonl("{\"type\":\"counter\"}").is_err());
+        assert!(MetricsRegistry::from_jsonl("not json").is_err());
+        assert!(
+            MetricsRegistry::from_jsonl("{\"type\":\"what\",\"name\":\"x\",\"value\":1}").is_err()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Names drawing from the full ASCII range below 128 — including
+    /// quotes, backslashes, and control characters — so the round-trip
+    /// exercises every escaping path.
+    fn arb_name() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0u32..128u32, 1..24)
+            .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jsonl_round_trip(
+            counters in proptest::collection::vec((arb_name(), any::<u64>()), 0..6),
+            gauges in proptest::collection::vec((arb_name(), any::<u32>()), 0..4),
+            samples in proptest::collection::vec((arb_name(), proptest::collection::vec(any::<u64>(), 1..8)), 0..4),
+        ) {
+            let mut reg = MetricsRegistry::new();
+            for (name, v) in &counters {
+                reg.counter_set(name, *v);
+            }
+            for (name, v) in &gauges {
+                // u32 → f64 keeps gauges finite and exactly representable.
+                reg.gauge_set(name, f64::from(*v) / 16.0);
+            }
+            for (name, vs) in &samples {
+                for v in vs {
+                    reg.observe(name, *v);
+                }
+            }
+            let back = MetricsRegistry::from_jsonl(&reg.to_jsonl()).unwrap();
+            prop_assert_eq!(back, reg);
+        }
+    }
+}

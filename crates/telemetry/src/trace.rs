@@ -1,0 +1,270 @@
+//! Structured event tracing: one [`Event`] type every layer reports into,
+//! so net, transport, and pipeline activity land in a single ordered
+//! flight-recorder ring.
+//!
+//! Events are sim-time-stamped (nanoseconds), keyed by association, layer,
+//! and optionally an ADU name, and carry two free `u64` operands whose
+//! meaning is per-`kind` (node ids for net events, ADU ids / sizes for
+//! transport events). Layers and kinds are `&'static str` so emitting an
+//! event allocates only when an ADU name is attached — and the recorder
+//! wrapper skips even that when tracing is off.
+
+use crate::json::{self, JsonError, JsonValue};
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time in nanoseconds.
+    pub at_nanos: u64,
+    /// Which layer emitted it (`"net"`, `"sender"`, `"receiver"`, …).
+    pub layer: &'static str,
+    /// What happened (`"send"`, `"adu_deliver"`, `"tu_retx"`, …).
+    pub kind: &'static str,
+    /// Association id (0 when the layer has none, e.g. raw net frames).
+    pub assoc: u32,
+    /// Application-level ADU name, when the event concerns one.
+    pub adu: Option<String>,
+    /// First operand: node id, ADU id, … (per `kind`).
+    pub a: u64,
+    /// Second operand: node id, fragment offset, … (per `kind`).
+    pub b: u64,
+    /// Byte length the event concerns, when meaningful.
+    pub len: u64,
+}
+
+/// Render nanoseconds compactly (`250ns`, `1.300us`, `4.520ms`, `1.002s`).
+pub fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  {:<8} {:<12} assoc={:<4} a={:<5} b={:<7} len={:<6}",
+            fmt_nanos(self.at_nanos),
+            self.layer,
+            self.kind,
+            self.assoc,
+            self.a,
+            self.b,
+            self.len,
+        )?;
+        if let Some(adu) = &self.adu {
+            write!(f, " adu={adu}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Event {
+    /// Append this event to `out` as one JSONL line (newline included).
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push_str(&format!("{{\"at\":{},\"layer\":", self.at_nanos));
+        json::write_escaped(out, self.layer);
+        out.push_str(",\"kind\":");
+        json::write_escaped(out, self.kind);
+        out.push_str(&format!(",\"assoc\":{},\"adu\":", self.assoc));
+        match &self.adu {
+            Some(name) => json::write_escaped(out, name),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\"a\":{},\"b\":{},\"len\":{}}}\n",
+            self.a, self.b, self.len
+        ));
+    }
+
+    /// Parse a JSONL stream of events (one per line) back into
+    /// [`ParsedEvent`]s — the semantic inverse of [`Event::write_jsonl`].
+    ///
+    /// # Errors
+    /// [`JsonError`] on malformed lines or missing/ill-typed fields.
+    pub fn parse_jsonl(input: &str) -> Result<Vec<ParsedEvent>, JsonError> {
+        let mut events = Vec::new();
+        for line in input.lines().filter(|l| !l.trim().is_empty()) {
+            let v = json::parse(line)?;
+            let bad = |message| JsonError { message, at: 0 };
+            let num = |k| {
+                v.get(k)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(bad("numeric field"))
+            };
+            let s = |k| {
+                v.get(k)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or(bad("string field"))
+            };
+            let adu = match v.get("adu") {
+                Some(JsonValue::Null) => None,
+                Some(JsonValue::Str(name)) => Some(name.clone()),
+                _ => return Err(bad("adu field")),
+            };
+            events.push(ParsedEvent {
+                at_nanos: num("at")?,
+                layer: s("layer")?,
+                kind: s("kind")?,
+                assoc: u32::try_from(num("assoc")?).map_err(|_| bad("assoc range"))?,
+                adu,
+                a: num("a")?,
+                b: num("b")?,
+                len: num("len")?,
+            });
+        }
+        Ok(events)
+    }
+}
+
+/// An [`Event`] as recovered from a JSONL export: identical fields, owned
+/// strings (the static-str interning cannot survive parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Simulated time in nanoseconds.
+    pub at_nanos: u64,
+    /// Emitting layer.
+    pub layer: String,
+    /// Event kind.
+    pub kind: String,
+    /// Association id.
+    pub assoc: u32,
+    /// ADU name, if any.
+    pub adu: Option<String>,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Byte length.
+    pub len: u64,
+}
+
+impl From<&Event> for ParsedEvent {
+    fn from(e: &Event) -> Self {
+        ParsedEvent {
+            at_nanos: e.at_nanos,
+            layer: e.layer.to_string(),
+            kind: e.kind.to_string(),
+            assoc: e.assoc,
+            adu: e.adu.clone(),
+            a: e.a,
+            b: e.b,
+            len: e.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(adu: Option<&str>) -> Event {
+        Event {
+            at_nanos: 1_234_567,
+            layer: "sender",
+            kind: "adu_send",
+            assoc: 7,
+            adu: adu.map(str::to_string),
+            a: 42,
+            b: 0,
+            len: 6144,
+        }
+    }
+
+    #[test]
+    fn display_names_assoc_and_adu() {
+        let line = event(Some("seq:42")).to_string();
+        assert!(line.contains("assoc=7"), "{line}");
+        assert!(line.contains("adu=seq:42"), "{line}");
+        assert!(line.contains("sender"), "{line}");
+        assert!(line.contains("1.235ms"), "{line}");
+        assert!(!event(None).to_string().contains("adu="));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = vec![event(Some("file@8192")), event(None)];
+        let mut jsonl = String::new();
+        for e in &events {
+            e.write_jsonl(&mut jsonl);
+        }
+        let parsed = Event::parse_jsonl(&jsonl).unwrap();
+        let want: Vec<ParsedEvent> = events.iter().map(ParsedEvent::from).collect();
+        assert_eq!(parsed, want);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Event::parse_jsonl("{\"at\":1}").is_err());
+        assert!(Event::parse_jsonl("garbage").is_err());
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(250), "250ns");
+        assert_eq!(fmt_nanos(1_300), "1.300us");
+        assert_eq!(fmt_nanos(4_520_000), "4.520ms");
+        assert_eq!(fmt_nanos(1_002_000_000), "1.002s");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LAYERS: [&str; 3] = ["net", "sender", "receiver"];
+    const KINDS: [&str; 4] = ["send", "adu_deliver", "tu_retx", "drop"];
+
+    /// ADU names spanning the full sub-128 character range (quotes,
+    /// backslashes, control characters) to exercise every escape path.
+    fn arb_adu() -> impl Strategy<Value = Option<String>> {
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(0u32..128u32, 0..16)
+                .prop_map(|v| Some(v.into_iter().filter_map(char::from_u32).collect())),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_event_jsonl_round_trip(
+            fields in proptest::collection::vec(
+                (
+                    (any::<u64>(), 0usize..3, 0usize..4, any::<u32>(), arb_adu()),
+                    (any::<u64>(), any::<u64>(), any::<u64>()),
+                ),
+                0..12,
+            ),
+        ) {
+            let events: Vec<Event> = fields
+                .into_iter()
+                .map(|((at, l, k, assoc, adu), (a, b, len))| Event {
+                    at_nanos: at,
+                    layer: LAYERS[l],
+                    kind: KINDS[k],
+                    assoc,
+                    adu,
+                    a,
+                    b,
+                    len,
+                })
+                .collect();
+            let mut jsonl = String::new();
+            for e in &events {
+                e.write_jsonl(&mut jsonl);
+            }
+            let parsed = Event::parse_jsonl(&jsonl).unwrap();
+            let want: Vec<ParsedEvent> = events.iter().map(ParsedEvent::from).collect();
+            prop_assert_eq!(parsed, want);
+        }
+    }
+}

@@ -176,7 +176,31 @@ pub fn run_layered_transfer(
     cfg: StackConfig,
     records: &[Record],
 ) -> StackReport {
+    run_layered_transfer_telemetry(seed, link, faults, cfg, records, None)
+}
+
+/// [`run_layered_transfer`] with observability: when `telemetry` is given,
+/// the network counts frame events, every layer's data traversal is booked
+/// in the data-touch ledger (`presentation/encode`, `crypto/xor`,
+/// `transport/send_copy`, `transport/recv_copy`, `transport/deframe`,
+/// `presentation/decode` — the layered stack's passes-per-byte, measured
+/// rather than asserted), and both endpoints' [`StreamStats`] publish under
+/// `stream.a.*` / `stream.b.*` when the run settles.
+///
+/// [`StreamStats`]: crate::stream::StreamStats
+pub fn run_layered_transfer_telemetry(
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+    cfg: StackConfig,
+    records: &[Record],
+    telemetry: Option<&ct_telemetry::Telemetry>,
+) -> StackReport {
     let mut pair = TransportPair::new(seed, link, faults, cfg.transport);
+    if let Some(tel) = telemetry {
+        pair.net.attach_telemetry(tel.clone());
+    }
+    let ledger = telemetry.map(ct_telemetry::Telemetry::ledger);
     let cipher = XorStream::new(STACK_KEY);
     let mut times = LayerTimes::default();
 
@@ -212,10 +236,21 @@ pub fn run_layered_transfer(
                 Record::Octets(bytes) => (REC_OCT, bytes.clone()),
             };
             times.presentation += t0.elapsed().as_secs_f64();
+            if let Some(l) = ledger {
+                // The octet clone is a traversal too — book both shapes.
+                l.touch(
+                    "presentation/encode",
+                    rec.app_bytes() as u64,
+                    body.len() as u64,
+                );
+            }
             // Layer pass 2: encryption (in place counts as a pass).
             if cfg.encrypt {
                 let t1 = Instant::now();
-                cipher.apply_in_place(crypto_pos_tx, &mut body);
+                match ledger {
+                    Some(l) => cipher.apply_in_place_ledgered(crypto_pos_tx, &mut body, l),
+                    None => cipher.apply_in_place(crypto_pos_tx, &mut body),
+                }
                 crypto_pos_tx += body.len() as u64;
                 times.crypto += t1.elapsed().as_secs_f64();
             }
@@ -224,8 +259,13 @@ pub fn run_layered_transfer(
         // Layer pass 3: transport send (copy into the send buffer).
         if pending_off < pending_wire.len() {
             let t2 = Instant::now();
-            pending_off += pair.a.send(&pending_wire[pending_off..]);
+            let n = pair.a.send(&pending_wire[pending_off..]);
+            pending_off += n;
             times.transport += t2.elapsed().as_secs_f64();
+            if let Some(l) = ledger {
+                // Copy into the transport send buffer.
+                l.touch("transport/send_copy", n as u64, n as u64);
+            }
         }
         if next_record == records.len() && pending_off == pending_wire.len() && !fin_queued {
             pair.a.finish();
@@ -294,6 +334,13 @@ pub fn run_layered_transfer(
                 total += n;
             }
             times.transport += t3.elapsed().as_secs_f64();
+            if let Some(l) = ledger {
+                if total > 0 {
+                    // Stream copy out of the transport plus the reassembly
+                    // accumulation into `rx_accum`.
+                    l.touch("transport/recv_copy", total as u64, total as u64);
+                }
+            }
             total
         };
 
@@ -313,9 +360,15 @@ pub fn run_layered_transfer(
                 }
                 let mut body = rx_accum[cursor + 5..cursor + 5 + len].to_vec();
                 cursor += 5 + len;
+                if let Some(l) = ledger {
+                    l.touch("transport/deframe", body.len() as u64, body.len() as u64);
+                }
                 if cfg.encrypt {
                     let t4 = Instant::now();
-                    cipher.apply_in_place(crypto_pos_rx, &mut body);
+                    match ledger {
+                        Some(l) => cipher.apply_in_place_ledgered(crypto_pos_rx, &mut body, l),
+                        None => cipher.apply_in_place(crypto_pos_rx, &mut body),
+                    }
                     crypto_pos_rx += body.len() as u64;
                     times.crypto += t4.elapsed().as_secs_f64();
                 }
@@ -330,7 +383,12 @@ pub fn run_layered_transfer(
                 };
                 times.presentation += t5.elapsed().as_secs_f64();
                 match rec {
-                    Ok(r) => delivered.push(r),
+                    Ok(r) => {
+                        if let Some(l) = ledger {
+                            l.touch("presentation/decode", len as u64, r.app_bytes() as u64);
+                        }
+                        delivered.push(r);
+                    }
                     Err(_) => break,
                 }
             }
@@ -357,6 +415,15 @@ pub fn run_layered_transfer(
     // Verify content, not just count.
     let intact = complete && delivered == records;
     let app_bytes: u64 = delivered.iter().map(|r| r.app_bytes() as u64).sum();
+    if let Some(tel) = telemetry {
+        let mut reg = tel.metrics_mut();
+        pair.a.stats.publish(&mut reg, "stream.a");
+        pair.b.stats.publish(&mut reg, "stream.b");
+        reg.counter_set("stack.records_delivered", delivered.len() as u64);
+        reg.counter_set("stack.app_bytes", app_bytes);
+        drop(reg);
+        tel.ledger().deliver(app_bytes);
+    }
     let total_cpu = times.total();
     StackReport {
         complete: intact,
@@ -494,6 +561,43 @@ mod tests {
         );
         assert!(rep.complete);
         assert_eq!(rep.app_bytes, 0);
+    }
+
+    #[test]
+    fn telemetry_ledger_books_layer_passes() {
+        let tel = ct_telemetry::Telemetry::new();
+        let records = u32_records(6, 400);
+        let rep = run_layered_transfer_telemetry(
+            9,
+            LinkConfig::lan(),
+            FaultConfig::none(),
+            StackConfig {
+                encrypt: true,
+                ..StackConfig::default()
+            },
+            &records,
+            Some(&tel),
+        );
+        assert!(rep.complete);
+        let ledger = tel.ledger();
+        assert!(
+            ledger.passes_per_delivered_byte() > 2.0,
+            "a layered stack must traverse delivered data repeatedly: {}",
+            ledger.passes_per_delivered_byte()
+        );
+        let stages: Vec<_> = ledger.stages().iter().map(|s| s.stage).collect();
+        for want in [
+            "presentation/encode",
+            "crypto/xor",
+            "transport/send_copy",
+            "transport/recv_copy",
+            "transport/deframe",
+            "presentation/decode",
+        ] {
+            assert!(stages.contains(&want), "{want} missing from {stages:?}");
+        }
+        assert!(tel.metrics().counter("stream.a.segments_out") > 0);
+        assert_eq!(tel.metrics().counter("stack.records_delivered"), 6);
     }
 
     #[test]

@@ -97,6 +97,37 @@ pub struct StreamStats {
     pub hol_delayed_bytes: u64,
 }
 
+impl StreamStats {
+    /// Publish every counter into a metrics registry under `prefix` (e.g.
+    /// `stream.a.segments_out`). End-of-run publication: allocates one name
+    /// string per metric, so keep it off per-segment paths.
+    pub fn publish(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
+        let counters: [(&str, u64); 11] = [
+            ("segments_out", self.segments_out),
+            ("segments_in", self.segments_in),
+            ("bytes_delivered", self.bytes_delivered),
+            ("rto_retransmits", self.rto_retransmits),
+            ("fast_retransmits", self.fast_retransmits),
+            ("checksum_drops", self.checksum_drops),
+            ("old_segments", self.old_segments),
+            ("ooo_segments", self.ooo_segments),
+            ("ooo_bytes_peak", self.ooo_bytes_peak as u64),
+            (
+                "hol_delay_total_us",
+                self.hol_delay_total.as_nanos() / 1_000,
+            ),
+            ("hol_delayed_bytes", self.hol_delayed_bytes),
+        ];
+        for (name, v) in counters {
+            reg.counter_set(&format!("{prefix}.{name}"), v);
+        }
+        reg.counter_set(
+            &format!("{prefix}.hol_delay_max_us"),
+            self.hol_delay_max.as_nanos() / 1_000,
+        );
+    }
+}
+
 /// A segment in flight awaiting acknowledgement.
 #[derive(Debug, Clone)]
 struct Inflight {

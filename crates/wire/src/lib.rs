@@ -23,6 +23,8 @@
 //! * [`swap`] — byte-order (presentation-adjacent) conversion kernels.
 //! * [`fused`] — ILP kernels: copy+checksum, xor+checksum, copy+xor+checksum,
 //!   swap+checksum, and the generic fused traversal used by `alf-core`.
+//! * [`ledgered`] — the same kernels wrapped to report byte touches into
+//!   `ct-telemetry`'s data-touch ledger (memory passes per delivered byte).
 //! * [`header`] — safe, explicit header field encode/decode helpers used by
 //!   the protocol crates above this one.
 //!
@@ -41,6 +43,7 @@ pub mod checksum;
 pub mod copy;
 pub mod fused;
 pub mod header;
+pub mod ledgered;
 pub mod swap;
 
 pub use buf::{Gather, OwnedBuf, Scatter};

@@ -9,6 +9,12 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# Observability smoke: the X9 experiment asserts integrated < layered
+# passes-per-byte at every chain depth and exercises a telemetry-enabled
+# transfer end to end.
+cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended

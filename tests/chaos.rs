@@ -17,6 +17,12 @@
 //!   transfer must complete — silence is not an acceptable failure mode).
 //!
 //! `SOAK=1` (see `scripts/verify.sh`) widens the sweep from 8 to 32 seeds.
+//!
+//! Every run carries an armed [`Telemetry`] flight recorder; when an
+//! invariant trips, the panic message includes the last 96 recorded events
+//! (association, ADU name, layer, sim-time) — the post-mortem is in the
+//! failure output, not in a rerun under a debugger. Identically seeded runs
+//! must produce byte-identical trace streams (`chaos_trace_deterministic`).
 
 use std::collections::{HashMap, HashSet};
 
@@ -28,6 +34,25 @@ use ct_netsim::link::LinkConfig;
 use ct_netsim::net::Network;
 use ct_netsim::rng::SimRng;
 use ct_netsim::time::{SimDuration, SimTime};
+use ct_telemetry::Telemetry;
+
+/// Flight-recorder capacity per run: enough that a failure dump can always
+/// show the guaranteed 64+ events of history with headroom.
+const TRACE_CAPACITY: usize = 512;
+
+/// Abort the run with the invariant violation plus a flight-recorder dump:
+/// the most recent 96 events, each naming its layer, association, and (for
+/// transport events) ADU.
+fn violation(tel: &Telemetry, seed: u64, msg: &str) -> ! {
+    panic!(
+        "seed {seed}: {msg}\n\
+         --- flight recorder: last {} of {} events ({} overwritten) ---\n{}",
+        tel.trace_len().min(96),
+        tel.trace_len(),
+        tel.trace_overwritten(),
+        tel.trace_dump_last(96)
+    );
+}
 
 const BUDGET: usize = 48 * 1024;
 const ADUS: u64 = 48;
@@ -55,12 +80,14 @@ fn next_regime(rng: &mut SimRng) -> FaultConfig {
     }
 }
 
-fn chaos_run(seed: u64) {
+fn chaos_run(seed: u64) -> Telemetry {
+    let tel = Telemetry::with_tracing(TRACE_CAPACITY);
     let mut rng = SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut net = Network::new(seed);
     let node_a = net.add_node();
     let node_b = net.add_node();
     net.connect(node_a, node_b, LinkConfig::lan(), FaultConfig::none());
+    net.attach_telemetry(tel.clone());
 
     let cfg = AlfConfig {
         recovery: RecoveryMode::TransportBuffer,
@@ -73,6 +100,8 @@ fn chaos_run(seed: u64) {
     };
     let mut a = AduTransport::new(cfg);
     let mut b = AduTransport::new(cfg);
+    a.attach_telemetry(tel.clone(), "sender");
+    b.attach_telemetry(tel.clone(), "receiver");
 
     let expected: HashMap<u64, Vec<u8>> = (0..ADUS)
         .map(|i| (i, workload_payload(i, ADU_BYTES)))
@@ -130,41 +159,62 @@ fn chaos_run(seed: u64) {
             a.on_message(net.now(), &frame.payload);
         }
 
-        // --- In-loop invariants ---
+        // --- In-loop invariants (violations dump the flight recorder) ---
         while let Some((adu, _latency)) = b.recv_adu() {
             let AduName::Seq { index } = adu.name else {
-                panic!("seed {seed}: unexpected ADU name {:?}", adu.name);
+                violation(&tel, seed, &format!("unexpected ADU name {:?}", adu.name));
             };
-            assert!(
-                seen.insert(index),
-                "seed {seed}: ADU {index} delivered twice (at-most-once violated)"
-            );
-            assert_eq!(
-                &adu.payload, &expected[&index],
-                "seed {seed}: ADU {index} delivered with corrupted bytes"
+            if !seen.insert(index) {
+                violation(
+                    &tel,
+                    seed,
+                    &format!("ADU {index} delivered twice (at-most-once violated)"),
+                );
+            }
+            if adu.payload != expected[&index] {
+                violation(
+                    &tel,
+                    seed,
+                    &format!("ADU {index} delivered with corrupted bytes"),
+                );
+            }
+        }
+        if b.reassembly_bytes() > BUDGET {
+            violation(
+                &tel,
+                seed,
+                &format!(
+                    "reassembly {} bytes exceeds the {BUDGET} byte budget at {now}",
+                    b.reassembly_bytes()
+                ),
             );
         }
-        assert!(
-            b.reassembly_bytes() <= BUDGET,
-            "seed {seed}: reassembly {} bytes exceeds the {BUDGET} byte budget at {now}",
-            b.reassembly_bytes()
-        );
         let lost = a.take_loss_reports();
-        assert!(
-            lost.is_empty(),
-            "seed {seed}: buffered sender gave up on {:?} under healable churn",
-            lost.iter().map(|l| l.name).collect::<Vec<_>>()
-        );
+        if !lost.is_empty() {
+            violation(
+                &tel,
+                seed,
+                &format!(
+                    "buffered sender gave up on {:?} under healable churn",
+                    lost.iter().map(|l| l.name).collect::<Vec<_>>()
+                ),
+            );
+        }
 
         if next_offer == ADUS && a.send_complete() && seen.len() as u64 == ADUS {
             done = true;
             break;
         }
-        assert!(
-            net.now() < SimTime::from_secs(60),
-            "seed {seed}: run exceeded 60 simulated seconds ({}/{ADUS} delivered)",
-            seen.len()
-        );
+        if net.now() >= SimTime::from_secs(60) {
+            violation(
+                &tel,
+                seed,
+                &format!(
+                    "run exceeded 60 simulated seconds ({}/{ADUS} delivered)",
+                    seen.len()
+                ),
+            );
+        }
 
         // Advance the world, mirroring the driver: drain in-flight frames
         // first, re-poll at the same instant while endpoints are producing,
@@ -186,23 +236,32 @@ fn chaos_run(seed: u64) {
                 None if b.reassembly_bytes() > 0 => {
                     net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
                 }
-                None => panic!(
-                    "seed {seed}: wedged with nothing scheduled ({}/{ADUS} delivered)",
-                    seen.len()
+                None => violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "wedged with nothing scheduled ({}/{ADUS} delivered)",
+                        seen.len()
+                    ),
                 ),
             }
         }
     }
 
-    assert!(
-        done,
-        "seed {seed}: transfer did not converge after churn healed ({}/{ADUS} delivered)",
-        seen.len()
-    );
-    assert!(
-        b.reassembly_bytes() == 0 || b.reassembly_bytes() <= BUDGET,
-        "seed {seed}: terminal reassembly state exceeds budget"
-    );
+    if !done {
+        violation(
+            &tel,
+            seed,
+            &format!(
+                "transfer did not converge after churn healed ({}/{ADUS} delivered)",
+                seen.len()
+            ),
+        );
+    }
+    if b.reassembly_bytes() > BUDGET {
+        violation(&tel, seed, "terminal reassembly state exceeds budget");
+    }
+    tel
 }
 
 #[test]
@@ -210,6 +269,60 @@ fn chaos_soak_eight_seeds() {
     for seed in 0..8 {
         chaos_run(seed);
     }
+}
+
+/// Identically seeded runs must emit byte-identical observability output —
+/// the flight-recorder JSONL stream AND the metrics registry rendering.
+/// This is what makes a trace from a failed CI run replayable locally.
+#[test]
+fn chaos_trace_deterministic() {
+    let t1 = chaos_run(3);
+    let t2 = chaos_run(3);
+    let j1 = t1.trace_jsonl();
+    let j2 = t2.trace_jsonl();
+    assert!(
+        !j1.is_empty(),
+        "an armed recorder must have captured events"
+    );
+    assert_eq!(j1, j2, "same seed, different trace streams");
+    assert_eq!(
+        t1.metrics().render_text(),
+        t2.metrics().render_text(),
+        "same seed, different metrics"
+    );
+    // And the stream is machine-parseable back into events.
+    let parsed = ct_telemetry::Event::parse_jsonl(&j1).expect("trace JSONL parses");
+    assert_eq!(parsed.len(), j1.lines().count());
+}
+
+/// What a failed invariant actually prints: the violation line plus a
+/// flight-recorder tail of at least 64 events naming association and ADU.
+#[test]
+fn chaos_violation_dump_contents() {
+    let tel = chaos_run(5); // a full run leaves a saturated recorder behind
+    assert!(tel.trace_len() >= 96, "recorder should be saturated");
+    let dump = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        violation(&tel, 5, "induced for dump inspection")
+    }))
+    .expect_err("violation must panic");
+    let msg = dump
+        .downcast_ref::<String>()
+        .expect("panic payload is a formatted string");
+    assert!(msg.contains("seed 5: induced for dump inspection"));
+    assert!(msg.contains("flight recorder"));
+    let event_lines = msg.lines().filter(|l| l.contains("assoc=")).count();
+    assert!(
+        event_lines >= 64,
+        "dump must show at least 64 events, got {event_lines}"
+    );
+    assert!(
+        msg.contains("adu=seq:"),
+        "dump must name delivered/sent ADUs"
+    );
+    assert!(
+        msg.contains("sender") || msg.contains("receiver"),
+        "dump must name the recording layer"
+    );
 }
 
 /// Extended sweep, opt-in via `SOAK=1` (wired into `scripts/verify.sh`).

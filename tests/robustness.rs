@@ -35,6 +35,7 @@ fn buffered_transfer_survives_partition_that_heals() {
     };
     let opts = ScenarioOpts {
         outages: vec![(SimTime::from_millis(5), SimTime::from_millis(2005))],
+        ..ScenarioOpts::default()
     };
     let r = run_alf_transfer_scenario(
         7,
@@ -85,6 +86,7 @@ fn partition_that_never_heals_reports_peer_unreachable() {
     };
     let opts = ScenarioOpts {
         outages: vec![(SimTime::from_millis(5), SimTime::MAX)],
+        ..ScenarioOpts::default()
     };
     let r = run_alf_transfer_scenario(
         11,
