@@ -218,7 +218,7 @@ pub fn shard_workload(shards: u16, units_per_shard: u32, unit_bytes: usize) -> V
                 AduName::Shard { shard, index },
                 (0..unit_bytes)
                     .map(|i| (shard as usize * 131 + index as usize * 31 + i) as u8)
-                    .collect(),
+                    .collect::<Vec<u8>>(),
             ));
         }
     }

@@ -157,7 +157,7 @@ impl PlayoutBuffer {
             .entry(frame)
             .or_insert_with(|| vec![None; slots]);
         if (slot as usize) < slots {
-            entry[slot as usize] = Some(adu.payload);
+            entry[slot as usize] = Some(adu.payload.to_vec());
         }
         true
     }

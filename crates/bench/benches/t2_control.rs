@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         ack: 0,
         flags: FLAG_ACK,
         window: 65535,
-        payload: vec![],
+        payload: vec![].into(),
     }
     .encode();
     c.bench_function("t2/control_process_ack", |b| {

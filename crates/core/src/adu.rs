@@ -16,6 +16,7 @@
 //! arrive through different paths or to different processor parts.
 
 use ct_wire::header::{HeaderReader, HeaderWriter, Truncated};
+use ct_wire::WireBuf;
 use std::fmt;
 
 /// The application-level name of an ADU.
@@ -180,18 +181,26 @@ impl std::error::Error for NameError {}
 
 /// An Application Data Unit: a named aggregate that can be processed out of
 /// order with respect to other ADUs.
+///
+/// The payload is a [`WireBuf`] view: cloning an ADU (e.g. for the sender's
+/// retransmission buffer) is O(1) and sharing, not copying. A plain
+/// `Vec<u8>` converts in without a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Adu {
     /// The application-level name.
     pub name: AduName,
     /// Payload bytes, already in the association's transfer syntax.
-    pub payload: Vec<u8>,
+    pub payload: WireBuf,
 }
 
 impl Adu {
-    /// Construct an ADU.
-    pub fn new(name: AduName, payload: Vec<u8>) -> Self {
-        Self { name, payload }
+    /// Construct an ADU. Accepts a `Vec<u8>` (moved, no copy) or a
+    /// [`WireBuf`] view.
+    pub fn new(name: AduName, payload: impl Into<WireBuf>) -> Self {
+        Self {
+            name,
+            payload: payload.into(),
+        }
     }
 
     /// Payload length in bytes.

@@ -15,13 +15,22 @@
 use crate::adu::{Adu, AduName};
 use crate::wire::Tu;
 use ct_netsim::time::{SimDuration, SimTime};
+use ct_wire::WireBuf;
 use std::collections::BTreeMap;
 
 /// One ADU under reassembly.
+///
+/// Fragments are held as **views into the received frames** ([`WireBuf`]),
+/// trimmed to the bytes they newly covered: stored bytes always equal
+/// covered bytes, so a retransmit-heavy peer re-sending ranges we already
+/// hold costs no reassembly memory at all. No data is copied until (and
+/// unless) release has to gather a multi-chunk ADU.
 #[derive(Debug)]
 struct Assembly {
     name: AduName,
-    buf: Vec<u8>,
+    /// Disjoint fragment views sorted by offset; each `(offset, view)`
+    /// pair covers exactly the bytes no earlier fragment covered.
+    frags: Vec<(u32, WireBuf)>,
     /// Sorted, disjoint received intervals `(offset, len)`.
     intervals: Vec<(u32, u32)>,
     bytes_received: u32,
@@ -39,7 +48,7 @@ impl Assembly {
     fn new(name: AduName, total: u32, now: SimTime) -> Self {
         Self {
             name,
-            buf: vec![0u8; total as usize],
+            frags: Vec::new(),
             intervals: Vec::new(),
             bytes_received: 0,
             total,
@@ -50,12 +59,14 @@ impl Assembly {
     }
 
     /// Insert a fragment; returns bytes newly covered (0 for duplicates).
-    fn insert(&mut self, off: u32, data: &[u8]) -> u32 {
+    /// Only the newly covered sub-ranges are retained, as O(1) sub-views of
+    /// `data` — duplicates and overlaps store nothing.
+    fn insert(&mut self, off: u32, data: &WireBuf) -> u32 {
         let len = data.len() as u32;
-        if len == 0 {
+        if len == 0 || off as u64 + len as u64 > self.total as u64 {
             return 0;
         }
-        // Find uncovered sub-ranges of [off, off+len) and copy only those.
+        // Find uncovered sub-ranges of [off, off+len) and view only those.
         let mut newly = 0u32;
         let mut cursor = off;
         let end = off + len;
@@ -68,11 +79,10 @@ impl Assembly {
                 break;
             }
             if io > cursor {
-                let take = io - cursor;
-                let src = (cursor - off) as usize;
-                self.buf[cursor as usize..(cursor + take) as usize]
-                    .copy_from_slice(&data[src..src + take as usize]);
-                newly += take;
+                let s = (cursor - off) as usize;
+                let e = (io - off) as usize;
+                self.frags.push((cursor, data.slice(s..e)));
+                newly += io - cursor;
             }
             cursor = cursor.max(iend);
             if cursor >= end {
@@ -80,13 +90,12 @@ impl Assembly {
             }
         }
         if cursor < end {
-            let take = end - cursor;
-            let src = (cursor - off) as usize;
-            self.buf[cursor as usize..end as usize]
-                .copy_from_slice(&data[src..src + take as usize]);
-            newly += take;
+            let s = (cursor - off) as usize;
+            self.frags.push((cursor, data.slice(s..)));
+            newly += end - cursor;
         }
         if newly > 0 {
+            self.frags.sort_unstable_by_key(|&(o, _)| o);
             self.intervals.push((off, len));
             self.intervals.sort_unstable();
             // Merge.
@@ -109,6 +118,32 @@ impl Assembly {
 
     fn is_complete(&self) -> bool {
         self.bytes_received == self.total
+    }
+
+    /// Bytes of frame memory this assembly is holding views over.
+    fn stored_bytes(&self) -> usize {
+        self.frags.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// Consume the assembly into the released payload. When a single view
+    /// covers the whole ADU (the common in-order single-chunk case), the
+    /// release is zero-copy; otherwise one gather pass builds the
+    /// contiguous payload. Returns the payload and the bytes gathered
+    /// (0 for the zero-copy path).
+    fn into_payload(mut self) -> (WireBuf, usize) {
+        if self.total == 0 {
+            return (WireBuf::empty(), 0);
+        }
+        let single = matches!(&self.frags[..], [(0, only)] if only.len() == self.total as usize);
+        if single {
+            return (self.frags.pop().expect("single").1, 0);
+        }
+        let mut buf = vec![0u8; self.total as usize];
+        for (o, f) in &self.frags {
+            buf[*o as usize..*o as usize + f.len()].copy_from_slice(f);
+        }
+        let gathered = buf.len();
+        (WireBuf::from_vec(buf), gathered)
     }
 
     /// The byte ranges still missing, as `(offset, len)`.
@@ -154,6 +189,12 @@ pub struct AssemblerStats {
     /// TUs refused because the byte budget left no room (Backpressure
     /// policy, or an ADU larger than the whole budget).
     pub tus_refused: u64,
+    /// ADUs released without a gather pass: a single frame chunk covered
+    /// the whole payload, so the application got a view, not a copy.
+    pub zero_copy_releases: u64,
+    /// Bytes copied by multi-fragment gather passes at release — the only
+    /// receive-side data touch the reassembler itself ever pays.
+    pub gathered_bytes: u64,
 }
 
 /// What to do when admitting a new assembly would exceed the byte budget.
@@ -318,8 +359,16 @@ impl Assembler {
             self.stats.adus_completed += 1;
             self.released.insert(tu.adu_id, ());
             self.trim_released();
+            let name = done.name;
+            let first_at = done.first_tu_at;
+            let (payload, gathered) = done.into_payload();
+            if gathered == 0 {
+                self.stats.zero_copy_releases += 1;
+            } else {
+                self.stats.gathered_bytes += gathered as u64;
+            }
             self.ready
-                .push((tu.adu_id, Adu::new(done.name, done.buf), done.first_tu_at));
+                .push((tu.adu_id, Adu::new(name, payload), first_at));
         } else if self.pending.len() > self.max_pending {
             // Budget overflow: abandon the oldest assembly.
             let oldest = self
@@ -379,8 +428,15 @@ impl Assembler {
         self.pending.get(&adu_id).map(|a| a.total)
     }
 
+    /// Bytes of a pending ADU covered so far, if under reassembly.
+    pub fn bytes_covered(&self, adu_id: u64) -> Option<u32> {
+        self.pending.get(&adu_id).map(|a| a.bytes_received)
+    }
+
     /// The bytes of `[off, off+len)` of a pending ADU, if that range is
-    /// fully covered — the lookup FEC reconstruction uses.
+    /// fully covered — the lookup FEC reconstruction uses. The range may
+    /// span several stored fragment views; they are gathered into the
+    /// returned vec.
     pub fn fragment_if_present(&self, adu_id: u64, off: u32, len: usize) -> Option<Vec<u8>> {
         let a = self.pending.get(&adu_id)?;
         let end = off as u64 + len as u64;
@@ -391,11 +447,25 @@ impl Assembler {
             .intervals
             .iter()
             .any(|&(io, il)| io <= off && (io + il) as u64 >= end);
-        if covered {
-            Some(a.buf[off as usize..off as usize + len].to_vec())
-        } else {
-            None
+        if !covered {
+            return None;
         }
+        let end = end as u32;
+        let mut out = Vec::with_capacity(len);
+        for (fo, f) in &a.frags {
+            let fe = fo + f.len() as u32;
+            if fe <= off {
+                continue;
+            }
+            if *fo >= end {
+                break;
+            }
+            let s = off.max(*fo);
+            let e = end.min(fe);
+            out.extend_from_slice(&f[(s - fo) as usize..(e - fo) as usize]);
+        }
+        debug_assert_eq!(out.len(), len);
+        Some(out)
     }
 
     /// Pop the next completed ADU: `(adu_id, adu, first_tu_arrival)`.
@@ -412,9 +482,19 @@ impl Assembler {
         self.pending.len()
     }
 
-    /// Bytes currently buffered in incomplete assemblies.
+    /// Bytes *reserved* by incomplete assemblies: the sum of declared ADU
+    /// totals. This is what the budget charges at admission (the sender
+    /// will eventually send the rest), and what the advertised receiver
+    /// window subtracts — deliberately independent of how many duplicate
+    /// bytes a retransmit-heavy peer pushes at us.
     pub fn pending_bytes(&self) -> usize {
-        self.pending.values().map(|a| a.buf.len()).sum()
+        self.pending.values().map(|a| a.total as usize).sum()
+    }
+
+    /// Bytes of frame memory actually held by fragment views — always
+    /// `<=` the covered bytes, never inflated by duplicates or overlaps.
+    pub fn stored_bytes(&self) -> usize {
+        self.pending.values().map(Assembly::stored_bytes).sum()
     }
 
     /// Number of released-ADU ids retained for duplicate suppression.
@@ -534,7 +614,7 @@ mod tests {
             adu_len: 1000,
             frag_off: 0,
             name,
-            payload: data[0..600].to_vec(),
+            payload: data[0..600].to_vec().into(),
         };
         let t2 = Tu {
             flags: 0,
@@ -544,7 +624,7 @@ mod tests {
             adu_len: 1000,
             frag_off: 400,
             name,
-            payload: data[400..1000].to_vec(),
+            payload: data[400..1000].to_vec().into(),
         };
         a.on_tu(SimTime::ZERO, &t1);
         a.on_tu(SimTime::ZERO, &t2);
@@ -707,12 +787,12 @@ mod tests {
             adu_len: 1000,
             frag_off: 0,
             name,
-            payload: vec![1; 500],
+            payload: vec![1; 500].into(),
         };
         let t2 = Tu {
             adu_len: 800, // disagrees
             frag_off: 500,
-            payload: vec![2; 300],
+            payload: vec![2; 300].into(),
             ..t1.clone()
         };
         a.on_tu(SimTime::ZERO, &t1);
@@ -726,6 +806,117 @@ mod tests {
         let mut a = asm();
         let tus = fragment_adu(1, 2, AduName::Seq { index: 2 }, &payload(5000), 1000);
         a.on_tu(SimTime::ZERO, &tus[0]);
-        assert_eq!(a.pending_bytes(), 5000); // buffer sized to the whole ADU
+        assert_eq!(a.pending_bytes(), 5000); // reservation covers the whole ADU
+        assert_eq!(a.stored_bytes(), 1000); // but only received bytes are held
+    }
+
+    /// Regression (byte-budget accounting): a retransmit-heavy peer that
+    /// re-sends ranges we already hold must not inflate reassembly memory
+    /// or move the advertised window — only *newly covered* bytes count.
+    #[test]
+    fn duplicate_fragments_charge_nothing() {
+        let mut a = asm();
+        a.set_budget(5000, ShedPolicy::Backpressure);
+        let data = payload(4000);
+        let tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &data, 1000);
+        // First three fragments land; the last is "lost".
+        for tu in &tus[..3] {
+            assert!(a.on_tu(SimTime::ZERO, tu));
+        }
+        let free = a.budget_free();
+        let stored = a.stored_bytes();
+        assert_eq!(stored, 3000);
+        // The peer retransmits everything it already sent, several times.
+        for _ in 0..5 {
+            for tu in &tus[..3] {
+                assert!(a.on_tu(SimTime::from_millis(1), tu), "duplicate refused");
+            }
+        }
+        // Nothing changed: no stored growth, no window movement, no trip
+        // into zero-window backpressure with a half-empty buffer.
+        assert_eq!(a.stored_bytes(), stored);
+        assert_eq!(a.budget_free(), free);
+        assert_eq!(a.bytes_covered(0), Some(3000));
+        // The missing fragment still completes the ADU.
+        assert!(a.on_tu(SimTime::from_millis(2), &tus[3]));
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+        assert_eq!(a.stored_bytes(), 0);
+        assert_eq!(a.budget_free(), Some(5000));
+    }
+
+    /// Overlapping retransmissions (partial overlap, not exact duplicates)
+    /// likewise store only the newly covered subranges.
+    #[test]
+    fn overlap_stores_only_new_bytes() {
+        let mut a = asm();
+        let data = payload(1000);
+        let name = AduName::Seq { index: 7 };
+        let mk = |off: usize, end: usize| Tu {
+            flags: 0,
+            assoc: 1,
+            timestamp_us: 0,
+            adu_id: 7,
+            adu_len: 1000,
+            frag_off: off as u32,
+            name,
+            payload: data[off..end].to_vec().into(),
+        };
+        a.on_tu(SimTime::ZERO, &mk(0, 600));
+        assert_eq!(a.stored_bytes(), 600);
+        a.on_tu(SimTime::ZERO, &mk(400, 900)); // 200 bytes overlap
+        assert_eq!(a.stored_bytes(), 900, "overlap double-stored");
+        assert_eq!(a.bytes_covered(7), Some(900));
+        a.on_tu(SimTime::ZERO, &mk(300, 1000)); // overlaps both sides
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+    }
+
+    #[test]
+    fn single_chunk_release_is_zero_copy() {
+        // An ADU whose fragments all view one received chunk (here: one
+        // fragment covering everything) is released without a gather pass.
+        let mut a = asm();
+        let data = payload(900);
+        let tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &data, 1000);
+        assert_eq!(tus.len(), 1);
+        a.on_tu(SimTime::ZERO, &tus[0]);
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+        assert!(adu.payload.same_chunk(&tus[0].payload), "release copied");
+        assert_eq!(a.stats.zero_copy_releases, 1);
+        assert_eq!(a.stats.gathered_bytes, 0);
+    }
+
+    #[test]
+    fn multi_fragment_release_gathers_once() {
+        let mut a = asm();
+        let data = payload(2500);
+        for tu in fragment_adu(1, 0, AduName::Seq { index: 0 }, &data, 1000) {
+            a.on_tu(SimTime::ZERO, &tu);
+        }
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
+        assert_eq!(a.stats.zero_copy_releases, 0);
+        assert_eq!(a.stats.gathered_bytes, 2500);
+    }
+
+    #[test]
+    fn fragment_if_present_spans_stored_views() {
+        // FEC reconstruction asks for ranges that may straddle several
+        // stored fragment views.
+        let mut a = asm();
+        let data = payload(3000);
+        let mut tus = fragment_adu(1, 0, AduName::Seq { index: 0 }, &data, 1000);
+        tus.pop(); // keep the ADU incomplete so it stays pending
+        for tu in &tus {
+            a.on_tu(SimTime::ZERO, tu);
+        }
+        assert_eq!(
+            a.fragment_if_present(0, 500, 1000).as_deref(),
+            Some(&data[500..1500])
+        );
+        assert_eq!(a.fragment_if_present(0, 1500, 1000), None); // not covered
+        assert_eq!(a.fragment_if_present(0, 2900, 200), None); // past total
     }
 }

@@ -233,26 +233,29 @@ pub fn run_alf_transfer_scenario(
 
         // Network → endpoints.
         match substrate {
+            // Received frames are owned here, so both substrates hand them
+            // to the zero-copy ingest: a data TU's payload stays a view
+            // into the frame through reassembly instead of being copied out.
             Substrate::Packet => {
                 while let Some(frame) = net.recv(node_b) {
                     moved = true;
-                    b.on_message(net.now(), &frame.payload);
+                    b.on_frame(net.now(), frame.payload.into());
                 }
                 while let Some(frame) = net.recv(node_a) {
                     moved = true;
-                    a.on_message(net.now(), &frame.payload);
+                    a.on_frame(net.now(), frame.payload.into());
                 }
             }
             Substrate::Atm => {
                 atm_b.pump(&mut net);
                 while let Some((_, pdu)) = atm_b.recv_pdu() {
                     moved = true;
-                    b.on_message(net.now(), &pdu);
+                    b.on_frame(net.now(), pdu.into());
                 }
                 atm_a.pump(&mut net);
                 while let Some((_, pdu)) = atm_a.recv_pdu() {
                     moved = true;
-                    a.on_message(net.now(), &pdu);
+                    a.on_frame(net.now(), pdu.into());
                 }
             }
         }

@@ -66,7 +66,7 @@ pub fn build_parity(data_tus: &[Tu], k: usize) -> Vec<Tu> {
             adu_len: first.adu_len,
             frag_off: first.frag_off,
             name: first.name,
-            payload: body,
+            payload: body.into(),
         });
     }
     out
@@ -203,7 +203,7 @@ mod tests {
                 if j == lost {
                     None
                 } else {
-                    t.get(j).map(|tu| tu.payload.clone())
+                    t.get(j).map(|tu| tu.payload.to_vec())
                 }
             })
             .unwrap_or_else(|| panic!("reconstruction failed for lost={lost}"));
@@ -224,7 +224,7 @@ mod tests {
             if j <= 1 {
                 None
             } else {
-                t.get(j).map(|tu| tu.payload.clone())
+                t.get(j).map(|tu| tu.payload.to_vec())
             }
         });
         assert!(got.is_none());
@@ -235,7 +235,7 @@ mod tests {
         let (_, t) = tus(4000, 1000);
         let parity = build_parity(&t, 4);
         let p = parse_parity(&parity[0]).unwrap();
-        let got = reconstruct(&p, 1000, 4000, |j| t.get(j).map(|tu| tu.payload.clone()));
+        let got = reconstruct(&p, 1000, 4000, |j| t.get(j).map(|tu| tu.payload.to_vec()));
         assert!(got.is_none());
     }
 
@@ -245,11 +245,11 @@ mod tests {
         let mut fake = t[0].clone();
         assert!(parse_parity(&fake).is_none(), "data TU is not parity");
         fake.flags = TU_FLAG_PARITY;
-        fake.payload = vec![];
+        fake.payload = vec![].into();
         assert!(parse_parity(&fake).is_none());
-        fake.payload = vec![0];
+        fake.payload = vec![0].into();
         assert!(parse_parity(&fake).is_none(), "k=0 invalid");
-        fake.payload = vec![200, 1, 2];
+        fake.payload = vec![200, 1, 2].into();
         assert!(parse_parity(&fake).is_none(), "k>MAX_GROUP invalid");
     }
 
@@ -295,7 +295,7 @@ mod proptests {
             let p = parse_parity(parity).unwrap();
             let (off, bytes) = reconstruct(&p, mtu, data.len() as u32, |j| {
                 let idx = group_start + j;
-                if idx == lost { None } else { t.get(idx).map(|tu| tu.payload.clone()) }
+                if idx == lost { None } else { t.get(idx).map(|tu| tu.payload.to_vec()) }
             }).expect("single erasure must recover");
             prop_assert_eq!(off, t[lost].frag_off);
             prop_assert_eq!(bytes, t[lost].payload.clone());

@@ -25,10 +25,12 @@ use crate::adu::{Adu, AduName};
 use crate::assembler::{Assembler, ShedPolicy};
 use crate::fec;
 use crate::wire::{
-    fragment_adu, restamp_tu, Message, WireError, RWND_UNLIMITED, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
+    fragment_adu_buf, restamp_tu, Message, WireError, RWND_UNLIMITED, TU_FLAG_PARITY,
+    TU_FLAG_TIMESTAMP,
 };
 use ct_netsim::time::{SimDuration, SimTime};
 use ct_telemetry::Telemetry;
+use ct_wire::WireBuf;
 use std::collections::BTreeMap;
 
 /// The per-ADU retransmission deadline with exponential backoff: the base
@@ -296,6 +298,10 @@ pub struct AlfStats {
     /// Times the peer was declared unreachable after `peer_timeout` of
     /// silence with outstanding work.
     pub peer_unreachable_events: u64,
+    /// Selective-NACK repair ranges rejected as protocol errors (offset or
+    /// end past the ADU's declared total, or empty) — a malformed or
+    /// malicious repair request, never silently answered with nothing.
+    pub nack_range_errors: u64,
 }
 
 impl AlfStats {
@@ -304,7 +310,7 @@ impl AlfStats {
     /// publication, not the per-frame hot path: it allocates one name
     /// string per metric.
     pub fn publish(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
-        let counters: [(&str, u64); 24] = [
+        let counters: [(&str, u64); 25] = [
             ("adus_sent", self.adus_sent),
             ("tus_sent", self.tus_sent),
             ("control_sent", self.control_sent),
@@ -334,6 +340,7 @@ impl AlfStats {
             ("send_backpressured", self.send_backpressured),
             ("rto_backoff_events", self.rto_backoff_events),
             ("peer_unreachable_events", self.peer_unreachable_events),
+            ("nack_range_errors", self.nack_range_errors),
             (
                 "delivery_latency_total_us",
                 self.delivery_latency_total.as_nanos() / 1_000,
@@ -365,8 +372,9 @@ impl AlfStats {
 #[derive(Debug)]
 struct SentAdu {
     name: AduName,
-    /// Payload copy ([`RecoveryMode::TransportBuffer`] only).
-    payload: Option<Vec<u8>>,
+    /// Payload view ([`RecoveryMode::TransportBuffer`] only) — shares the
+    /// application's chunk, so "buffering" for retransmission costs no copy.
+    payload: Option<WireBuf>,
     total_len: u32,
     deadline: SimTime,
     retries: u32,
@@ -395,7 +403,7 @@ pub struct AduTransport {
     /// Unacknowledged ADUs (sender side).
     unacked: BTreeMap<u64, SentAdu>,
     /// ADUs queued for first transmission: `(id, name, payload)`.
-    queue: Vec<(u64, AduName, Vec<u8>)>,
+    queue: Vec<(u64, AduName, WireBuf)>,
     /// ADUs to (re)transmit this poll: `(id, full)` — `full` resends the
     /// whole ADU, otherwise only a first-TU probe goes out and the
     /// receiver's selective NACKs fetch the rest.
@@ -612,7 +620,12 @@ impl AduTransport {
     /// window filled because the *peer's* advertised reassembly window is
     /// exhausted; [`SendRefused::TooBig`] for > u32 payloads;
     /// [`SendRefused::PeerUnreachable`] after the dead-peer declaration.
-    pub fn send_adu(&mut self, name: AduName, payload: Vec<u8>) -> Result<u64, SendRefused> {
+    pub fn send_adu(
+        &mut self,
+        name: AduName,
+        payload: impl Into<WireBuf>,
+    ) -> Result<u64, SendRefused> {
+        let payload = payload.into();
         if self.peer_dead {
             return Err(SendRefused::PeerUnreachable);
         }
@@ -664,10 +677,10 @@ impl AduTransport {
     /// Deliver a recomputed payload for a previously requested ADU. The
     /// payload is retransmitted as the same ADU id. Returns false if the
     /// request is no longer live (e.g. ACKed in the meantime).
-    pub fn provide_recomputed(&mut self, adu_id: u64, payload: Vec<u8>) -> bool {
+    pub fn provide_recomputed(&mut self, adu_id: u64, payload: impl Into<WireBuf>) -> bool {
         match self.unacked.get_mut(&adu_id) {
             Some(sent) if sent.awaiting_recompute => {
-                sent.payload = Some(payload);
+                sent.payload = Some(payload.into());
                 sent.awaiting_recompute = false;
                 self.retransmit_now.push((adu_id, true));
                 true
@@ -701,7 +714,7 @@ impl AduTransport {
     pub fn retransmit_buffer_bytes(&self) -> usize {
         self.unacked
             .values()
-            .map(|s| s.payload.as_ref().map_or(0, Vec::len))
+            .map(|s| s.payload.as_ref().map_or(0, WireBuf::len))
             .sum()
     }
 
@@ -824,7 +837,7 @@ impl AduTransport {
                             adu_len: payload.len() as u32,
                             frag_off: 0,
                             name,
-                            payload: payload[..self.cfg.mtu_payload].to_vec(),
+                            payload: payload.slice(..self.cfg.mtu_payload),
                         };
                         if self.cfg.timestamps {
                             tu.flags |= TU_FLAG_TIMESTAMP;
@@ -1008,7 +1021,9 @@ impl AduTransport {
         out
     }
 
-    /// Ingest one wire message.
+    /// Ingest one wire message from a borrowed buffer. A data TU's payload
+    /// is copied out of the borrow; callers that own the frame should
+    /// prefer [`AduTransport::on_frame`], which reassembles from views.
     pub fn on_message(&mut self, now: SimTime, buf: &[u8]) {
         let msg = match Message::decode(buf) {
             Ok(m) => m,
@@ -1018,6 +1033,33 @@ impl AduTransport {
                 return;
             }
         };
+        if let Message::Tu(tu) = &msg {
+            // The borrowed-buffer path had to copy the payload out of the
+            // caller's frame — book the pass the zero-copy path eliminates.
+            let len = tu.payload.len() as u64;
+            self.ledger_touch("alf/decode_copy", len, len);
+        }
+        self.on_decoded(now, msg);
+    }
+
+    /// Ingest one owned frame, zero-copy: a data TU's payload stays an
+    /// O(1) view into `frame` through reassembly, so a single-fragment (or
+    /// single-chunk) ADU is released without ever copying its bytes.
+    pub fn on_frame(&mut self, now: SimTime, frame: WireBuf) {
+        let msg = match Message::decode_frame(&frame) {
+            Ok(m) => m,
+            Err(WireError::BadChecksum) | Err(_) => {
+                self.stats.bad_messages += 1;
+                self.trace(now, "bad_msg", None, 0, 0, frame.len() as u64);
+                return;
+            }
+        };
+        self.on_decoded(now, msg);
+    }
+
+    /// Shared handler behind [`AduTransport::on_message`] /
+    /// [`AduTransport::on_frame`]: the message is already verified.
+    fn on_decoded(&mut self, now: SimTime, msg: Message) {
         // Any intact message restarts the dead-peer clock — and revives a
         // peer previously declared unreachable (its lost ADUs stay lost;
         // new sends flow again).
@@ -1035,10 +1077,15 @@ impl AduTransport {
                     self.ack_queue.push(tu.adu_id);
                     return;
                 }
+                // Checksum verification read every payload byte once,
+                // inside decode (the whole sealed frame folds to zero; the
+                // header's share is O(1) control cost, excluded by policy).
+                self.ledger_touch("alf/verify", tu.payload.len() as u64, 0);
                 if tu.flags & TU_FLAG_TIMESTAMP != 0 {
                     self.update_jitter(now, tu.timestamp_us);
                     self.echo_pending = Some((tu.timestamp_us, micros_wrapping(now)));
                 }
+                let gathered_before = self.assembler.stats.gathered_bytes;
                 if tu.flags & TU_FLAG_PARITY != 0 {
                     if let Some(p) = fec::parse_parity(&tu) {
                         self.parities.entry(tu.adu_id).or_default().push(p);
@@ -1073,6 +1120,14 @@ impl AduTransport {
                     );
                     self.ack_queue.push(id);
                     self.deliver.push((id, adu, latency));
+                }
+                // A multi-fragment release gathered: one read of each
+                // stored view, one write into the contiguous payload. A
+                // single-chunk release books nothing — the views ARE the
+                // payload.
+                let gathered = self.assembler.stats.gathered_bytes - gathered_before;
+                if gathered > 0 {
+                    self.ledger_touch("alf/gather", gathered, gathered);
                 }
             }
             Message::Ack {
@@ -1253,10 +1308,24 @@ impl AduTransport {
         }
     }
 
+    /// Count data-byte passes against the attached [`ct_telemetry::TouchLedger`]
+    /// (payload bytes only — fixed-size headers are O(1) control cost per
+    /// TU, not a per-data-byte pass, and are excluded by policy).
+    fn ledger_touch(&self, stage: &'static str, reads: u64, writes: u64) {
+        if let Some((tel, _)) = &self.telemetry {
+            tel.ledger().touch(stage, reads, writes);
+        }
+    }
+
     /// Fragment and queue an ADU's TUs (plus FEC parity when configured);
     /// returns how many were queued.
-    fn emit_adu(&mut self, now: SimTime, id: u64, name: AduName, payload: &[u8]) -> usize {
-        let mut tus = fragment_adu(self.cfg.assoc, id, name, payload, self.cfg.mtu_payload);
+    ///
+    /// Fragmentation slices the payload (O(1) views, no copy); the single
+    /// data pass happens inside [`Message::encode`], where the payload is
+    /// copied into the frame and checksummed in the same sweep — one read
+    /// and one write per payload byte, booked here as `alf/tu_encode`.
+    fn emit_adu(&mut self, now: SimTime, id: u64, name: AduName, payload: &WireBuf) -> usize {
+        let mut tus = fragment_adu_buf(self.cfg.assoc, id, name, payload, self.cfg.mtu_payload);
         if self.cfg.timestamps {
             let stamp = micros_wrapping(now);
             for tu in &mut tus {
@@ -1274,11 +1343,15 @@ impl AduTransport {
             Vec::new()
         };
         for tu in tus {
+            let len = tu.payload.len() as u64;
             self.txq.push_back((id, Message::Tu(tu).encode()));
+            self.ledger_touch("alf/tu_encode", len, len);
             n += 1;
         }
         for parity in parities {
+            let len = parity.payload.len() as u64;
             self.txq.push_back((id, Message::Tu(parity).encode()));
+            self.ledger_touch("alf/tu_encode", len, len);
             self.stats.fec_parity_sent += 1;
             n += 1;
         }
@@ -1342,7 +1415,7 @@ impl AduTransport {
                 adu_len,
                 frag_off,
                 name,
-                payload,
+                payload: payload.into(),
             };
             self.assembler.on_tu(now, &tu);
         }
@@ -1355,7 +1428,7 @@ impl AduTransport {
     fn retransmit_fragments(&mut self, now: SimTime, adu_id: u64, ranges: &[(u32, u32)]) {
         let base = self.rto_base();
         let stamp = self.cfg.timestamps.then(|| micros_wrapping(now));
-        let Some(sent) = self.unacked.get_mut(&adu_id) else {
+        let Some(sent) = self.unacked.get(&adu_id) else {
             return; // already ACKed — the NACK raced the final TU
         };
         if sent.tus_unreleased > 0 {
@@ -1369,7 +1442,7 @@ impl AduTransport {
             self.handle_loss_event(adu_id, now);
             return;
         }
-        let Some(payload) = sent.payload.as_ref() else {
+        let Some(payload) = sent.payload.clone() else {
             // No copy to cut from: treat as a loss event (recompute / give up).
             self.handle_loss_event(adu_id, now);
             return;
@@ -1378,8 +1451,24 @@ impl AduTransport {
         let total = payload.len() as u32;
         let mut tus = Vec::new();
         for &(off, len) in ranges {
-            let end = off.saturating_add(len).min(total);
-            let mut cursor = off.min(total);
+            if len == 0 || off as u64 + u64::from(len) > u64::from(total) {
+                // A repair request outside the ADU we declared is a
+                // protocol error (corrupted or forged NACK) — reject the
+                // range and say so, rather than clamping it into a
+                // plausible-looking repair that masks the bug.
+                self.stats.nack_range_errors += 1;
+                self.trace(
+                    now,
+                    "nack_range_err",
+                    Some(name),
+                    adu_id,
+                    u64::from(off),
+                    u64::from(len),
+                );
+                continue;
+            }
+            let end = off + len;
+            let mut cursor = off;
             while cursor < end {
                 let take = (end - cursor).min(self.cfg.mtu_payload as u32) as usize;
                 tus.push(crate::wire::Tu {
@@ -1394,7 +1483,7 @@ impl AduTransport {
                     adu_len: total,
                     frag_off: cursor,
                     name,
-                    payload: payload[cursor as usize..cursor as usize + take].to_vec(),
+                    payload: payload.slice(cursor as usize..cursor as usize + take),
                 });
                 cursor += take as u32;
             }
@@ -1402,12 +1491,17 @@ impl AduTransport {
         if tus.is_empty() {
             return;
         }
+        let sent = self
+            .unacked
+            .get_mut(&adu_id)
+            .expect("checked live above; no removal since");
         sent.retries += 1;
         let deadline = now + rto_for(base, sent.retries + self.timeout_backoff);
         sent.deadline = deadline;
         sent.tus_unreleased += tus.len();
         self.stats.tus_retransmitted_selective += tus.len() as u64;
         let retx_bytes: usize = tus.iter().map(|t| t.payload.len()).sum();
+        self.ledger_touch("alf/tu_encode", retx_bytes as u64, retx_bytes as u64);
         self.trace(
             now,
             "tu_retx",
@@ -1552,6 +1646,7 @@ impl AduTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::fragment_adu;
 
     fn cfg(recovery: RecoveryMode) -> AlfConfig {
         AlfConfig {
@@ -1853,6 +1948,45 @@ mod tests {
         }
         assert!(whole_nack_seen);
         assert_eq!(b.assembler_stats().adus_abandoned, 1);
+    }
+
+    /// Satellite of the zero-copy PR: a repair request whose range falls
+    /// outside the ADU we declared is a protocol error — counted and
+    /// refused, never silently clamped into a plausible-looking repair.
+    #[test]
+    fn out_of_range_repair_request_rejected_and_counted() {
+        let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+        a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+            .unwrap();
+        let frames = a.poll(SimTime::ZERO);
+        assert_eq!(frames.len(), 3, "all TUs released");
+        // Forged/corrupted selective NACK: offset at the total, end past
+        // the total, and an empty range. None may produce a repair.
+        let bad = crate::wire::Message::NackFrags {
+            assoc: 1,
+            adu_id: 0,
+            ranges: vec![(3000, 100), (2900, 200), (0, 0)],
+        }
+        .encode();
+        a.on_message(SimTime::from_millis(1), &bad);
+        assert_eq!(a.stats.nack_range_errors, 3);
+        assert_eq!(a.stats.tus_retransmitted_selective, 0);
+        assert!(
+            a.poll(SimTime::from_millis(1)).is_empty(),
+            "rejected ranges must not be answered"
+        );
+        // A mixed request still repairs its valid range — per-range
+        // rejection, not per-message.
+        let mixed = crate::wire::Message::NackFrags {
+            assoc: 1,
+            adu_id: 0,
+            ranges: vec![(u32::MAX - 7, 8), (0, 1400)],
+        }
+        .encode();
+        a.on_message(SimTime::from_millis(2), &mixed);
+        assert_eq!(a.stats.nack_range_errors, 4);
+        assert_eq!(a.stats.tus_retransmitted_selective, 1);
+        assert_eq!(a.poll(SimTime::from_millis(2)).len(), 1);
     }
 
     #[test]

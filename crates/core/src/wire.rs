@@ -12,12 +12,17 @@
 //! ids, because the ADU is the unit of error recovery.
 
 use crate::adu::{AduName, NameError, NAME_WIRE_BYTES};
-use ct_wire::checksum::internet_checksum;
+use ct_wire::checksum::{internet_checksum, InternetChecksum};
 use ct_wire::header::{HeaderReader, HeaderWriter};
+use ct_wire::WireBuf;
 
 /// Fixed TU header length (type, flags, checksum, assoc, adu id, adu len,
 /// frag offset, frag length, timestamp, name).
 pub const TU_HEADER_BYTES: usize = 1 + 1 + 2 + 2 + 8 + 4 + 4 + 2 + 4 + NAME_WIRE_BYTES;
+
+// The fused encode and the copy-free verify both rely on the payload
+// starting on a 16-bit checksum-word boundary.
+const _: () = assert!(TU_HEADER_BYTES.is_multiple_of(2));
 
 /// Message type codes.
 const T_TU: u8 = 1;
@@ -64,8 +69,9 @@ pub struct Tu {
     pub frag_off: u32,
     /// The ADU's application-level name (repeated in every TU).
     pub name: AduName,
-    /// Fragment payload.
-    pub payload: Vec<u8>,
+    /// Fragment payload: a [`WireBuf`] view, so fragmenting an ADU or
+    /// decoding a frame shares bytes instead of copying them.
+    pub payload: WireBuf,
 }
 
 /// A parsed ALF wire message.
@@ -157,12 +163,13 @@ fn seal_checksum(buf: &mut [u8]) {
     buf[3] = (ck & 0xFF) as u8;
 }
 
+/// RFC 1071 receiver check, copy-free: with the checksum sealed in place at
+/// a 16-bit-aligned offset, the one's-complement sum of the *whole* frame
+/// folds to 0xFFFF exactly when the frame is intact — so
+/// [`internet_checksum`] (the complement) is zero. One read pass, no
+/// scratch buffer, regardless of where in the frame the field lives.
 fn verify_checksum(buf: &[u8]) -> bool {
-    let mut copy = buf.to_vec();
-    let stored = u16::from_be_bytes([buf[2], buf[3]]);
-    copy[2] = 0;
-    copy[3] = 0;
-    internet_checksum(&copy) == stored
+    internet_checksum(buf) == 0
 }
 
 impl Message {
@@ -170,6 +177,10 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Message::Tu(tu) => {
+                // One allocation at final size: the header region is
+                // reserved up front (headroom), then the payload is copied
+                // in behind it *fused with its checksum pass* — the frame's
+                // data bytes are touched exactly once on the way out.
                 let mut out = Vec::with_capacity(TU_HEADER_BYTES + tu.payload.len());
                 let mut w = HeaderWriter::new(&mut out);
                 w.put_u8(T_TU)
@@ -182,8 +193,20 @@ impl Message {
                     .put_u16(tu.payload.len() as u16)
                     .put_u32(tu.timestamp_us);
                 tu.name.encode(&mut out);
-                out.extend_from_slice(&tu.payload);
-                seal_checksum(&mut out);
+                debug_assert_eq!(out.len(), TU_HEADER_BYTES);
+                out.resize(TU_HEADER_BYTES + tu.payload.len(), 0);
+                let pck =
+                    ct_wire::fused::copy_and_checksum(&tu.payload, &mut out[TU_HEADER_BYTES..]);
+                // Combine: header sum (checksum field still zero) plus the
+                // payload sum recovered from the fused kernel's complement.
+                // TU_HEADER_BYTES is even, so the payload's 16-bit word
+                // alignment within the frame matches the kernel's.
+                let mut c = InternetChecksum::new();
+                c.update(&out[..TU_HEADER_BYTES]);
+                c.update_u16(!pck);
+                let ck = c.finish();
+                out[2] = (ck >> 8) as u8;
+                out[3] = (ck & 0xFF) as u8;
                 out
             }
             Message::NackFrags {
@@ -259,11 +282,28 @@ impl Message {
         }
     }
 
-    /// Decode and verify a wire message.
+    /// Decode and verify a wire message from a borrowed buffer. A decoded
+    /// TU's payload is copied out (the borrow cannot outlive the call) —
+    /// callers that own the frame should prefer [`Message::decode_frame`],
+    /// which keeps the payload as a view into it.
     ///
     /// # Errors
     /// [`WireError`] on truncation, corruption, or malformed fields.
     pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        Self::decode_impl(buf, None)
+    }
+
+    /// Decode and verify a wire message from an owned frame, zero-copy: a
+    /// TU's payload is an O(1) [`WireBuf`] slice of `frame` — reassembly
+    /// then holds views into received frames instead of copies.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, corruption, or malformed fields.
+    pub fn decode_frame(frame: &WireBuf) -> Result<Message, WireError> {
+        Self::decode_impl(frame.as_slice(), Some(frame))
+    }
+
+    fn decode_impl(buf: &[u8], frame: Option<&WireBuf>) -> Result<Message, WireError> {
         if buf.len() < 8 {
             return Err(WireError::Truncated);
         }
@@ -296,6 +336,11 @@ impl Message {
                 {
                     return Err(WireError::FragmentOutOfRange);
                 }
+                let payload = match frame {
+                    // Zero-copy: the payload is the frame's tail, viewed.
+                    Some(f) => f.slice(TU_HEADER_BYTES..),
+                    None => WireBuf::copy_from_slice(payload),
+                };
                 Ok(Message::Tu(Tu {
                     flags,
                     assoc,
@@ -304,7 +349,7 @@ impl Message {
                     adu_len,
                     frag_off,
                     name,
-                    payload: payload.to_vec(),
+                    payload,
                 }))
             }
             T_NACK_FRAGS => {
@@ -389,11 +434,34 @@ pub fn restamp_tu(frame: &mut [u8], ts_us: u32) {
 
 /// Split an ADU payload into TUs of at most `mtu_payload` fragment bytes.
 /// Zero-length ADUs produce a single empty TU (the name still travels).
+///
+/// Borrowed-slice compatibility wrapper: pays one copy into a fresh chunk,
+/// which every fragment then views. Callers holding a [`WireBuf`] (or an
+/// owned `Vec`) should use [`fragment_adu_buf`], which copies nothing.
 pub fn fragment_adu(
     assoc: u16,
     adu_id: u64,
     name: AduName,
     payload: &[u8],
+    mtu_payload: usize,
+) -> Vec<Tu> {
+    fragment_adu_buf(
+        assoc,
+        adu_id,
+        name,
+        &WireBuf::copy_from_slice(payload),
+        mtu_payload,
+    )
+}
+
+/// Split an ADU payload into TUs of at most `mtu_payload` fragment bytes,
+/// zero-copy: every fragment is an O(1) view into `payload`'s chunk.
+/// Zero-length ADUs produce a single empty TU (the name still travels).
+pub fn fragment_adu_buf(
+    assoc: u16,
+    adu_id: u64,
+    name: AduName,
+    payload: &WireBuf,
     mtu_payload: usize,
 ) -> Vec<Tu> {
     assert!(mtu_payload > 0, "mtu_payload must be positive");
@@ -407,23 +475,26 @@ pub fn fragment_adu(
             adu_len,
             frag_off: 0,
             name,
-            payload: Vec::new(),
+            payload: WireBuf::empty(),
         }];
     }
-    payload
-        .chunks(mtu_payload)
-        .enumerate()
-        .map(|(i, chunk)| Tu {
+    let mut tus = Vec::with_capacity(payload.len().div_ceil(mtu_payload));
+    let mut off = 0usize;
+    while off < payload.len() {
+        let take = (payload.len() - off).min(mtu_payload);
+        tus.push(Tu {
             flags: 0,
             assoc,
             timestamp_us: 0,
             adu_id,
             adu_len,
-            frag_off: (i * mtu_payload) as u32,
+            frag_off: off as u32,
             name,
-            payload: chunk.to_vec(),
-        })
-        .collect()
+            payload: payload.slice(off..off + take),
+        });
+        off += take;
+    }
+    tus
 }
 
 #[cfg(test)]
@@ -439,7 +510,7 @@ mod tests {
             adu_len: 1000,
             frag_off: 500,
             name: AduName::FileRange { offset: 123_456 },
-            payload: vec![0xAB; 250],
+            payload: vec![0xAB; 250].into(),
         }
     }
 
@@ -519,7 +590,7 @@ mod tests {
     fn fragment_out_of_range_rejected() {
         let tu = Tu {
             frag_off: 900,
-            payload: vec![0; 250], // 900+250 > 1000
+            payload: vec![0; 250].into(), // 900+250 > 1000
             ..sample_tu()
         };
         let wire = Message::Tu(tu).encode();
@@ -594,6 +665,78 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn fragment_adu_buf_is_zero_copy() {
+        let payload = WireBuf::from_vec((0..2500u32).map(|i| i as u8).collect());
+        let tus = fragment_adu_buf(1, 9, AduName::Seq { index: 9 }, &payload, 1000);
+        assert_eq!(tus.len(), 3);
+        for tu in &tus {
+            assert!(tu.payload.same_chunk(&payload), "fragment copied");
+        }
+        let mut rebuilt = vec![0u8; 2500];
+        for tu in &tus {
+            rebuilt[tu.frag_off as usize..tu.frag_off as usize + tu.payload.len()]
+                .copy_from_slice(&tu.payload);
+        }
+        assert_eq!(rebuilt, payload.as_slice());
+    }
+
+    #[test]
+    fn decode_frame_payload_views_frame() {
+        let frame = WireBuf::from_vec(Message::Tu(sample_tu()).encode());
+        match Message::decode_frame(&frame).unwrap() {
+            Message::Tu(tu) => {
+                assert!(tu.payload.same_chunk(&frame), "decode copied the payload");
+                assert_eq!(tu.payload, sample_tu().payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_frame_matches_decode() {
+        // Both decode paths agree on every message shape, including errors.
+        for m in [
+            Message::Tu(sample_tu()),
+            Message::Ack {
+                assoc: 1,
+                ids: vec![5, 6],
+                echo: Some((9, 9)),
+                rwnd: 100,
+            },
+            Message::Nack {
+                assoc: 2,
+                ids: vec![1],
+            },
+            Message::NackFrags {
+                assoc: 3,
+                adu_id: 4,
+                ranges: vec![(0, 10)],
+            },
+            Message::WindowProbe { assoc: 5 },
+        ] {
+            let wire = m.encode();
+            assert_eq!(
+                Message::decode(&wire).unwrap(),
+                Message::decode_frame(&WireBuf::from_vec(wire.clone())).unwrap()
+            );
+            let mut bad = wire;
+            bad[4] ^= 0xFF;
+            assert_eq!(
+                Message::decode(&bad),
+                Message::decode_frame(&WireBuf::from_vec(bad.clone()))
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_frame_folds_to_zero() {
+        // The copy-free verify property: an intact sealed frame's whole-
+        // buffer Internet checksum is 0; any flip breaks it.
+        let wire = Message::Tu(sample_tu()).encode();
+        assert_eq!(internet_checksum(&wire), 0);
     }
 
     #[test]

@@ -13,11 +13,17 @@
 //! checksum field zeroed — computing it is the transport's per-segment data
 //! manipulation (Table 1's "Checksum" row in situ).
 
-use ct_wire::checksum::internet_checksum;
+use ct_wire::checksum::{internet_checksum, InternetChecksum};
 use ct_wire::header::{HeaderReader, HeaderWriter};
+use ct_wire::WireBuf;
 
 /// Fixed header length in bytes.
 pub const HEADER_BYTES: usize = 30;
+
+// The fused encode and the copy-free verify both rely on the payload
+// starting on a 16-bit word boundary and the checksum field (offset 26)
+// occupying exactly one aligned word.
+const _: () = assert!(HEADER_BYTES.is_multiple_of(2));
 
 /// Flag bit: the ack field is valid (set on every segment in practice).
 pub const FLAG_ACK: u8 = 0x01;
@@ -40,8 +46,9 @@ pub struct Segment {
     pub flags: u8,
     /// Advertised receive window in bytes.
     pub window: u32,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes — a [`WireBuf`] view, so segmentation slices the
+    /// stream's send buffer and retransmission clones are O(1).
+    pub payload: WireBuf,
 }
 
 /// Errors from [`Segment::decode`].
@@ -89,8 +96,9 @@ impl Segment {
         self.seq + self.payload.len() as u64 + u64::from(self.is_fin())
     }
 
-    /// Encode to wire bytes, computing the checksum (one pass over the
-    /// payload — this is the transport's per-segment manipulation cost).
+    /// Encode to wire bytes: the payload is copied into the frame and
+    /// checksummed in the same sweep (ILP-fused — one read and one write
+    /// per payload byte, the transport's whole per-segment data cost).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_BYTES + self.payload.len());
         let mut w = HeaderWriter::new(&mut out);
@@ -102,29 +110,49 @@ impl Segment {
             .put_u8(0)
             .put_u32(self.window)
             .put_u16(0) // checksum placeholder
-            .put_u16(self.payload.len() as u16)
-            .put_slice(&self.payload);
-        let ck = internet_checksum(&out);
+            .put_u16(self.payload.len() as u16);
+        out.resize(HEADER_BYTES + self.payload.len(), 0);
+        let pck = ct_wire::fused::copy_and_checksum(&self.payload, &mut out[HEADER_BYTES..]);
+        // Combine the header sum (checksum field still zero) with the
+        // payload sum recovered from the fused kernel's complement; the
+        // even header length keeps both on the same 16-bit word grid.
+        let mut c = InternetChecksum::new();
+        c.update(&out[..HEADER_BYTES]);
+        c.update_u16(!pck);
+        let ck = c.finish();
         out[26] = (ck >> 8) as u8;
         out[27] = (ck & 0xFF) as u8;
         out
     }
 
-    /// Decode and verify a segment from wire bytes.
+    /// Decode and verify a segment from a borrowed buffer (the payload is
+    /// copied out). Callers that own the frame should prefer
+    /// [`Segment::decode_frame`], which keeps the payload as a view.
     ///
     /// # Errors
     /// [`SegmentError`] for truncation, length mismatch, or checksum failure.
     pub fn decode(buf: &[u8]) -> Result<Segment, SegmentError> {
+        Self::decode_impl(buf, None)
+    }
+
+    /// Decode and verify a segment from an owned frame, zero-copy: the
+    /// payload is an O(1) [`WireBuf`] slice of `frame`.
+    ///
+    /// # Errors
+    /// [`SegmentError`] for truncation, length mismatch, or checksum failure.
+    pub fn decode_frame(frame: &WireBuf) -> Result<Segment, SegmentError> {
+        Self::decode_impl(frame.as_slice(), Some(frame))
+    }
+
+    fn decode_impl(buf: &[u8], frame: Option<&WireBuf>) -> Result<Segment, SegmentError> {
         if buf.len() < HEADER_BYTES {
             return Err(SegmentError::Truncated);
         }
-        // Verify the checksum over the buffer with the checksum bytes zeroed:
-        // summing is linear, so subtract their contribution instead of copying.
-        let mut check = Vec::from(buf);
-        check[26] = 0;
-        check[27] = 0;
-        let stored = u16::from_be_bytes([buf[26], buf[27]]);
-        if internet_checksum(&check) != stored {
+        // The checksum was sealed at a 16-bit-aligned offset, so an intact
+        // frame's one's-complement sum folds to 0xFFFF and the whole-frame
+        // checksum is zero — verification reads the frame once, with no
+        // zeroed-field scratch copy.
+        if internet_checksum(buf) != 0 {
             return Err(SegmentError::BadChecksum);
         }
         let mut r = HeaderReader::new(buf);
@@ -144,6 +172,11 @@ impl Segment {
                 actual: payload.len(),
             });
         }
+        let payload = match frame {
+            // Zero-copy: the payload is the frame's tail, viewed.
+            Some(f) => f.slice(HEADER_BYTES..),
+            None => WireBuf::copy_from_slice(payload),
+        };
         Ok(Segment {
             src_port,
             dst_port,
@@ -151,7 +184,7 @@ impl Segment {
             ack,
             flags,
             window,
-            payload: payload.to_vec(),
+            payload,
         })
     }
 }
@@ -168,7 +201,7 @@ mod tests {
             ack: 42,
             flags: FLAG_ACK,
             window: 65535,
-            payload: b"hello transport".to_vec(),
+            payload: b"hello transport".to_vec().into(),
         }
     }
 
@@ -183,7 +216,7 @@ mod tests {
     #[test]
     fn empty_payload_roundtrip() {
         let s = Segment {
-            payload: vec![],
+            payload: vec![].into(),
             ..sample()
         };
         assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
@@ -225,7 +258,7 @@ mod tests {
     #[test]
     fn max_payload_length_field() {
         let s = Segment {
-            payload: vec![7u8; u16::MAX as usize],
+            payload: vec![7u8; u16::MAX as usize].into(),
             ..sample()
         };
         let wire = s.encode();
@@ -249,7 +282,7 @@ mod proptests {
             window in any::<u32>(),
             payload in proptest::collection::vec(any::<u8>(), 0..512),
         ) {
-            let s = Segment { src_port, dst_port, seq, ack, flags, window, payload };
+            let s = Segment { src_port, dst_port, seq, ack, flags, window, payload: payload.into() };
             prop_assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
         }
 

@@ -293,13 +293,16 @@ pub fn run_layered_transfer_telemetry(
             while let Some(frame) = pair.net.recv(pair.node_b) {
                 moved = true;
                 let t = Instant::now();
-                pair.b.on_segment(pair.net.now(), &frame.payload);
+                // Owned frame → zero-copy ingest (out-of-order segments are
+                // buffered as views). The layered stack's booked passes are
+                // its explicit per-layer copies, which are unchanged.
+                pair.b.on_frame(pair.net.now(), frame.payload.into());
                 times.transport += t.elapsed().as_secs_f64();
             }
             while let Some(frame) = pair.net.recv(pair.node_a) {
                 moved = true;
                 let t = Instant::now();
-                pair.a.on_segment(pair.net.now(), &frame.payload);
+                pair.a.on_frame(pair.net.now(), frame.payload.into());
                 times.transport += t.elapsed().as_secs_f64();
             }
             if !pair.net.is_idle() {

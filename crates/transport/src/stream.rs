@@ -27,6 +27,7 @@
 use crate::segment::{Segment, SegmentError, FLAG_ACK, FLAG_FIN};
 use ct_netsim::time::{SimDuration, SimTime};
 use ct_wire::buf::ByteFifo;
+use ct_wire::WireBuf;
 use std::collections::BTreeMap;
 
 /// Static configuration of a [`StreamTransport`].
@@ -128,19 +129,21 @@ impl StreamStats {
     }
 }
 
-/// A segment in flight awaiting acknowledgement.
+/// A segment in flight awaiting acknowledgement. The payload is a
+/// [`WireBuf`] view, so holding it for retransmission shares the chunk cut
+/// from the send buffer rather than copying it.
 #[derive(Debug, Clone)]
 struct Inflight {
-    payload: Vec<u8>,
+    payload: WireBuf,
     fin: bool,
     sent_at: SimTime,
     retransmitted: bool,
 }
 
-/// A buffered out-of-order arrival.
+/// A buffered out-of-order arrival (a view into the received frame).
 #[derive(Debug)]
 struct OooSeg {
-    payload: Vec<u8>,
+    payload: WireBuf,
     arrived_at: SimTime,
 }
 
@@ -322,7 +325,7 @@ impl StreamTransport {
             if take == 0 {
                 break;
             }
-            let payload = self.send_buf.take(take);
+            let payload: WireBuf = self.send_buf.take(take).into();
             let seq = self.snd_nxt;
             self.snd_nxt += take as u64;
             self.inflight.insert(
@@ -350,13 +353,13 @@ impl StreamTransport {
                 self.inflight.insert(
                     seq,
                     Inflight {
-                        payload: Vec::new(),
+                        payload: WireBuf::empty(),
                         fin: true,
                         sent_at: now,
                         retransmitted: false,
                     },
                 );
-                out.push(self.make_segment(seq, Vec::new(), true));
+                out.push(self.make_segment(seq, WireBuf::empty(), true));
                 if self.rto_deadline.is_none() {
                     self.rto_deadline = Some(now + self.rto);
                 }
@@ -366,14 +369,16 @@ impl StreamTransport {
         // 5. Pure ACK if nothing else carried it.
         if self.ack_pending && out.is_empty() {
             let seq = self.snd_nxt;
-            out.push(self.make_segment(seq, Vec::new(), false));
+            out.push(self.make_segment(seq, WireBuf::empty(), false));
         }
 
         self.stats.segments_out += out.len() as u64;
         out
     }
 
-    /// Ingest one wire frame addressed to this endpoint.
+    /// Ingest one wire frame addressed to this endpoint (borrowed buffer —
+    /// the payload is copied out; prefer [`StreamTransport::on_frame`] when
+    /// the frame is owned).
     pub fn on_segment(&mut self, now: SimTime, buf: &[u8]) {
         let seg = match Segment::decode(buf) {
             Ok(s) => s,
@@ -386,6 +391,23 @@ impl StreamTransport {
                 return;
             }
         };
+        self.on_parsed(now, seg);
+    }
+
+    /// Ingest one owned wire frame, zero-copy: out-of-order payloads are
+    /// buffered as views into the frame instead of copies.
+    pub fn on_frame(&mut self, now: SimTime, frame: WireBuf) {
+        let seg = match Segment::decode_frame(&frame) {
+            Ok(s) => s,
+            Err(_) => {
+                self.stats.checksum_drops += 1;
+                return;
+            }
+        };
+        self.on_parsed(now, seg);
+    }
+
+    fn on_parsed(&mut self, now: SimTime, seg: Segment) {
         if seg.dst_port != self.local_port {
             // Mis-delivery; a full implementation would demultiplex.
             return;
@@ -419,7 +441,7 @@ impl StreamTransport {
             .saturating_sub(self.recv_ready.len() + self.ooo_bytes) as u32
     }
 
-    fn make_segment(&mut self, seq: u64, payload: Vec<u8>, fin: bool) -> Vec<u8> {
+    fn make_segment(&mut self, seq: u64, payload: WireBuf, fin: bool) -> Vec<u8> {
         self.ack_pending = false;
         Segment {
             src_port: self.local_port,
@@ -515,9 +537,10 @@ impl StreamTransport {
         let mut payload = seg.payload;
         let mut seq = seg.seq;
         if seq < self.rcv_nxt {
-            // Partial overlap: trim the stale prefix.
+            // Partial overlap: trim the stale prefix (an O(1) re-view, not
+            // a shift of the remaining bytes).
             let skip = (self.rcv_nxt - seq) as usize;
-            payload.drain(..skip.min(payload.len()));
+            payload = payload.slice(skip.min(payload.len())..);
             seq = self.rcv_nxt;
         }
         if seq == self.rcv_nxt {
@@ -530,7 +553,7 @@ impl StreamTransport {
                 .recv_buffer
                 .saturating_sub(self.recv_ready.len() + self.ooo_bytes);
             let accept = payload.len().min(room);
-            payload.truncate(accept);
+            payload = payload.slice(..accept);
             self.rcv_nxt += accept as u64;
             self.recv_ready.push(&payload);
             self.drain_ooo(now);
@@ -570,7 +593,7 @@ impl StreamTransport {
                 if skip >= entry.payload.len() {
                     continue; // fully stale
                 }
-                entry.payload.drain(..skip);
+                entry.payload = entry.payload.slice(skip..);
             }
             let waited = now.saturating_since(entry.arrived_at);
             if waited > SimDuration::ZERO {

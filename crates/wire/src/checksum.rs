@@ -429,4 +429,91 @@ mod tests {
         let _ = fletcher32(&data);
         let _ = adler32(&data);
     }
+
+    /// RFC 1071 §1: an odd final byte is the HIGH-order byte of a 16-bit
+    /// word padded with zero — a property of the big-endian wire format,
+    /// independent of host byte order. A little-endian-host bug would put
+    /// it in the low-order position instead; pin both positions apart.
+    #[test]
+    fn odd_tail_pads_into_high_order_position() {
+        let ck = internet_checksum(&[0x12, 0x34, 0xAB]);
+        assert_eq!(ck, !(0x1234u16.wrapping_add(0xAB00)));
+        assert_ne!(ck, !(0x1234u16.wrapping_add(0x00AB)), "LE-position bug");
+        // Same property via the explicit be/le constructions.
+        assert_eq!(
+            internet_checksum(&[0xCD]),
+            !u16::from_be_bytes([0xCD, 0x00])
+        );
+        assert_ne!(
+            internet_checksum(&[0xCD]),
+            !u16::from_le_bytes([0xCD, 0x00])
+        );
+    }
+
+    /// The odd-tail position rule must hold on every absorption path: the
+    /// one-shot, the unrolled loop, an odd byte carried across `update`
+    /// calls, and an odd byte still pending at `finish`.
+    #[test]
+    fn odd_tail_position_consistent_across_paths() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05];
+        let expect = !(0x0102u16 + 0x0304 + 0x0500);
+        assert_eq!(internet_checksum(&data), expect);
+        assert_eq!(internet_checksum_unrolled(&data), expect);
+        // Pending byte resolved by the next update: [..3] leaves 0x03
+        // dangling; the following chunk's first byte completes the word.
+        let mut c = InternetChecksum::new();
+        c.update(&data[..3]);
+        c.update(&data[3..]);
+        assert_eq!(c.finish(), expect);
+        // Pending byte resolved at finish.
+        let mut c = InternetChecksum::new();
+        c.update(&data[..4]);
+        c.update(&data[4..]);
+        assert_eq!(c.finish(), expect);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive byte-wise RFC 1071 reference: pair bytes big-endian, zero-pad
+    /// an odd tail in the low (second) byte, one's-complement fold.
+    fn naive_internet_checksum(data: &[u8]) -> u16 {
+        let mut sum: u64 = 0;
+        let mut i = 0;
+        while i < data.len() {
+            let hi = data[i];
+            let lo = if i + 1 < data.len() { data[i + 1] } else { 0 };
+            sum += u64::from(hi) << 8 | u64::from(lo);
+            i += 2;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    proptest! {
+        /// Every prefix length 0..=64 of arbitrary content matches the
+        /// naive reference on all three absorption paths.
+        #[test]
+        fn prop_matches_naive_reference_all_lengths(
+            data in proptest::collection::vec(any::<u8>(), 64..65),
+            split in 0usize..65,
+        ) {
+            for len in 0..=64usize {
+                let d = &data[..len];
+                let want = naive_internet_checksum(d);
+                prop_assert_eq!(internet_checksum(d), want, "oneshot len {}", len);
+                prop_assert_eq!(internet_checksum_unrolled(d), want, "unrolled len {}", len);
+                let mut c = InternetChecksum::new();
+                let mid = split.min(len);
+                c.update(&d[..mid]);
+                c.update(&d[mid..]);
+                prop_assert_eq!(c.finish(), want, "incremental len {} split {}", len, mid);
+            }
+        }
+    }
 }

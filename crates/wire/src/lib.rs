@@ -27,6 +27,9 @@
 //!   `ct-telemetry`'s data-touch ledger (memory passes per delivered byte).
 //! * [`header`] — safe, explicit header field encode/decode helpers used by
 //!   the protocol crates above this one.
+//! * [`wirebuf`] — reference-counted sliceable buffer views ([`WireBuf`]),
+//!   the zero-copy datapath's unit of ownership: fragmentation is slicing,
+//!   reassembly is holding views, retransmission is re-cloning.
 //!
 //! ## Determinism and portability
 //!
@@ -45,11 +48,13 @@ pub mod fused;
 pub mod header;
 pub mod ledgered;
 pub mod swap;
+pub mod wirebuf;
 
 pub use buf::{Gather, OwnedBuf, Scatter};
 pub use checksum::{crc32, fletcher32, internet_checksum, InternetChecksum};
 pub use copy::{copy_bytes, copy_words_unrolled};
 pub use fused::{copy_and_checksum, xor_and_checksum};
+pub use wirebuf::WireBuf;
 
 /// Number of bits per byte; used in throughput arithmetic (`Mb/s` figures).
 pub const BITS_PER_BYTE: u64 = 8;

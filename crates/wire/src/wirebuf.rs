@@ -1,0 +1,333 @@
+//! Reference-counted, sliceable byte buffers — the zero-copy datapath's
+//! unit of ownership.
+//!
+//! A [`WireBuf`] is a cheap view `(chunk, start, end)` into a shared,
+//! immutable byte chunk. Cloning or slicing one never touches the data:
+//! both are O(1) reference-count and index arithmetic. The chunk itself is
+//! freed when the last view drops.
+//!
+//! This is the buffer architecture the paper's §6 measurement motivates:
+//! once data has been read into memory (or produced by the application), no
+//! protocol layer should need to copy it again just to change *whose* bytes
+//! they are. Fragmentation becomes slicing, reassembly becomes holding
+//! views into received frames, and retransmission becomes re-cloning a view
+//! that is already at hand.
+//!
+//! ## Ownership rules
+//!
+//! * A chunk is **immutable once wrapped**. All mutation happens before
+//!   `Vec<u8> → WireBuf` conversion (which moves the vec — no copy).
+//! * Views are single-threaded (`Rc`, not `Arc`) — the whole stack runs on
+//!   the deterministic simulator's single thread, and `Rc` keeps the clone
+//!   cost to one non-atomic increment.
+//! * There is no headroom *mutation* through a view. Senders reserve header
+//!   room by allocating each frame at its final size and fused-copying the
+//!   payload in behind the header (see `alf-core`'s `Message::encode`);
+//!   receivers strip headers by slicing the frame view forward — the
+//!   inverse of headroom, and equally copy-free.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::rc::Rc;
+
+/// A cheaply clonable, sliceable view into a shared immutable byte chunk.
+///
+/// Dereferences to `&[u8]`, so any slice-consuming API accepts it
+/// directly. Equality is by content, not by chunk identity.
+#[derive(Clone)]
+pub struct WireBuf {
+    chunk: Rc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl WireBuf {
+    /// An empty buffer (no allocation is shared; the chunk is a static-like
+    /// empty vec).
+    pub fn empty() -> Self {
+        WireBuf {
+            chunk: Rc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap an owned vec **without copying** — the vec is moved into the
+    /// shared chunk and the view covers all of it.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        WireBuf {
+            chunk: Rc::new(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Copy a borrowed slice into a fresh chunk. The one constructor that
+    /// pays a pass over the data — for callers that only have a borrow.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self::from_vec(s.to_vec())
+    }
+
+    /// Bytes visible through this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.chunk[self.start..self.end]
+    }
+
+    /// O(1) sub-view. `range` is relative to this view (not the chunk).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or inverted, mirroring slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of 0..{len}");
+        WireBuf {
+            chunk: Rc::clone(&self.chunk),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// O(1) split into `(..mid, mid..)` views sharing the chunk.
+    ///
+    /// # Panics
+    /// If `mid > len`.
+    pub fn split_at(&self, mid: usize) -> (Self, Self) {
+        (self.slice(..mid), self.slice(mid..))
+    }
+
+    /// Copy the viewed bytes out into a fresh `Vec` (one pass — for
+    /// compatibility paths that need ownership of a plain vec).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// How many views (including this one) share the underlying chunk —
+    /// used by tests to prove a path stayed zero-copy.
+    pub fn ref_count(&self) -> usize {
+        Rc::strong_count(&self.chunk)
+    }
+
+    /// True when `other` views the same underlying chunk (regardless of
+    /// range) — the zero-copy witness: a view produced by `slice`/`clone`
+    /// shares its parent's chunk, a copied buffer does not.
+    pub fn same_chunk(&self, other: &WireBuf) -> bool {
+        Rc::ptr_eq(&self.chunk, &other.chunk)
+    }
+}
+
+impl Default for WireBuf {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Deref for WireBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for WireBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for WireBuf {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for WireBuf {
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for WireBuf {
+    fn from(a: [u8; N]) -> Self {
+        Self::from_vec(a.to_vec())
+    }
+}
+
+impl std::fmt::Debug for WireBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireBuf")
+            .field("len", &self.len())
+            .field("start", &self.start)
+            .field("chunk_len", &self.chunk.len())
+            .field("refs", &self.ref_count())
+            .finish()
+    }
+}
+
+impl PartialEq for WireBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WireBuf {}
+
+impl PartialEq<[u8]> for WireBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for WireBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for WireBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<WireBuf> for Vec<u8> {
+    fn eq(&self, other: &WireBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for WireBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for WireBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_is_zero_copy_and_full_view() {
+        let v = vec![1u8, 2, 3, 4, 5];
+        let ptr = v.as_ptr();
+        let b = WireBuf::from_vec(v);
+        assert_eq!(b.len(), 5);
+        // The chunk is the moved vec, not a copy.
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn clone_and_slice_share_chunk() {
+        let b = WireBuf::from_vec((0u8..100).collect());
+        let c = b.clone();
+        let s = b.slice(10..20);
+        assert!(b.same_chunk(&c));
+        assert!(b.same_chunk(&s));
+        assert_eq!(b.ref_count(), 3);
+        assert_eq!(s.as_slice(), &(10u8..20).collect::<Vec<_>>()[..]);
+        drop(c);
+        drop(s);
+        assert_eq!(b.ref_count(), 1);
+    }
+
+    #[test]
+    fn nested_slices_compose() {
+        let b = WireBuf::from_vec((0u8..32).collect());
+        let inner = b.slice(8..24).slice(4..8);
+        assert_eq!(inner.as_slice(), &[12, 13, 14, 15]);
+        assert!(inner.same_chunk(&b));
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let b = WireBuf::from_vec(vec![1, 2, 3, 4]);
+        let (l, r) = b.split_at(1);
+        assert_eq!(l.as_slice(), &[1]);
+        assert_eq!(r.as_slice(), &[2, 3, 4]);
+        let (l2, r2) = b.split_at(0);
+        assert!(l2.is_empty());
+        assert_eq!(r2.len(), 4);
+        let (l3, r3) = b.split_at(4);
+        assert_eq!(l3.len(), 4);
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = WireBuf::from_vec(vec![9, 9, 7]);
+        let b = WireBuf::from_vec(vec![0, 9, 9, 7, 0]).slice(1..4);
+        assert_eq!(a, b);
+        assert!(!a.same_chunk(&b));
+        assert_eq!(a, vec![9, 9, 7]);
+        assert_eq!(vec![9u8, 9, 7], a);
+        assert_eq!(a, [9u8, 9, 7]);
+        assert_eq!(a, &[9u8, 9, 7]);
+        assert_eq!(a, [9u8, 9, 7].as_slice());
+    }
+
+    #[test]
+    fn deref_gives_slice_apis() {
+        let b = WireBuf::from_vec(vec![3, 1, 4, 1, 5]);
+        assert_eq!(b.iter().copied().max(), Some(5));
+        assert_eq!(&b[1..3], &[1, 4]);
+        fn takes_slice(s: &[u8]) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_slice(&b), 5);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(WireBuf::empty().is_empty());
+        assert_eq!(WireBuf::default().len(), 0);
+        let e = WireBuf::from_vec(Vec::new());
+        assert!(e.is_empty());
+        assert_eq!(e.slice(..).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slice_past_end_panics() {
+        WireBuf::from_vec(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn slice_is_relative_to_view_not_chunk() {
+        let b = WireBuf::from_vec((0u8..16).collect());
+        let v = b.slice(4..12); // bytes 4..12
+        let w = v.slice(2..4); // bytes 6..8 of the chunk
+        assert_eq!(w.as_slice(), &[6, 7]);
+    }
+
+    #[test]
+    fn to_vec_copies_out_view_only() {
+        let b = WireBuf::from_vec((0u8..8).collect());
+        let v = b.slice(2..5).to_vec();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+}

@@ -121,7 +121,7 @@ fn main() {
             if offset != next_offset {
                 held_back += 1;
             }
-            pending.insert(offset, adu.payload);
+            pending.insert(offset, adu.payload.to_vec());
             // Drain the in-order prefix into the streaming decoder.
             while let Some(chunk) = pending.remove(&next_offset) {
                 next_offset += chunk.len() as u64;

@@ -6,7 +6,7 @@
 set -eux
 
 cargo build --release --workspace
-cargo test -q --workspace
+cargo test --release -q --workspace
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
@@ -15,6 +15,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 # passes-per-byte at every chain depth and exercises a telemetry-enabled
 # transfer end to end.
 cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
+
+# Zero-copy datapath smoke: X10 asserts the fused send path stays at
+# <= 2 memory passes per byte, single-frame ADUs release without a
+# gather copy, and the owned-frame ingest never takes the decode copy;
+# it also refreshes BENCH_x10.json.
+cargo run --release -q -p ct-bench --bin harness x10 > /dev/null
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended

@@ -137,6 +137,70 @@ proptest! {
         prop_assert_eq!(adu.payload, payload);
     }
 
+    /// Zero-copy invariance: the released ADU bytes are identical under any
+    /// fragment arrival permutation and overlap pattern, whether frames are
+    /// ingested through the borrowed-buffer decode (payload copied out) or
+    /// the owned-frame decode (payload stays a WireBuf view into the frame).
+    #[test]
+    fn prop_release_identical_with_and_without_wirebuf_path(
+        payload in proptest::collection::vec(any::<u8>(), 1..4000),
+        mtu in 120usize..900,
+        extra in proptest::collection::vec((any::<u16>(), 1u16..700), 0..6),
+        rot in 0usize..32,
+        swap_a in 0usize..32,
+        swap_b in 0usize..32,
+    ) {
+        let name = AduName::Seq { index: 4 };
+        let total = payload.len();
+        // Base fragmentation guarantees coverage; extra TUs overlap it
+        // arbitrarily (retransmission-shaped traffic).
+        let mut tus = fragment_adu(1, 4, name, &payload, mtu);
+        for &(start, len) in &extra {
+            let off = start as usize % total;
+            let len = (len as usize).min(total - off);
+            if len == 0 {
+                continue;
+            }
+            tus.push(alf_core::wire::Tu {
+                flags: 0,
+                assoc: 1,
+                timestamp_us: 0,
+                adu_id: 4,
+                adu_len: total as u32,
+                frag_off: off as u32,
+                name,
+                payload: payload[off..off + len].to_vec().into(),
+            });
+        }
+        let n = tus.len();
+        tus.rotate_left(rot % n);
+        tus.swap(swap_a % n, swap_b % n);
+
+        let frames: Vec<Vec<u8>> = tus.iter().map(|tu| Message::Tu(tu.clone()).encode()).collect();
+        let mut asm_copy = Assembler::new(SimDuration::from_millis(10), 1024);
+        let mut asm_view = Assembler::new(SimDuration::from_millis(10), 1024);
+        for bytes in &frames {
+            // Borrowed-buffer path: payload copied out of the frame.
+            match Message::decode(bytes).expect("clean wire") {
+                Message::Tu(tu) => { asm_copy.on_tu(SimTime::ZERO, &tu); }
+                _ => unreachable!(),
+            }
+            // Owned-frame path: payload is a view into the frame.
+            let frame: ct_wire::WireBuf = bytes.clone().into();
+            match Message::decode_frame(&frame).expect("clean wire") {
+                Message::Tu(tu) => { asm_view.on_tu(SimTime::ZERO, &tu); }
+                _ => unreachable!(),
+            }
+        }
+        let (_, adu_copy, _) = asm_copy.pop_ready().expect("copy path complete");
+        let (_, adu_view, _) = asm_view.pop_ready().expect("view path complete");
+        prop_assert_eq!(&adu_copy.payload, &payload);
+        prop_assert_eq!(&adu_view.payload, &payload);
+        prop_assert_eq!(adu_copy, adu_view);
+        prop_assert!(asm_copy.pop_ready().is_none());
+        prop_assert!(asm_view.pop_ready().is_none());
+    }
+
     /// Duplicated TUs never corrupt reassembly.
     #[test]
     fn prop_duplicates_harmless(
@@ -165,7 +229,7 @@ fn adu_equality_semantics() {
     let a = Adu::new(AduName::Seq { index: 1 }, vec![1, 2, 3]);
     let b = Adu {
         name: AduName::Seq { index: 1 },
-        payload: vec![1, 2, 3],
+        payload: vec![1, 2, 3].into(),
     };
     assert_eq!(a, b);
 }
