@@ -1,0 +1,148 @@
+//! `bench-gate`: the bench-regression gate.
+//!
+//! Compares two benchmark JSON files (a committed baseline and a freshly
+//! regenerated run) leaf by leaf and fails loudly when any numeric leaf
+//! drifts beyond the tolerance (default 5% relative). The harness runs on
+//! a deterministic simulator, so the committed `BENCH_*.json` numbers are
+//! reproducible — drift means the *code* changed behaviour, not the
+//! machine. Structure mismatches (missing keys, different array lengths,
+//! string changes) fail too: a silently reshaped benchmark is a silently
+//! skipped gate.
+//!
+//! ```text
+//! bench-gate BASELINE FRESH [--tolerance PCT]
+//! ```
+//!
+//! Exit status: 0 when every leaf is within tolerance, 1 when any leaf
+//! drifted (all offenders listed), 2 on usage/IO/parse errors.
+
+use ct_telemetry::json::{parse, JsonValue};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-gate BASELINE FRESH [--tolerance PCT]");
+    ExitCode::from(2)
+}
+
+/// Recursively compare `base` and `fresh`, appending one line per
+/// divergence to `offences`. `path` is the JSON-pointer-ish location used
+/// in the report.
+fn compare(path: &str, base: &JsonValue, fresh: &JsonValue, tol: f64, offences: &mut Vec<String>) {
+    match (base, fresh) {
+        (JsonValue::Num(_), JsonValue::Num(_)) => {
+            let (a, b) = (
+                base.as_f64().unwrap_or(f64::NAN),
+                fresh.as_f64().unwrap_or(f64::NAN),
+            );
+            // Deterministic-sim numbers reproduce exactly; the tolerance
+            // only absorbs benign re-baselining. Two (near-)zeros agree by
+            // definition; otherwise require relative drift <= tol against
+            // the larger magnitude.
+            let denom = a.abs().max(b.abs());
+            if denom <= 1e-9 {
+                return;
+            }
+            let drift = (a - b).abs() / denom;
+            if drift > tol {
+                offences.push(format!(
+                    "{path}: baseline {a} vs fresh {b} ({:.1}% > {:.1}% tolerance)",
+                    drift * 100.0,
+                    tol * 100.0
+                ));
+            }
+        }
+        (JsonValue::Str(a), JsonValue::Str(b)) => {
+            if a != b {
+                offences.push(format!("{path}: baseline \"{a}\" vs fresh \"{b}\""));
+            }
+        }
+        (JsonValue::Null, JsonValue::Null) => {}
+        (JsonValue::Arr(a), JsonValue::Arr(b)) => {
+            if a.len() != b.len() {
+                offences.push(format!(
+                    "{path}: array length changed, baseline {} vs fresh {}",
+                    a.len(),
+                    b.len()
+                ));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                compare(&format!("{path}[{i}]"), x, y, tol, offences);
+            }
+        }
+        (JsonValue::Obj(a), JsonValue::Obj(b)) => {
+            for (k, x) in a {
+                match b.iter().find(|(bk, _)| bk == k) {
+                    Some((_, y)) => compare(&format!("{path}.{k}"), x, y, tol, offences),
+                    None => offences.push(format!("{path}.{k}: missing from fresh run")),
+                }
+            }
+            for (k, _) in b {
+                if !a.iter().any(|(ak, _)| ak == k) {
+                    offences.push(format!("{path}.{k}: not in baseline (re-baseline needed?)"));
+                }
+            }
+        }
+        _ => offences.push(format!("{path}: value kind changed between runs")),
+    }
+}
+
+fn load(path: &str) -> Result<JsonValue, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("bench-gate: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    parse(&text).map_err(|e| {
+        eprintln!("bench-gate: {path} is not valid bench JSON: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 0.05f64;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => tolerance = pct / 100.0,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [baseline, fresh] = files.as_slice() else {
+        return usage();
+    };
+
+    let base = match load(baseline) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let new = match load(fresh) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+
+    let mut offences = Vec::new();
+    compare("$", &base, &new, tolerance, &mut offences);
+    if offences.is_empty() {
+        println!(
+            "bench-gate OK: {fresh} within {:.1}% of {baseline}",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-gate FAILED: {} leaf(s) drifted beyond {:.1}% ({baseline} -> {fresh}):",
+            offences.len(),
+            tolerance * 100.0
+        );
+        for line in &offences {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}

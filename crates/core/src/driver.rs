@@ -74,10 +74,15 @@ pub struct ScenarioOpts {
     /// Observability handle shared by the network and both endpoints. When
     /// set, the network counts frame events, both transports record flight-
     /// recorder events (sender under layer `"sender"`, receiver under
-    /// `"receiver"`, if tracing is armed), a per-ADU delivery-latency
-    /// histogram accumulates under `alf.delivery_latency_us`, and the final
-    /// [`AlfStats`] of both ends publish under `alf.sender.*` /
-    /// `alf.receiver.*` when the run settles.
+    /// `"receiver"`, if tracing is armed) and the driver records the
+    /// application edges of each ADU's lifecycle span (`adu_submit` /
+    /// `adu_consume` under layer `"app"`); a per-ADU delivery-latency
+    /// histogram accumulates under `alf.delivery_latency_us.<mode>`
+    /// (labeled by recovery mode: `buffered`, `recompute`,
+    /// `no_retransmit`); when the run settles, the final [`AlfStats`] of
+    /// both ends publish under `alf.sender.*` / `alf.receiver.*` and — if
+    /// tracing was armed — per-ADU HOL stalls stitched from the flight
+    /// record land in the `alf.adu_stall_us` histogram.
     pub telemetry: Option<ct_telemetry::Telemetry>,
 }
 
@@ -85,6 +90,40 @@ pub struct ScenarioOpts {
 /// name, regenerate its payload ("the sending application to provide the
 /// data", §5).
 pub type RecomputeFn<'a> = &'a dyn Fn(AduName) -> Vec<u8>;
+
+/// Record an application-layer lifecycle event (`adu_submit` /
+/// `adu_consume`) — a no-op unless tracing is armed.
+fn trace_app(
+    telemetry: &Option<ct_telemetry::Telemetry>,
+    at: SimTime,
+    kind: &'static str,
+    name: AduName,
+    len: u64,
+) {
+    if let Some(tel) = telemetry {
+        if tel.tracing_enabled() {
+            tel.record(ct_telemetry::Event {
+                at_nanos: at.as_nanos(),
+                layer: "app",
+                kind,
+                assoc: 0,
+                adu: Some(name.to_string()),
+                a: 0,
+                b: 0,
+                len,
+            });
+        }
+    }
+}
+
+/// The recovery-mode label on the driver's delivery-latency histogram.
+fn latency_metric_name(recovery: RecoveryMode) -> &'static str {
+    match recovery {
+        RecoveryMode::TransportBuffer => "alf.delivery_latency_us.buffered",
+        RecoveryMode::AppRecompute => "alf.delivery_latency_us.recompute",
+        RecoveryMode::NoRetransmit => "alf.delivery_latency_us.no_retransmit",
+    }
+}
 
 /// Run `adus` from node A to node B and return the report.
 ///
@@ -180,11 +219,26 @@ pub fn run_alf_transfer_scenario(
     let max_iters = 2_000_000 + total_bytes / 8;
     let mut complete = false;
     let mut quiet_deadline: Option<SimTime> = None;
+    let latency_metric = latency_metric_name(cfg.recovery);
+    // ADUs whose first offer attempt has been traced (`adu_submit` marks
+    // when the application first asked, even if the window refused it —
+    // that wait is the admit_wait stage of the lifecycle span).
+    let mut submitted_upto = 0usize;
 
     for _ in 0..max_iters {
         // Offer ADUs while the window accepts them.
         while next_offer < adus.len() {
             let adu = &adus[next_offer];
+            if next_offer >= submitted_upto {
+                trace_app(
+                    &opts.telemetry,
+                    net.now(),
+                    "adu_submit",
+                    adu.name,
+                    adu.len() as u64,
+                );
+                submitted_upto = next_offer + 1;
+            }
             match a.send_adu(adu.name, adu.payload.clone()) {
                 Ok(_) => next_offer += 1,
                 Err(_) => break,
@@ -265,8 +319,15 @@ pub fn run_alf_transfer_scenario(
             delivered_bytes += adu.len() as u64;
             if let Some(tel) = &opts.telemetry {
                 tel.metrics_mut()
-                    .observe("alf.delivery_latency_us", latency.as_nanos() / 1_000);
+                    .observe(latency_metric, latency.as_nanos() / 1_000);
             }
+            trace_app(
+                &opts.telemetry,
+                net.now(),
+                "adu_consume",
+                adu.name,
+                adu.len() as u64,
+            );
             match expected.get(&adu.name) {
                 Some(want) if *want == adu.payload.as_slice() => delivered_ok += 1,
                 _ => {
@@ -375,6 +436,18 @@ pub fn run_alf_transfer_scenario(
         reg.counter_set("alf.run.elapsed_ns", elapsed.as_nanos());
         drop(reg);
         tel.ledger().deliver(delivered_bytes);
+        // With tracing armed, stitch the flight record into lifecycle
+        // spans and publish each ADU's HOL stall (time fully-arrived but
+        // not yet consumed; ~0 is the ALF claim made measurable).
+        if tel.tracing_enabled() {
+            let spans = tel.span_report();
+            let mut reg = tel.metrics_mut();
+            for span in &spans.spans {
+                if let Some(ns) = span.stall_nanos() {
+                    reg.observe("alf.adu_stall_us", ns / 1_000);
+                }
+            }
+        }
     }
     let stats_b = b.stats;
     let delivered = stats_b.adus_delivered;

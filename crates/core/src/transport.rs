@@ -421,7 +421,7 @@ pub struct AduTransport {
     /// Encoded data TUs awaiting a transmit slot (pacing queue), tagged
     /// with their ADU id so the retransmission deadline can be refreshed
     /// when the TU actually leaves.
-    txq: std::collections::VecDeque<(u64, Vec<u8>)>,
+    txq: std::collections::VecDeque<(u64, AduName, Vec<u8>)>,
     /// Earliest instant the pacer will release the next TU.
     next_tx_at: SimTime,
     /// Receive stage 1.
@@ -843,7 +843,7 @@ impl AduTransport {
                             tu.flags |= TU_FLAG_TIMESTAMP;
                             tu.timestamp_us = micros_wrapping(now);
                         }
-                        self.txq.push_back((id, Message::Tu(tu).encode()));
+                        self.txq.push_back((id, name, Message::Tu(tu).encode()));
                         1
                     };
                     if let Some(sent) = self.unacked.get_mut(&id) {
@@ -927,7 +927,7 @@ impl AduTransport {
             if pace > SimDuration::ZERO && now < self.next_tx_at {
                 break;
             }
-            let Some((id, mut frame)) = self.txq.pop_front() else {
+            let Some((id, name, mut frame)) = self.txq.pop_front() else {
                 break;
             };
             if pace > SimDuration::ZERO {
@@ -946,7 +946,7 @@ impl AduTransport {
                 sent.deadline = now + rto_for(base, retries + self.timeout_backoff);
             }
             self.stats.tus_sent += 1;
-            self.trace(now, "tu_send", None, id, 0, frame.len() as u64);
+            self.trace(now, "tu_send", Some(name), id, 0, frame.len() as u64);
             out.push(frame);
         }
 
@@ -1100,6 +1100,17 @@ impl AduTransport {
                     self.stats.tus_backpressured += 1;
                     self.window_ack_due = true;
                     return;
+                } else {
+                    // Fragment accepted into reassembly: the arrival edge
+                    // of the ADU's lifecycle span.
+                    self.trace(
+                        now,
+                        "tu_recv",
+                        Some(tu.name),
+                        tu.adu_id,
+                        u64::from(tu.frag_off),
+                        tu.payload.len() as u64,
+                    );
                 }
                 self.try_fec_reconstruct(now, tu.adu_id, tu.name);
                 while let Some((id, adu, first_at)) = self.assembler.pop_ready() {
@@ -1344,13 +1355,13 @@ impl AduTransport {
         };
         for tu in tus {
             let len = tu.payload.len() as u64;
-            self.txq.push_back((id, Message::Tu(tu).encode()));
+            self.txq.push_back((id, name, Message::Tu(tu).encode()));
             self.ledger_touch("alf/tu_encode", len, len);
             n += 1;
         }
         for parity in parities {
             let len = parity.payload.len() as u64;
-            self.txq.push_back((id, Message::Tu(parity).encode()));
+            self.txq.push_back((id, name, Message::Tu(parity).encode()));
             self.ledger_touch("alf/tu_encode", len, len);
             self.stats.fec_parity_sent += 1;
             n += 1;
@@ -1511,7 +1522,7 @@ impl AduTransport {
             retx_bytes as u64,
         );
         for tu in tus {
-            self.txq.push_back((adu_id, Message::Tu(tu).encode()));
+            self.txq.push_back((adu_id, name, Message::Tu(tu).encode()));
         }
     }
 

@@ -1,0 +1,145 @@
+//! `ct-trace`: offline analyzer for flight-recorder JSONL dumps.
+//!
+//! Ingests the event stream a [`ct_telemetry::Telemetry::trace_jsonl`]
+//! export produced (from a file argument or stdin) and emits:
+//!
+//! * a per-ADU **timeline table** — one row per ADU lifecycle span, with
+//!   per-stage durations (`TRUNCATED` rows where the ring wrapped);
+//! * a **stage-attribution summary** — p50/p99/mean per pipeline stage;
+//! * a **HOL-blocking report** — ALF stall (consume − last arrival) per
+//!   span, and, when the dump contains stream-substrate `seg_recv` /
+//!   `stream_adv` events, per-range stream stalls for the ADU framing
+//!   given by `--adu-bytes`.
+//!
+//! Stitching is deterministic: the same dump always yields byte-identical
+//! output, and the output matches what the in-process stitcher saw for
+//! the run that produced the dump.
+//!
+//! ```text
+//! ct-trace [--adu-bytes N] [--limit N] [--self-check] [FILE]
+//! ```
+//!
+//! `--self-check` exits non-zero when the dump yields no attribution at
+//! all (no spans and no stream stalls) — the CI guard that the exporter
+//! and the analyzer still speak the same schema.
+
+use ct_telemetry::span::{stream_stall_summary, stream_stalls, SpanReport};
+use ct_telemetry::Event;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ct-trace [--adu-bytes N] [--limit N] [--self-check] [FILE]");
+    eprintln!("  FILE: flight-recorder JSONL export (stdin when omitted)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut adu_bytes: u64 = 0;
+    let mut limit: usize = 40;
+    let mut self_check = false;
+    let mut file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--adu-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => adu_bytes = v,
+                None => return usage(),
+            },
+            "--limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => limit = v,
+                None => return usage(),
+            },
+            "--self-check" => self_check = true,
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ if file.is_none() => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+
+    let input = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ct-trace: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("ct-trace: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let events = match Event::parse_jsonl(&input) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("ct-trace: malformed JSONL: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = SpanReport::from_parsed(&events);
+    let mut attributed = false;
+
+    println!("=== ct-trace: {} events ===", events.len());
+    if !report.spans.is_empty() {
+        attributed = true;
+        println!();
+        println!("--- ADU timeline ({} spans) ---", report.spans.len());
+        print!("{}", report.render_timeline(limit));
+        println!();
+        println!("--- stage attribution ---");
+        print!("{}", report.render_attribution());
+    }
+
+    let stalls = if adu_bytes > 0 {
+        stream_stalls(&events, adu_bytes)
+    } else {
+        Vec::new()
+    };
+    if !stalls.is_empty() {
+        attributed = true;
+        let s = stream_stall_summary(&stalls);
+        println!();
+        println!("--- stream HOL report ({}-byte ADU framing) ---", adu_bytes);
+        println!(
+            "ranges={} stalled_ranges={} mean={:.1}us p99<={}us max={}us",
+            stalls.len(),
+            stalls.iter().filter(|st| st.stall_nanos() > 0).count(),
+            s.mean_us,
+            s.p99_us,
+            s.max_us,
+        );
+    } else if adu_bytes > 0 {
+        println!();
+        println!("--- stream HOL report: no seg_recv/stream_adv events ---");
+    }
+
+    if report.truncated_events > 0 {
+        println!();
+        println!(
+            "!!! TRUNCATED: the ring overwrote {} events before this export",
+            report.truncated_events
+        );
+    }
+
+    if self_check && !attributed {
+        eprintln!("ct-trace: self-check FAILED — no spans and no stream stalls attributed");
+        return ExitCode::FAILURE;
+    }
+    if self_check {
+        println!();
+        println!(
+            "self-check OK: {} spans, {} stream ranges",
+            report.spans.len(),
+            stalls.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

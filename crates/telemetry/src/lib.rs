@@ -30,11 +30,13 @@ pub mod json;
 pub mod ledger;
 pub mod metrics;
 pub mod ring;
+pub mod span;
 pub mod trace;
 
 pub use ledger::{StageTouch, TouchLedger};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::Ring;
+pub use span::{AduSpan, SpanReport, StageStat, StallSummary, StreamStall};
 pub use trace::{Event, ParsedEvent};
 
 use std::cell::{Ref, RefCell, RefMut};
@@ -142,9 +144,28 @@ impl Telemetry {
     }
 
     /// JSONL export of the retained flight record, one event per line.
+    ///
+    /// When the ring has wrapped, the first line is a synthetic
+    /// `meta/truncated` event whose `a` operand carries the overwrite
+    /// count, so offline span stitching ([`SpanReport::from_parsed`]) can
+    /// mark incomplete timelines `TRUNCATED` instead of silently reporting
+    /// partial spans.
     pub fn trace_jsonl(&self) -> String {
         let mut out = String::new();
         if let Some(ring) = self.inner.recorder.borrow().as_ref() {
+            if ring.overwritten() > 0 {
+                Event {
+                    at_nanos: 0,
+                    layer: "meta",
+                    kind: "truncated",
+                    assoc: 0,
+                    adu: None,
+                    a: ring.overwritten(),
+                    b: 0,
+                    len: 0,
+                }
+                .write_jsonl(&mut out);
+            }
             for e in ring.iter() {
                 e.write_jsonl(&mut out);
             }
@@ -159,6 +180,13 @@ impl Telemetry {
             .borrow()
             .as_ref()
             .map_or_else(Vec::new, |r| r.iter().cloned().collect())
+    }
+
+    /// Stitch the retained flight record into per-ADU lifecycle spans
+    /// (empty when tracing is disarmed). Equivalent to analyzing the
+    /// [`Telemetry::trace_jsonl`] export offline with `ct-trace`.
+    pub fn span_report(&self) -> SpanReport {
+        SpanReport::from_events(&self.trace_events(), self.trace_overwritten())
     }
 }
 
@@ -211,6 +239,20 @@ mod tests {
         let events = t.trace_events();
         assert_eq!(events[0].at_nanos, 3);
         assert_eq!(t.trace_dump_last(1).lines().count(), 1);
+    }
+
+    #[test]
+    fn wrapped_jsonl_starts_with_truncation_marker() {
+        let t = Telemetry::with_tracing(2);
+        for i in 0..5 {
+            t.record(ev(i, "a"));
+        }
+        let parsed = Event::parse_jsonl(&t.trace_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].layer, "meta");
+        assert_eq!(parsed[0].kind, "truncated");
+        assert_eq!(parsed[0].a, 3);
+        assert_eq!(SpanReport::from_parsed(&parsed).truncated_events, 3);
     }
 
     #[test]

@@ -87,9 +87,21 @@ impl<T: fmt::Display> Ring<T> {
     }
 
     /// Render only the last `n` retained items, one line per item.
+    ///
+    /// When the dump covers the entire retained history and the ring has
+    /// wrapped, the first line is an explicit `TRUNCATED` marker with the
+    /// overwrite count — the record is the tail of a longer run, and a
+    /// reader stitching causal timelines out of it must know that the
+    /// missing head was overwritten, not absent.
     pub fn dump_last(&self, n: usize) -> String {
-        let skip = self.items.len().saturating_sub(n);
         let mut out = String::new();
+        if n >= self.items.len() && self.overwritten > 0 {
+            out.push_str(&format!(
+                "!!! TRUNCATED: {} earlier item(s) overwritten\n",
+                self.overwritten
+            ));
+        }
+        let skip = self.items.len().saturating_sub(n);
         for item in self.items.iter().skip(skip) {
             out.push_str(&item.to_string());
             out.push('\n');
@@ -139,6 +151,21 @@ mod tests {
         assert_eq!(r.dump_last(2), "3\n4\n");
         assert_eq!(r.dump().lines().count(), 5);
         assert_eq!(r.dump_last(99).lines().count(), 5);
+    }
+
+    #[test]
+    fn full_dump_of_wrapped_ring_carries_truncation_marker() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        // A partial tail is not the whole record: no marker.
+        assert_eq!(r.dump_last(2), "3\n4\n");
+        // The "whole" record after a wrap must say what it lost.
+        let full = r.dump();
+        assert!(full.starts_with("!!! TRUNCATED: 2 earlier item(s) overwritten\n"));
+        assert_eq!(full.lines().count(), 4);
+        assert_eq!(r.dump_last(99), full);
     }
 
     #[test]

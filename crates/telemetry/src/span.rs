@@ -1,0 +1,817 @@
+//! ADU lifecycle spans: stitching flight-recorder events into per-ADU
+//! causal timelines with per-stage latency attribution and a head-of-line
+//! blocking profiler.
+//!
+//! The flight recorder (see [`crate::trace`]) captures isolated events —
+//! an admission here, a TU release there, a delivery somewhere else. This
+//! module reassembles them, Dapper-style, into one [`AduSpan`] per ADU:
+//!
+//! ```text
+//! submit → admit (cwnd/rwnd wait) → first-send (pacing wait)
+//!        → first-arrival → last-frame-arrival (loss/repair rounds)
+//!        → reassembly-complete → deliver
+//! ```
+//!
+//! Every microsecond of an ADU's end-to-end latency is attributed to
+//! exactly one stage (the stage taxonomy in [`STAGES`]), and the **HOL
+//! stall** — the time a fully-arrived ADU spent blocked behind *other*
+//! data before the application could consume it — is computed uniformly
+//! for both substrates:
+//!
+//! * ALF ([`SpanReport`]): `stall = consume − last_arrival`. Out-of-order
+//!   delivery makes this ~0 by construction — the paper's central claim,
+//!   measured.
+//! * Byte stream ([`stream_stalls`]): per-ADU byte range over the stream;
+//!   `stall = in-order-delivery of the range − all of its bytes arrived`.
+//!   A gap ahead of the range holds it hostage, and the stall grows with
+//!   loss.
+//!
+//! Determinism: stitching is a pure function of the event sequence, so the
+//! same seed yields byte-identical reports — and analyzing a JSONL export
+//! ([`SpanReport::from_parsed`]) reproduces exactly what the in-process
+//! stitcher saw. When the ring wrapped mid-run, the export carries a
+//! `meta/truncated` event and spans whose early history was overwritten
+//! render an explicit `TRUNCATED` marker instead of silently passing off a
+//! partial timeline as a complete one.
+
+use crate::metrics::Histogram;
+use crate::trace::{fmt_nanos, Event, ParsedEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The stage taxonomy, in pipeline order. Each maps to the gap between two
+/// adjacent span timestamps (see [`AduSpan::stage_nanos`]).
+pub const STAGES: [&str; 6] = [
+    "admit_wait",   // submit → admit: cwnd/rwnd/window queue wait
+    "pace_wait",    // admit → first TU release: token-pacer queue wait
+    "first_flight", // first send → first arrival: network transit
+    "transfer",     // first → last arrival: spread incl. loss/repair rounds
+    "reassemble",   // last arrival → reassembly complete
+    "deliver_wait", // complete → application consume (ALF HOL stall share)
+];
+
+/// One ADU's stitched lifecycle. All instants are simulated nanoseconds;
+/// `None` means the corresponding event was never observed (not offered on
+/// this endpoint, lost, or overwritten out of the ring).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AduSpan {
+    /// The ADU's application-level name (the stitching key).
+    pub adu: String,
+    /// Transport id, when any event carried one.
+    pub adu_id: Option<u64>,
+    /// Application handed the ADU to the transport.
+    pub submit_at: Option<u64>,
+    /// Admission past the cwnd/rwnd gate (left the submit queue).
+    pub admit_at: Option<u64>,
+    /// First TU released by the pacer.
+    pub first_send_at: Option<u64>,
+    /// Last TU released (including repairs).
+    pub last_send_at: Option<u64>,
+    /// First fragment accepted by the receiver's assembler.
+    pub first_arrival_at: Option<u64>,
+    /// Last fragment accepted.
+    pub last_arrival_at: Option<u64>,
+    /// Reassembly completed (ADU released to the delivery queue).
+    pub complete_at: Option<u64>,
+    /// Receiving application consumed the ADU.
+    pub consume_at: Option<u64>,
+    /// Loss/repair round events (whole-ADU retx, probes, selective retx).
+    pub repair_events: u64,
+    /// TUs released for this ADU (first transmission + repairs).
+    pub tus_sent: u64,
+    /// The transport gave up on this ADU (named loss report).
+    pub lost: bool,
+    /// The ring wrapped and this span's early history was overwritten —
+    /// stage durations that need the missing events are unavailable, and
+    /// reports print `TRUNCATED` instead of a partial timeline.
+    pub truncated: bool,
+}
+
+impl AduSpan {
+    /// Duration of one taxonomy stage in nanoseconds, when both of its
+    /// bounding events were observed (negative gaps clamp to zero — the
+    /// recorder orders same-instant events arbitrarily).
+    pub fn stage_nanos(&self, stage: &str) -> Option<u64> {
+        let gap = |a: Option<u64>, b: Option<u64>| Some(b?.saturating_sub(a?));
+        match stage {
+            "admit_wait" => gap(self.submit_at, self.admit_at),
+            "pace_wait" => gap(self.admit_at, self.first_send_at),
+            "first_flight" => gap(self.first_send_at, self.first_arrival_at),
+            "transfer" => gap(self.first_arrival_at, self.last_arrival_at),
+            "reassemble" => gap(self.last_arrival_at, self.complete_at),
+            "deliver_wait" => gap(self.complete_at, self.consume_at),
+            _ => None,
+        }
+    }
+
+    /// End-to-end nanoseconds: submit → consume (falling back to
+    /// reassembly-complete when the consume event is absent).
+    pub fn total_nanos(&self) -> Option<u64> {
+        let end = self.consume_at.or(self.complete_at)?;
+        Some(end.saturating_sub(self.submit_at?))
+    }
+
+    /// The ALF HOL-stall metric: time between *all of the ADU's bytes
+    /// having arrived* and the application consuming it. Covers both the
+    /// reassembly-release gap and any delivery-queue wait; out-of-order
+    /// delivery keeps it near zero regardless of what other ADUs are doing.
+    pub fn stall_nanos(&self) -> Option<u64> {
+        let end = self.consume_at.or(self.complete_at)?;
+        Some(end.saturating_sub(self.last_arrival_at?))
+    }
+
+    /// Append this span to `out` as one JSONL line (newline included).
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push_str("{\"adu\":");
+        crate::json::write_escaped(out, &self.adu);
+        let opt = |out: &mut String, key: &str, v: Option<u64>| {
+            let _ = match v {
+                Some(v) => write!(out, ",\"{key}\":{v}"),
+                None => write!(out, ",\"{key}\":null"),
+            };
+        };
+        opt(out, "id", self.adu_id);
+        opt(out, "submit", self.submit_at);
+        opt(out, "admit", self.admit_at);
+        opt(out, "first_send", self.first_send_at);
+        opt(out, "last_send", self.last_send_at);
+        opt(out, "first_arr", self.first_arrival_at);
+        opt(out, "last_arr", self.last_arrival_at);
+        opt(out, "complete", self.complete_at);
+        opt(out, "consume", self.consume_at);
+        let _ = write!(
+            out,
+            ",\"repairs\":{},\"tus\":{},\"lost\":{},\"trunc\":{}}}",
+            self.repair_events,
+            self.tus_sent,
+            u8::from(self.lost),
+            u8::from(self.truncated),
+        );
+        out.push('\n');
+    }
+
+    /// Parse a JSONL stream of spans — the inverse of
+    /// [`AduSpan::write_jsonl`].
+    ///
+    /// # Errors
+    /// [`crate::json::JsonError`] on malformed lines or missing fields.
+    pub fn parse_jsonl(input: &str) -> Result<Vec<AduSpan>, crate::json::JsonError> {
+        use crate::json::{self, JsonError, JsonValue};
+        let mut spans = Vec::new();
+        for line in input.lines().filter(|l| !l.trim().is_empty()) {
+            let v = json::parse(line)?;
+            let bad = |message| JsonError { message, at: 0 };
+            let opt = |k| match v.get(k) {
+                Some(JsonValue::Null) => Ok(None),
+                Some(n) => n.as_u64().map(Some).ok_or(bad("numeric field")),
+                None => Err(bad("missing field")),
+            };
+            let num = |k| {
+                v.get(k)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or(bad("numeric field"))
+            };
+            spans.push(AduSpan {
+                adu: v
+                    .get("adu")
+                    .and_then(JsonValue::as_str)
+                    .ok_or(bad("adu field"))?
+                    .to_string(),
+                adu_id: opt("id")?,
+                submit_at: opt("submit")?,
+                admit_at: opt("admit")?,
+                first_send_at: opt("first_send")?,
+                last_send_at: opt("last_send")?,
+                first_arrival_at: opt("first_arr")?,
+                last_arrival_at: opt("last_arr")?,
+                complete_at: opt("complete")?,
+                consume_at: opt("consume")?,
+                repair_events: num("repairs")?,
+                tus_sent: num("tus")?,
+                lost: num("lost")? != 0,
+                truncated: num("trunc")? != 0,
+            });
+        }
+        Ok(spans)
+    }
+}
+
+/// Per-stage attribution: observations in microseconds over every span
+/// that had the stage's bounding events.
+#[derive(Debug, Clone)]
+pub struct StageStat {
+    /// Stage name from [`STAGES`].
+    pub stage: &'static str,
+    /// Spans contributing an observation.
+    pub count: u64,
+    /// Total microseconds attributed to this stage across all spans.
+    pub total_us: u64,
+    /// Mean microseconds.
+    pub mean_us: f64,
+    /// p50 upper bound (log2-bucket histogram, µs).
+    pub p50_us: u64,
+    /// p99 upper bound (µs).
+    pub p99_us: u64,
+    /// Largest single observation (µs).
+    pub max_us: u64,
+}
+
+/// Aggregate stall statistics (microseconds) over a set of per-ADU stalls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSummary {
+    /// ADUs with a measurable stall (arrival-complete and delivered).
+    pub count: u64,
+    /// Mean stall, µs.
+    pub mean_us: f64,
+    /// p99 upper bound, µs.
+    pub p99_us: u64,
+    /// Worst single stall, µs.
+    pub max_us: u64,
+}
+
+impl StallSummary {
+    fn from_nanos(stalls: impl Iterator<Item = u64>) -> StallSummary {
+        let mut h = Histogram::default();
+        for ns in stalls {
+            h.observe(ns / 1_000);
+        }
+        StallSummary {
+            count: h.count(),
+            mean_us: h.mean(),
+            p99_us: h.quantile_upper_bound(0.99),
+            max_us: h.max(),
+        }
+    }
+}
+
+/// The stitched result: one span per ADU (in order of first appearance in
+/// the event stream) plus the ring's truncation count.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Per-ADU spans, ordered by first event occurrence.
+    pub spans: Vec<AduSpan>,
+    /// Events the flight-recorder ring overwrote before export (from the
+    /// `meta/truncated` marker; 0 = the record is complete).
+    pub truncated_events: u64,
+}
+
+impl SpanReport {
+    /// Stitch spans from parsed (JSONL-recovered) events. Events must be in
+    /// recording order — which the ring guarantees.
+    pub fn from_parsed(events: &[ParsedEvent]) -> SpanReport {
+        let mut report = SpanReport::default();
+        // First-appearance order, keyed by ADU name.
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        // (layer, transport id) → ADU name, for events without a name.
+        let mut names: BTreeMap<(String, u64), String> = BTreeMap::new();
+        for e in events {
+            if e.layer == "meta" && e.kind == "truncated" {
+                report.truncated_events += e.a;
+                continue;
+            }
+            let name = match &e.adu {
+                Some(n) => {
+                    if matches!(
+                        e.kind.as_str(),
+                        "adu_submit" | "adu_send" | "adu_retx" | "probe"
+                    ) {
+                        names.insert((e.layer.clone(), e.a), n.clone());
+                    }
+                    n.clone()
+                }
+                None => match names.get(&(e.layer.clone(), e.a)) {
+                    Some(n) => n.clone(),
+                    None => continue, // unattributable (net frames, control)
+                },
+            };
+            let slot = *index.entry(name.clone()).or_insert_with(|| {
+                report.spans.push(AduSpan {
+                    adu: name.clone(),
+                    ..AduSpan::default()
+                });
+                report.spans.len() - 1
+            });
+            let span = &mut report.spans[slot];
+            let first = |v: &mut Option<u64>, at: u64| {
+                if v.is_none() {
+                    *v = Some(at);
+                }
+            };
+            let last = |v: &mut Option<u64>, at: u64| *v = Some((*v).unwrap_or(0).max(at));
+            match e.kind.as_str() {
+                "adu_submit" => {
+                    first(&mut span.submit_at, e.at_nanos);
+                    span.adu_id = span.adu_id.or(Some(e.a));
+                }
+                "adu_send" => {
+                    first(&mut span.admit_at, e.at_nanos);
+                    span.adu_id = span.adu_id.or(Some(e.a));
+                }
+                "tu_send" => {
+                    first(&mut span.first_send_at, e.at_nanos);
+                    last(&mut span.last_send_at, e.at_nanos);
+                    span.tus_sent += 1;
+                }
+                "adu_retx" | "probe" | "tu_retx" => span.repair_events += 1,
+                "tu_recv" => {
+                    first(&mut span.first_arrival_at, e.at_nanos);
+                    last(&mut span.last_arrival_at, e.at_nanos);
+                }
+                "adu_deliver" => {
+                    first(&mut span.complete_at, e.at_nanos);
+                    // Arrival fallback for exports without tu_recv events:
+                    // completion implies all fragments had arrived by now.
+                    first(&mut span.last_arrival_at, e.at_nanos);
+                    first(&mut span.first_arrival_at, e.at_nanos);
+                }
+                "adu_consume" => first(&mut span.consume_at, e.at_nanos),
+                "adu_lost" => span.lost = true,
+                _ => {}
+            }
+        }
+        if report.truncated_events > 0 {
+            // The ring wrapped: any span whose submit event is missing may
+            // have lost its early history to the overwrite — say so
+            // explicitly instead of reporting a partial timeline.
+            for span in &mut report.spans {
+                if span.submit_at.is_none() {
+                    span.truncated = true;
+                }
+            }
+        }
+        report
+    }
+
+    /// Stitch spans from in-process events plus the ring's overwrite count
+    /// (pair with [`crate::Telemetry::trace_events`] /
+    /// [`crate::Telemetry::trace_overwritten`]).
+    pub fn from_events(events: &[Event], overwritten: u64) -> SpanReport {
+        let mut parsed: Vec<ParsedEvent> = Vec::with_capacity(events.len() + 1);
+        if overwritten > 0 {
+            parsed.push(ParsedEvent {
+                at_nanos: 0,
+                layer: "meta".to_string(),
+                kind: "truncated".to_string(),
+                assoc: 0,
+                adu: None,
+                a: overwritten,
+                b: 0,
+                len: 0,
+            });
+        }
+        parsed.extend(events.iter().map(ParsedEvent::from));
+        SpanReport::from_parsed(&parsed)
+    }
+
+    /// Per-stage attribution over all non-truncated spans.
+    pub fn stage_stats(&self) -> Vec<StageStat> {
+        STAGES
+            .iter()
+            .map(|&stage| {
+                let mut h = Histogram::default();
+                for span in self.spans.iter().filter(|s| !s.truncated) {
+                    if let Some(ns) = span.stage_nanos(stage) {
+                        h.observe(ns / 1_000);
+                    }
+                }
+                StageStat {
+                    stage,
+                    count: h.count(),
+                    total_us: h.sum(),
+                    mean_us: h.mean(),
+                    p50_us: h.quantile_upper_bound(0.50),
+                    p99_us: h.quantile_upper_bound(0.99),
+                    max_us: h.max(),
+                }
+            })
+            .collect()
+    }
+
+    /// HOL-stall summary over all non-truncated spans (see
+    /// [`AduSpan::stall_nanos`]).
+    pub fn stall_summary(&self) -> StallSummary {
+        StallSummary::from_nanos(
+            self.spans
+                .iter()
+                .filter(|s| !s.truncated)
+                .filter_map(AduSpan::stall_nanos),
+        )
+    }
+
+    /// Render the per-ADU timeline table (first `limit` spans), one row per
+    /// ADU with per-stage durations. Truncated spans print `TRUNCATED`.
+    pub fn render_timeline(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>4}",
+            "adu",
+            "submit",
+            "admit_w",
+            "pace_w",
+            "flight",
+            "transfer",
+            "reasm",
+            "stall",
+            "total",
+            "rpr",
+        );
+        let dur = |v: Option<u64>| v.map_or_else(|| "-".to_string(), fmt_nanos);
+        for span in self.spans.iter().take(limit) {
+            if span.truncated {
+                let _ = writeln!(
+                    out,
+                    "{:<14} TRUNCATED (ring overwrote {} earlier events)",
+                    span.adu, self.truncated_events
+                );
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>4}",
+                span.adu,
+                dur(span.submit_at),
+                dur(span.stage_nanos("admit_wait")),
+                dur(span.stage_nanos("pace_wait")),
+                dur(span.stage_nanos("first_flight")),
+                dur(span.stage_nanos("transfer")),
+                dur(span.stage_nanos("reassemble")),
+                dur(span.stall_nanos()),
+                dur(span.total_nanos()),
+                span.repair_events,
+            );
+        }
+        if self.spans.len() > limit {
+            let _ = writeln!(out, "… and {} more spans", self.spans.len() - limit);
+        }
+        if self.truncated_events > 0 {
+            let _ = writeln!(
+                out,
+                "!!! TRUNCATED: ring overwrote {} earlier events",
+                self.truncated_events
+            );
+        }
+        out
+    }
+
+    /// Render the stage-attribution summary (p50/p99/mean per stage).
+    pub fn render_attribution(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50<=us", "p99<=us", "mean_us", "max_us",
+        );
+        for s in self.stage_stats() {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6} {:>10} {:>10} {:>10.1} {:>10}",
+                s.stage, s.count, s.p50_us, s.p99_us, s.mean_us, s.max_us,
+            );
+        }
+        let stall = self.stall_summary();
+        let _ = writeln!(
+            out,
+            "hol_stall      count={} mean={:.1}us p99<={}us max={}us",
+            stall.count, stall.mean_us, stall.p99_us, stall.max_us,
+        );
+        out
+    }
+}
+
+/// One ADU-sized byte range's head-of-line accounting over a stream
+/// transport: the range counts as *ready* when every byte has arrived at
+/// the receiving endpoint (in order or buffered out-of-order) and as
+/// *delivered* when in-order delivery passes its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStall {
+    /// Range index (byte range `[index*adu_bytes, (index+1)*adu_bytes)`).
+    pub index: u64,
+    /// All bytes of the range had arrived (ns).
+    pub ready_at: u64,
+    /// In-order delivery reached the end of the range (ns).
+    pub delivered_at: u64,
+}
+
+impl StreamStall {
+    /// The HOL stall: delivered − ready, nanoseconds.
+    pub fn stall_nanos(&self) -> u64 {
+        self.delivered_at.saturating_sub(self.ready_at)
+    }
+}
+
+/// Compute per-ADU HOL stalls for a stream-substrate run from its
+/// `seg_recv` (accepted segment: `a` = stream offset, `len` = bytes) and
+/// `stream_adv` (`a` = new in-order delivery point) events. `adu_bytes` is
+/// the fixed ADU framing over the byte stream. Only ranges that both
+/// completed arrival and were delivered are returned. Events from multiple
+/// layers are tolerated: the layer of the first `seg_recv` wins (the
+/// receiving side of a unidirectional run).
+pub fn stream_stalls(events: &[ParsedEvent], adu_bytes: u64) -> Vec<StreamStall> {
+    assert!(adu_bytes > 0, "adu_bytes must be positive");
+    let layer = match events.iter().find(|e| e.kind == "seg_recv") {
+        Some(e) => e.layer.clone(),
+        None => return Vec::new(),
+    };
+    // Disjoint covered intervals start → end, plus per-range covered-byte
+    // counters (overlap-free by construction).
+    let mut covered: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut range_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ready: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut delivered: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut delivered_upto = 0u64;
+    for e in events.iter().filter(|e| e.layer == layer) {
+        match e.kind.as_str() {
+            "seg_recv" => {
+                let (mut s, seg_end) = (e.a, e.a + e.len);
+                while s < seg_end {
+                    // Skip parts already covered by an earlier arrival.
+                    if let Some((_, &pe)) = covered.range(..=s).next_back() {
+                        if pe > s {
+                            s = pe;
+                            continue;
+                        }
+                    }
+                    let next_start = covered
+                        .range(s + 1..)
+                        .next()
+                        .map_or(seg_end, |(&ns, _)| ns.min(seg_end));
+                    if next_start <= s {
+                        break;
+                    }
+                    // [s, next_start) is newly covered: credit each
+                    // overlapped ADU range.
+                    covered.insert(s, next_start);
+                    let mut idx = s / adu_bytes;
+                    while idx * adu_bytes < next_start {
+                        let lo = s.max(idx * adu_bytes);
+                        let hi = next_start.min((idx + 1) * adu_bytes);
+                        let got = range_bytes.entry(idx).or_insert(0);
+                        *got += hi - lo;
+                        if *got >= adu_bytes {
+                            ready.entry(idx).or_insert(e.at_nanos);
+                        }
+                        idx += 1;
+                    }
+                    s = next_start;
+                }
+                // Merge adjacent intervals to keep the map small.
+                merge_intervals(&mut covered);
+            }
+            "stream_adv" => {
+                let rcv_nxt = e.a;
+                let mut idx = delivered_upto / adu_bytes;
+                while (idx + 1) * adu_bytes <= rcv_nxt {
+                    delivered.entry(idx).or_insert(e.at_nanos);
+                    idx += 1;
+                }
+                delivered_upto = delivered_upto.max(rcv_nxt);
+            }
+            _ => {}
+        }
+    }
+    ready
+        .iter()
+        .filter_map(|(&idx, &ready_at)| {
+            delivered.get(&idx).map(|&delivered_at| StreamStall {
+                index: idx,
+                ready_at,
+                delivered_at: delivered_at.max(ready_at),
+            })
+        })
+        .collect()
+}
+
+/// Aggregate a [`stream_stalls`] result into a [`StallSummary`].
+pub fn stream_stall_summary(stalls: &[StreamStall]) -> StallSummary {
+    StallSummary::from_nanos(stalls.iter().map(StreamStall::stall_nanos))
+}
+
+fn merge_intervals(covered: &mut BTreeMap<u64, u64>) {
+    let keys: Vec<u64> = covered.keys().copied().collect();
+    for k in keys {
+        let Some(&end) = covered.get(&k) else {
+            continue;
+        };
+        if let Some(&next_end) = covered.get(&end) {
+            covered.remove(&end);
+            covered.insert(k, next_end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, layer: &str, kind: &str, adu: Option<&str>, a: u64, len: u64) -> ParsedEvent {
+        ParsedEvent {
+            at_nanos: at,
+            layer: layer.to_string(),
+            kind: kind.to_string(),
+            assoc: 1,
+            adu: adu.map(str::to_string),
+            a,
+            b: 0,
+            len,
+        }
+    }
+
+    fn full_lifecycle() -> Vec<ParsedEvent> {
+        vec![
+            ev(100, "app", "adu_submit", Some("seq:0"), 0, 4000),
+            ev(200, "sender", "adu_send", Some("seq:0"), 0, 4000),
+            ev(300, "sender", "tu_send", Some("seq:0"), 0, 1400),
+            ev(400, "sender", "tu_send", Some("seq:0"), 0, 1400),
+            ev(900, "receiver", "tu_recv", Some("seq:0"), 0, 1400),
+            ev(1500, "receiver", "tu_recv", Some("seq:0"), 0, 1400),
+            ev(1500, "receiver", "adu_deliver", Some("seq:0"), 0, 4000),
+            ev(1600, "app", "adu_consume", Some("seq:0"), 0, 4000),
+        ]
+    }
+
+    #[test]
+    fn stitches_full_lifecycle() {
+        let r = SpanReport::from_parsed(&full_lifecycle());
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert_eq!(s.adu, "seq:0");
+        assert_eq!(s.submit_at, Some(100));
+        assert_eq!(s.stage_nanos("admit_wait"), Some(100));
+        assert_eq!(s.stage_nanos("pace_wait"), Some(100));
+        assert_eq!(s.stage_nanos("first_flight"), Some(600));
+        assert_eq!(s.stage_nanos("transfer"), Some(600));
+        assert_eq!(s.stage_nanos("reassemble"), Some(0));
+        assert_eq!(s.stage_nanos("deliver_wait"), Some(100));
+        assert_eq!(s.stall_nanos(), Some(100));
+        assert_eq!(s.total_nanos(), Some(1500));
+        assert_eq!(s.tus_sent, 2);
+        assert!(!s.truncated);
+    }
+
+    #[test]
+    fn repair_events_counted_and_ids_resolve_names() {
+        let mut events = full_lifecycle();
+        events.push(ev(2000, "sender", "adu_retx", Some("seq:0"), 0, 4000));
+        // A tu_retx without a name resolves through the (layer, id) map.
+        events.push(ev(2100, "sender", "tu_retx", None, 0, 1400));
+        let r = SpanReport::from_parsed(&events);
+        assert_eq!(r.spans[0].repair_events, 2);
+    }
+
+    #[test]
+    fn truncated_ring_marks_spans_explicitly() {
+        let mut events = vec![ev(0, "meta", "truncated", None, 37, 0)];
+        // Span with no submit event (overwritten): must be TRUNCATED.
+        events.push(ev(900, "receiver", "tu_recv", Some("seq:9"), 9, 1400));
+        events.push(ev(950, "receiver", "adu_deliver", Some("seq:9"), 9, 1400));
+        let r = SpanReport::from_parsed(&events);
+        assert_eq!(r.truncated_events, 37);
+        assert!(r.spans[0].truncated);
+        let timeline = r.render_timeline(10);
+        assert!(timeline.contains("TRUNCATED"), "{timeline}");
+        assert!(timeline.contains("37"), "{timeline}");
+    }
+
+    #[test]
+    fn intact_ring_has_no_truncated_spans() {
+        let r = SpanReport::from_parsed(&full_lifecycle());
+        assert_eq!(r.truncated_events, 0);
+        assert!(!r.render_timeline(10).contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn from_events_injects_overwrite_marker() {
+        let r = SpanReport::from_events(&[], 5);
+        assert_eq!(r.truncated_events, 5);
+    }
+
+    #[test]
+    fn attribution_report_sums_stages() {
+        let r = SpanReport::from_parsed(&full_lifecycle());
+        let stats = r.stage_stats();
+        assert_eq!(stats.len(), STAGES.len());
+        let admit = &stats[0];
+        assert_eq!(admit.stage, "admit_wait");
+        assert_eq!(admit.count, 1);
+        let text = r.render_attribution();
+        assert!(text.contains("admit_wait"), "{text}");
+        assert!(text.contains("hol_stall"), "{text}");
+    }
+
+    #[test]
+    fn stream_stall_basic_hol() {
+        // Two 1000-byte ADUs over a stream; ADU 1's bytes all arrive at
+        // t=100 but deliver only at t=500 when the gap before them fills.
+        let events = vec![
+            ev(100, "receiver", "seg_recv", None, 1000, 1000),
+            ev(500, "receiver", "seg_recv", None, 0, 1000),
+            ev(500, "receiver", "stream_adv", None, 2000, 2000),
+        ];
+        let stalls = stream_stalls(&events, 1000);
+        assert_eq!(stalls.len(), 2);
+        let s0 = stalls.iter().find(|s| s.index == 0).unwrap();
+        let s1 = stalls.iter().find(|s| s.index == 1).unwrap();
+        assert_eq!(s0.stall_nanos(), 0);
+        assert_eq!(s1.stall_nanos(), 400);
+        let sum = stream_stall_summary(&stalls);
+        assert_eq!(sum.count, 2);
+        assert_eq!(sum.max_us, 0); // 400ns rounds below 1us
+    }
+
+    #[test]
+    fn stream_stall_ignores_duplicate_coverage() {
+        // The same segment retransmitted later must not double-credit
+        // coverage or move ready_at.
+        let events = vec![
+            ev(100, "receiver", "seg_recv", None, 0, 500),
+            ev(200, "receiver", "seg_recv", None, 500, 500),
+            ev(900, "receiver", "seg_recv", None, 0, 500), // dup
+            ev(950, "receiver", "stream_adv", None, 1000, 1000),
+        ];
+        let stalls = stream_stalls(&events, 1000);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].ready_at, 200);
+        assert_eq!(stalls[0].delivered_at, 950);
+    }
+
+    #[test]
+    fn stream_stall_segment_spanning_ranges() {
+        // One segment covering the boundary credits both ADU ranges.
+        let events = vec![
+            ev(100, "receiver", "seg_recv", None, 0, 1500),
+            ev(200, "receiver", "seg_recv", None, 1500, 500),
+            ev(200, "receiver", "stream_adv", None, 2000, 2000),
+        ];
+        let stalls = stream_stalls(&events, 1000);
+        assert_eq!(stalls.len(), 2);
+        assert_eq!(stalls[0].ready_at, 100);
+        assert_eq!(stalls[1].ready_at, 200);
+    }
+
+    #[test]
+    fn span_jsonl_round_trips() {
+        let r = SpanReport::from_parsed(&full_lifecycle());
+        let mut jsonl = String::new();
+        for s in &r.spans {
+            s.write_jsonl(&mut jsonl);
+        }
+        let parsed = AduSpan::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, r.spans);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// `Option<u64>` (the vendored stub has no `proptest::option`).
+    fn arb_opt() -> impl Strategy<Value = Option<u64>> {
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)]
+    }
+
+    fn arb_span() -> impl Strategy<Value = AduSpan> {
+        (
+            ("[ -~]{0,12}", arb_opt(), arb_opt(), arb_opt()),
+            (arb_opt(), arb_opt(), arb_opt(), arb_opt(), arb_opt()),
+            (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()),
+        )
+            .prop_map(
+                |(
+                    (adu, adu_id, submit_at, admit_at),
+                    (first_send_at, last_send_at, first_arrival_at, last_arrival_at, complete_at),
+                    (consume_at_raw, repair_events, lost, truncated),
+                )| AduSpan {
+                    adu,
+                    adu_id,
+                    submit_at,
+                    admit_at,
+                    first_send_at,
+                    last_send_at,
+                    first_arrival_at,
+                    last_arrival_at,
+                    complete_at,
+                    consume_at: (consume_at_raw % 2 == 0).then_some(consume_at_raw),
+                    repair_events,
+                    tus_sent: repair_events / 3,
+                    lost,
+                    truncated,
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_span_jsonl_round_trip(
+            spans in proptest::collection::vec(arb_span(), 0..8),
+        ) {
+            let mut jsonl = String::new();
+            for s in &spans {
+                s.write_jsonl(&mut jsonl);
+            }
+            let parsed = AduSpan::parse_jsonl(&jsonl).unwrap();
+            prop_assert_eq!(parsed, spans);
+        }
+    }
+}

@@ -125,7 +125,29 @@ pub fn run_transfer(
     cfg: StreamConfig,
     data: &[u8],
 ) -> TransferReport {
+    run_transfer_telemetry(seed, link, faults, cfg, data, None)
+}
+
+/// [`run_transfer`] with an optional observability sink: the network and
+/// both endpoints share it (`a` records under layer `"sender"`, `b` under
+/// `"receiver"`), and both endpoints' [`StreamStats`] publish under
+/// `stream.sender.*` / `stream.receiver.*` when the run settles. With
+/// tracing armed the receiver's `seg_recv` / `stream_adv` events feed the
+/// HOL profiler ([`ct_telemetry::span::stream_stalls`]).
+pub fn run_transfer_telemetry(
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+    cfg: StreamConfig,
+    data: &[u8],
+    telemetry: Option<&ct_telemetry::Telemetry>,
+) -> TransferReport {
     let mut pair = TransportPair::new(seed, link, faults, cfg);
+    if let Some(tel) = telemetry {
+        pair.net.attach_telemetry(tel.clone());
+        pair.a.attach_telemetry(tel.clone(), "sender");
+        pair.b.attach_telemetry(tel.clone(), "receiver");
+    }
     let start = pair.net.now();
     let mut offset = 0usize;
     let mut fin_queued = false;
@@ -164,6 +186,13 @@ pub fn run_transfer(
         }
     }
     let elapsed = pair.net.now().saturating_since(start);
+    if let Some(tel) = telemetry {
+        let mut reg = tel.metrics_mut();
+        pair.a.stats.publish(&mut reg, "stream.sender");
+        pair.b.stats.publish(&mut reg, "stream.receiver");
+        reg.counter_set("stream.run.delivered_bytes", received);
+        reg.counter_set("stream.run.elapsed_ns", elapsed.as_nanos());
+    }
     TransferReport {
         complete,
         bytes: received,

@@ -38,6 +38,6 @@ pub mod segment;
 pub mod stack;
 pub mod stream;
 
-pub use driver::{run_transfer, TransferReport, TransportPair};
+pub use driver::{run_transfer, run_transfer_telemetry, TransferReport, TransportPair};
 pub use segment::{Segment, SegmentError, HEADER_BYTES};
 pub use stream::{StreamConfig, StreamStats, StreamTransport};

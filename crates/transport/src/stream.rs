@@ -187,6 +187,9 @@ pub struct StreamTransport {
 
     /// Counters.
     pub stats: StreamStats,
+
+    /// Observability sink + the layer label to record under.
+    telemetry: Option<(ct_telemetry::Telemetry, &'static str)>,
 }
 
 impl StreamTransport {
@@ -222,6 +225,37 @@ impl StreamTransport {
             fin_seq: None,
             peer_finished: false,
             stats: StreamStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attach an observability sink; `role` labels this endpoint's flight-
+    /// recorder events (`"sender"` / `"receiver"`). With tracing armed,
+    /// the endpoint records `seg_recv` (a retained data segment: `a` =
+    /// stream offset, `len` = bytes kept) and `stream_adv` (`a` = the new
+    /// in-order delivery point, `len` = bytes it advanced) — the two
+    /// events the HOL profiler needs to measure how long arrived bytes
+    /// waited behind a gap.
+    pub fn attach_telemetry(&mut self, telemetry: ct_telemetry::Telemetry, role: &'static str) {
+        self.telemetry = Some((telemetry, role));
+    }
+
+    /// Record one flight-recorder event — a no-op unless telemetry is
+    /// attached with tracing armed (one branch, no allocation).
+    fn trace(&self, at: SimTime, kind: &'static str, a: u64, len: u64) {
+        if let Some((tel, role)) = &self.telemetry {
+            if tel.tracing_enabled() {
+                tel.record(ct_telemetry::Event {
+                    at_nanos: at.as_nanos(),
+                    layer: role,
+                    kind,
+                    assoc: u32::from(self.local_port),
+                    adu: None,
+                    a,
+                    b: 0,
+                    len,
+                });
+            }
         }
     }
 
@@ -543,6 +577,7 @@ impl StreamTransport {
             payload = payload.slice(skip.min(payload.len())..);
             seq = self.rcv_nxt;
         }
+        let rcv_before = self.rcv_nxt;
         if seq == self.rcv_nxt {
             // In order: deliver immediately (zero hold-up) — but never
             // beyond the receive buffer. A sender that overruns the
@@ -554,6 +589,9 @@ impl StreamTransport {
                 .saturating_sub(self.recv_ready.len() + self.ooo_bytes);
             let accept = payload.len().min(room);
             payload = payload.slice(..accept);
+            if accept > 0 {
+                self.trace(now, "seg_recv", seq, accept as u64);
+            }
             self.rcv_nxt += accept as u64;
             self.recv_ready.push(&payload);
             self.drain_ooo(now);
@@ -562,6 +600,7 @@ impl StreamTransport {
             if payload.len() + self.ooo_bytes + self.recv_ready.len() <= self.cfg.recv_buffer
                 && !self.ooo.contains_key(&seq)
             {
+                self.trace(now, "seg_recv", seq, payload.len() as u64);
                 self.ooo_bytes += payload.len();
                 self.stats.ooo_segments += 1;
                 self.stats.ooo_bytes_peak = self.stats.ooo_bytes_peak.max(self.ooo_bytes);
@@ -575,6 +614,13 @@ impl StreamTransport {
             }
             // else: window overflow or duplicate — silently dropped, the
             // sender will retransmit.
+        }
+        // In-order delivery advanced (this segment and/or drained ooo
+        // holdings): record the new frontier before check_fin so the FIN's
+        // +1 sequence slot never counts as delivered payload.
+        let advanced = self.rcv_nxt - rcv_before;
+        if advanced > 0 {
+            self.trace(now, "stream_adv", self.rcv_nxt, advanced);
         }
         self.check_fin();
     }

@@ -20,7 +20,33 @@ cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
 # <= 2 memory passes per byte, single-frame ADUs release without a
 # gather copy, and the owned-frame ingest never takes the decode copy;
 # it also refreshes BENCH_x10.json.
+#
+# Bench-regression gate: the harness runs on a deterministic simulator,
+# so the committed BENCH_*.json baselines must reproduce within 5%.
+# Snapshot them before the harness overwrites them in place.
+BASE_DIR=$(mktemp -d)
+trap 'rm -rf "$BASE_DIR"' EXIT
+cp BENCH_x10.json BENCH_x11.json "$BASE_DIR"/
+
 cargo run --release -q -p ct-bench --bin harness x10 > /dev/null
+
+# Lifecycle-span smoke: X11 asserts ALF HOL stall stays ~0 while the
+# stream substrate's stall grows with loss, and that the offline
+# stitcher reproduces the in-process reports byte-identically; it
+# refreshes BENCH_x11.json and dumps x11_*_trace.jsonl.
+cargo run --release -q -p ct-bench --bin harness x11 > /dev/null
+
+# ct-trace self-check: the analyzer must attribute X11's own dumps
+# (exporter and analyzer still speak the same schema).
+cargo run --release -q -p ct-telemetry --bin ct-trace -- \
+    --self-check x11_alf_trace.jsonl > /dev/null
+cargo run --release -q -p ct-telemetry --bin ct-trace -- \
+    --self-check --adu-bytes 4000 x11_stream_trace.jsonl > /dev/null
+
+cargo run --release -q -p ct-bench --bin bench-gate -- \
+    "$BASE_DIR"/BENCH_x10.json BENCH_x10.json
+cargo run --release -q -p ct-bench --bin bench-gate -- \
+    "$BASE_DIR"/BENCH_x11.json BENCH_x11.json
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended
