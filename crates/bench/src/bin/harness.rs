@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin harness [t1|e2|e3|e4|e5|t2|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11|all]
+//! cargo run --release -p ct-bench --bin harness [t1|e2|e3|e4|e5|t2|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11|x12|all]
 //! cargo run --release -p ct-bench --bin harness x8 [budget_kib]
 //! ```
 //!
@@ -17,13 +17,14 @@ use alf_core::driver::{
     Substrate,
 };
 use alf_core::pipeline::canonical_receive_chain;
-use alf_core::transport::{AlfConfig, RecoveryMode};
+use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode};
 use ct_apps::parallel::{
     consume_batch, for_each_record, serialize_stream, shard_workload, StreamResplitter,
 };
 use ct_bench::{byte_workload, fmt_f, time_mbps, time_ns_per_call, u32_workload, Table};
-use ct_netsim::fault::FaultConfig;
+use ct_netsim::fault::{FaultConfig, MutatorConfig};
 use ct_netsim::link::LinkConfig;
+use ct_netsim::net::Network;
 use ct_netsim::time::{SimDuration, SimTime};
 use ct_presentation::{ber, fused as pfused, lwts, xdr, TransferSyntax};
 use ct_telemetry::span::{stream_stall_summary, stream_stalls, SpanReport};
@@ -46,7 +47,7 @@ const PACKET_BYTES: usize = 4000;
 
 const EXPERIMENTS: &[&str] = &[
     "t1", "e2", "e3", "e4", "e5", "t2", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
-    "x10", "x11",
+    "x10", "x11", "x12",
 ];
 
 fn main() {
@@ -124,6 +125,9 @@ fn main() {
     }
     if all || which == "x11" {
         x11_lifecycle_spans();
+    }
+    if all || which == "x12" {
+        x12_hostile_wire();
     }
 }
 
@@ -1488,8 +1492,11 @@ fn x11_lifecycle_spans() {
         );
         if (loss - 0.03).abs() < 1e-9 {
             attribution_3pct = live.render_attribution();
-            if let Err(e) = std::fs::write("x11_alf_trace.jsonl", &jsonl) {
-                eprintln!("could not write x11_alf_trace.jsonl: {e}");
+            // Trace dumps are scratch artifacts: keep them under target/
+            // so they never land in the repo root.
+            let _ = std::fs::create_dir_all("target");
+            if let Err(e) = std::fs::write("target/x11_alf_trace.jsonl", &jsonl) {
+                eprintln!("could not write target/x11_alf_trace.jsonl: {e}");
             }
         }
         let alf_stall = live.stall_summary();
@@ -1526,8 +1533,9 @@ fn x11_lifecycle_spans() {
         );
         let ss = stream_stall_summary(&stalls);
         if (loss - 0.03).abs() < 1e-9 {
-            if let Err(e) = std::fs::write("x11_stream_trace.jsonl", tel_s.trace_jsonl()) {
-                eprintln!("could not write x11_stream_trace.jsonl: {e}");
+            let _ = std::fs::create_dir_all("target");
+            if let Err(e) = std::fs::write("target/x11_stream_trace.jsonl", tel_s.trace_jsonl()) {
+                eprintln!("could not write target/x11_stream_trace.jsonl: {e}");
             }
         }
 
@@ -1596,7 +1604,449 @@ fn x11_lifecycle_spans() {
          byte-stream delivery lets one lost segment hold every later range\n\
          hostage for a retransmission round trip, and the damage grows with\n\
          the loss rate. Analyze the dumps offline with:\n\
-         cargo run -p ct-telemetry --bin ct-trace -- x11_alf_trace.jsonl\n\
-         cargo run -p ct-telemetry --bin ct-trace -- --adu-bytes 4000 x11_stream_trace.jsonl"
+         cargo run -p ct-telemetry --bin ct-trace -- target/x11_alf_trace.jsonl\n\
+         cargo run -p ct-telemetry --bin ct-trace -- --adu-bytes 4000 target/x11_stream_trace.jsonl"
+    );
+}
+
+// ---------------------------------------------------------------------
+// X12 — hostile-wire survivability
+// ---------------------------------------------------------------------
+
+/// Every rejection reason the receive path can count (see
+/// `alf_core::wire::WireError::reason` and the transport's
+/// `alf.rx_rejected.{reason}` counters).
+const X12_REJECT_REASONS: [&str; 10] = [
+    "truncated",
+    "unknown_type",
+    "bad_checksum",
+    "length_mismatch",
+    "bad_name",
+    "frag_out_of_range",
+    "assoc_mismatch",
+    "bad_parity",
+    "replayed",
+    "other",
+];
+
+fn x12_rejected_total(tel: &Telemetry) -> u64 {
+    X12_REJECT_REASONS
+        .iter()
+        .map(|r| tel.metrics().counter(&format!("alf.rx_rejected.{r}")))
+        .sum()
+}
+
+struct X12Run {
+    goodput_mbps: f64,
+    adversarial: u64,
+    rejected: u64,
+    replays_suppressed: u64,
+    peak_reassembly: usize,
+}
+
+const X12_ADU_BYTES: usize = 6 * 1024;
+const X12_BUDGET: usize = 96 * 1024;
+
+/// One survivability transfer: a fixed buffered-recovery workload while the
+/// data direction's [`ct_netsim::fault::Mutator`] truncates, extends,
+/// header-flips, replays, and forges at `hostility`. Every delivered ADU is
+/// byte-compared against what was submitted, inside the pump loop.
+fn x12_hostile_transfer(seed: u64, hostility: f64) -> X12Run {
+    const ADUS: u64 = 64;
+    let tel = Telemetry::new();
+    let mut net = Network::new(seed);
+    let node_a = net.add_node();
+    let node_b = net.add_node();
+    net.connect(node_a, node_b, LinkConfig::lan(), FaultConfig::none());
+    net.attach_telemetry(tel.clone());
+    if hostility > 0.0 {
+        net.set_mutator(node_a, node_b, MutatorConfig::hostile(hostility));
+    }
+    // Multi-fragment ADUs by construction (6 KiB over a ~1.4 KiB MTU): a
+    // forged or replayed single frame can never complete an ADU on its own,
+    // so content integrity reduces to the per-frame checksum plus the
+    // assembler's metadata-consistency and replay-window checks.
+    let cfg = AlfConfig {
+        recovery: RecoveryMode::TransportBuffer,
+        reassembly_budget_bytes: X12_BUDGET,
+        window_adus: 16,
+        max_retries: 200,
+        ..AlfConfig::default()
+    };
+    let mut a = AduTransport::new(cfg);
+    let mut b = AduTransport::new(cfg);
+    a.attach_telemetry(tel.clone(), "sender");
+    b.attach_telemetry(tel.clone(), "receiver");
+
+    let expected: Vec<Vec<u8>> = (0..ADUS)
+        .map(|i| workload_payload(i, X12_ADU_BYTES))
+        .collect();
+    let mut seen = vec![false; ADUS as usize];
+    let mut delivered = 0u64;
+    let mut next_offer = 0u64;
+    let mut peak = 0usize;
+    let mut done_at = None;
+
+    for _ in 0..8_000_000u64 {
+        let now = net.now();
+        while next_offer < ADUS {
+            let payload = expected[next_offer as usize].clone();
+            match a.send_adu(AduName::Seq { index: next_offer }, payload) {
+                Ok(_) => next_offer += 1,
+                Err(_) => break,
+            }
+        }
+        let mut moved = false;
+        for msg in a.poll(now) {
+            moved = true;
+            let _ = net.send(node_a, node_b, msg);
+        }
+        for msg in b.poll(now) {
+            moved = true;
+            let _ = net.send(node_b, node_a, msg);
+        }
+        while let Some(frame) = net.recv(node_b) {
+            moved = true;
+            b.on_message(net.now(), &frame.payload);
+        }
+        while let Some(frame) = net.recv(node_a) {
+            moved = true;
+            a.on_message(net.now(), &frame.payload);
+        }
+
+        while let Some((adu, _latency)) = b.recv_adu() {
+            let AduName::Seq { index } = adu.name else {
+                panic!(
+                    "x12 hostility {hostility}: delivered ADU with foreign name {:?}",
+                    adu.name
+                );
+            };
+            let idx = index as usize;
+            assert!(
+                idx < seen.len() && !seen[idx],
+                "x12 hostility {hostility}: ADU {index} delivered twice or out of range"
+            );
+            assert!(
+                adu.payload == expected[idx],
+                "x12 hostility {hostility}: ADU {index} delivered with corrupted bytes"
+            );
+            seen[idx] = true;
+            delivered += 1;
+        }
+        peak = peak.max(b.reassembly_bytes());
+        assert!(
+            b.reassembly_bytes() <= X12_BUDGET,
+            "x12 hostility {hostility}: reassembly {} bytes exceeds the {X12_BUDGET} byte budget",
+            b.reassembly_bytes()
+        );
+        assert!(
+            a.take_loss_reports().is_empty(),
+            "x12 hostility {hostility}: buffered sender gave up under a recoverable adversary"
+        );
+
+        if next_offer == ADUS && a.send_complete() && delivered == ADUS {
+            done_at = Some(net.now());
+            break;
+        }
+        assert!(
+            net.now() < SimTime::from_secs(120),
+            "x12 hostility {hostility}: no convergence after 120 simulated seconds \
+             ({delivered}/{ADUS} delivered)"
+        );
+
+        if !net.is_idle() {
+            net.step();
+        } else if moved {
+            // Queued output leaves at the current instant on the next pass.
+        } else {
+            let timer = [a.next_timeout(), b.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            match timer {
+                Some(t) if t > now => net.advance(t.saturating_since(now)),
+                Some(_) => {}
+                None if b.reassembly_bytes() > 0 => {
+                    net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
+                }
+                None => panic!(
+                    "x12 hostility {hostility}: wedged with nothing scheduled \
+                     ({delivered}/{ADUS} delivered)"
+                ),
+            }
+        }
+    }
+    let done_at = done_at.unwrap_or_else(|| {
+        panic!("x12 hostility {hostility}: iteration cap hit ({delivered}/{ADUS} delivered)")
+    });
+    let secs = done_at.as_nanos() as f64 / 1e9;
+    let replays_suppressed = tel.metrics().counter("alf.rx_rejected.replayed");
+    X12Run {
+        goodput_mbps: (ADUS as usize * X12_ADU_BYTES) as f64 * 8.0 / secs / 1e6,
+        adversarial: net
+            .mutator_stats(node_a, node_b)
+            .map(|s| s.total())
+            .unwrap_or(0),
+        rejected: x12_rejected_total(&tel),
+        replays_suppressed,
+        peak_reassembly: peak,
+    }
+}
+
+struct X12Flood {
+    sends: u64,
+    adversarial: u64,
+    rejected: u64,
+    replays_suppressed: u64,
+    delivered: u64,
+    peak_reassembly: usize,
+}
+
+/// The volume phase: a one-way hostile firehose of genuine template frames
+/// with every injection knob at full, pumped until the mutator has produced
+/// `target` adversarial frames. The receiver must stay total, byte-exact,
+/// and inside its reassembly budget the whole way — its control replies go
+/// nowhere, so nothing here depends on sender cooperation.
+fn x12_frame_flood(target: u64) -> X12Flood {
+    const ADUS: u64 = 16;
+    const BUDGET: usize = 64 * 1024;
+    let cfg = AlfConfig {
+        recovery: RecoveryMode::TransportBuffer,
+        reassembly_budget_bytes: BUDGET,
+        window_adus: ADUS as usize,
+        ..AlfConfig::default()
+    };
+    let expected: Vec<Vec<u8>> = (0..ADUS)
+        .map(|i| workload_payload(i, X12_ADU_BYTES))
+        .collect();
+
+    // Harvest genuine template frames from a scratch sender: the flood
+    // mutates and replays real traffic, not synthetic bytes.
+    let mut templates = Vec::new();
+    {
+        let mut s = AduTransport::new(cfg);
+        for (i, payload) in expected.iter().enumerate() {
+            s.send_adu(AduName::Seq { index: i as u64 }, payload.clone())
+                .expect("window admits the flood templates");
+        }
+        let mut t = SimTime::ZERO;
+        for _ in 0..64 {
+            let msgs = s.poll(t);
+            if msgs.is_empty() && !templates.is_empty() {
+                break;
+            }
+            templates.extend(msgs);
+            t += SimDuration::from_millis(1);
+        }
+    }
+    assert!(!templates.is_empty(), "template harvest produced no frames");
+
+    let tel = Telemetry::new();
+    let mut net = Network::new(0xF100D);
+    let node_a = net.add_node();
+    let node_b = net.add_node();
+    net.connect(node_a, node_b, LinkConfig::lan(), FaultConfig::none());
+    net.attach_telemetry(tel.clone());
+    net.set_mutator(
+        node_a,
+        node_b,
+        MutatorConfig {
+            truncate: 0.2,
+            extend: 0.2,
+            header_flip: 0.25,
+            replay: 1.0,
+            forge_random: 1.0,
+            forge_grammar: 1.0,
+            ..MutatorConfig::default()
+        },
+    );
+    let mut r = AduTransport::new(cfg);
+    r.attach_telemetry(tel.clone(), "receiver");
+
+    let mut seen = vec![false; ADUS as usize];
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut sends = 0u64;
+    let mut next_template = 0usize;
+    loop {
+        let done = net
+            .mutator_stats(node_a, node_b)
+            .expect("mutator attached")
+            .total();
+        if done >= target {
+            break;
+        }
+        for _ in 0..48 {
+            let payload = templates[next_template % templates.len()].clone();
+            next_template += 1;
+            let _ = net.send(node_a, node_b, payload);
+            sends += 1;
+        }
+        net.run_until_idle();
+        while let Some(frame) = net.recv(node_b) {
+            r.on_message(net.now(), &frame.payload);
+        }
+        // Control replies (ACKs, NACKs, window probes) are dropped on the
+        // floor; poll still runs so expiry sweeps and shed notices fire.
+        let _ = r.poll(net.now());
+        while let Some((adu, _latency)) = r.recv_adu() {
+            let AduName::Seq { index } = adu.name else {
+                panic!("x12 flood: delivered ADU with foreign name {:?}", adu.name);
+            };
+            let idx = index as usize;
+            assert!(
+                idx < seen.len() && !seen[idx],
+                "x12 flood: ADU {index} delivered twice or out of range"
+            );
+            assert!(
+                adu.payload == expected[idx],
+                "x12 flood: ADU {index} delivered with corrupted bytes"
+            );
+            seen[idx] = true;
+            delivered += 1;
+        }
+        peak = peak.max(r.reassembly_bytes());
+        assert!(
+            r.reassembly_bytes() <= BUDGET,
+            "x12 flood: reassembly {} bytes exceeds the {BUDGET} byte budget",
+            r.reassembly_bytes()
+        );
+        // Nudge the clock so assembly deadlines fire and forged phantom
+        // assemblies cycle out instead of pinning the budget forever.
+        net.advance(SimDuration::from_millis(2));
+    }
+    let replays_suppressed = tel.metrics().counter("alf.rx_rejected.replayed");
+    X12Flood {
+        sends,
+        adversarial: net
+            .mutator_stats(node_a, node_b)
+            .map(|s| s.total())
+            .unwrap_or(0),
+        rejected: x12_rejected_total(&tel),
+        replays_suppressed,
+        delivered,
+        peak_reassembly: peak,
+    }
+}
+
+fn x12_hostile_wire() {
+    heading(
+        "X12",
+        "hostile-wire survivability: 10^6 adversarial frames, zero corruption",
+        "'some applications may find damaged data of use' (\u{a7}5) is an option, \
+         never an obligation: a receiver on a hostile wire must stay total \
+         (reject, never panic), bounded (quotas, not hope), and honest (only \
+         byte-exact ADUs reach the application)",
+    );
+
+    let levels = [0.0f64, 0.05, 0.15];
+    let mut t = Table::new(&[
+        "hostility",
+        "goodput",
+        "adversarial",
+        "rejected",
+        "replays",
+        "peak reasm",
+    ]);
+    let mut runs = Vec::new();
+    for &p in &levels {
+        let run = x12_hostile_transfer(12, p);
+        t.row(&[
+            format!("{:.0}%", p * 100.0),
+            format!("{} Mb/s", fmt_f(run.goodput_mbps)),
+            format!("{}", run.adversarial),
+            format!("{}", run.rejected),
+            format!("{}", run.replays_suppressed),
+            format!("{} B", run.peak_reassembly),
+        ]);
+        runs.push((p, run));
+    }
+    print!("{}", t.render());
+
+    // Graceful degradation: every hostility level still completes (asserted
+    // inside the run), and goodput falls below the clean baseline instead
+    // of collapsing to zero or wedging.
+    let clean = runs[0].1.goodput_mbps;
+    for (p, run) in runs.iter().skip(1) {
+        assert!(
+            run.goodput_mbps > 0.0 && run.goodput_mbps < clean,
+            "hostility {p}: goodput {} must degrade from the clean {} without dying",
+            run.goodput_mbps,
+            clean
+        );
+        assert!(
+            run.rejected > 0 && run.adversarial > 0,
+            "hostility {p}: the adversary must have been exercised and rejected"
+        );
+    }
+
+    let sweep_total: u64 = runs.iter().map(|(_, r)| r.adversarial).sum();
+    let flood = x12_frame_flood(1_000_000u64.saturating_sub(sweep_total));
+    let grand_total = sweep_total + flood.adversarial;
+    assert!(
+        grand_total >= 1_000_000,
+        "x12 must drive at least 10^6 adversarial frames, got {grand_total}"
+    );
+    assert!(
+        flood.rejected > 0 && flood.replays_suppressed > 0,
+        "the flood must exercise the rejection and replay-window paths"
+    );
+
+    println!(
+        "\nflood: {} template sends, {} adversarial frames, {} rejected, \
+         {} replays suppressed, {}/16 ADUs delivered byte-exact, peak \
+         reassembly {} B (budget {} B)",
+        flood.sends,
+        flood.adversarial,
+        flood.rejected,
+        flood.replays_suppressed,
+        flood.delivered,
+        flood.peak_reassembly,
+        64 * 1024,
+    );
+    println!(
+        "adversarial frames total: {grand_total} (>= 10^6), zero panics, zero corrupted deliveries"
+    );
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|(p, r)| {
+            format!(
+                "    {{\"hostility_pct\": {:.1}, \"goodput_mbps\": {:.2}, \
+                 \"adversarial\": {}, \"rejected\": {}, \"replays_suppressed\": {}, \
+                 \"peak_reassembly_bytes\": {}}}",
+                p * 100.0,
+                r.goodput_mbps,
+                r.adversarial,
+                r.rejected,
+                r.replays_suppressed,
+                r.peak_reassembly
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"x12\",\n  \"adus\": 64,\n  \"adu_bytes\": {X12_ADU_BYTES},\n  \
+         \"rows\": [\n{}\n  ],\n  \"flood\": {{\"sends\": {}, \"adversarial\": {}, \
+         \"rejected\": {}, \"replays_suppressed\": {}, \"delivered\": {}, \
+         \"peak_reassembly_bytes\": {}}},\n  \"adversarial_total\": {grand_total}\n}}\n",
+        rows.join(",\n"),
+        flood.sends,
+        flood.adversarial,
+        flood.rejected,
+        flood.replays_suppressed,
+        flood.delivered,
+        flood.peak_reassembly,
+    );
+    match std::fs::write("BENCH_x12.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_x12.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_x12.json: {e}"),
+    }
+    println!(
+        "\nEvery adversarial frame either died at a typed rejection (counted\n\
+         per reason in alf.rx_rejected.*), was absorbed by the replay window,\n\
+         or charged a bounded quota that evicted deterministically. Nothing\n\
+         panicked, nothing corrupt was delivered, and goodput under attack\n\
+         degraded instead of collapsing — the robustness floor the\n\
+         many-association server (ROADMAP item 1) will stand on."
     );
 }

@@ -195,6 +195,10 @@ pub struct AssemblerStats {
     /// Bytes copied by multi-fragment gather passes at release — the only
     /// receive-side data touch the reassembler itself ever pays.
     pub gathered_bytes: u64,
+    /// Assemblies evicted because their stored fragment-view count
+    /// exceeded the per-ADU quota — the signature of a hostile peer
+    /// shredding one ADU into pathologically many tiny fragments.
+    pub quota_evictions: u64,
 }
 
 /// What to do when admitting a new assembly would exceed the byte budget.
@@ -222,8 +226,21 @@ pub struct Assembler {
     ready: Vec<(u64, Adu, SimTime)>,
     /// ADU ids already released — suppresses late duplicate TUs.
     released: BTreeMap<u64, ()>,
+    /// Replay-window floor: every id below this is treated as released.
+    /// Sender ids are monotone, so when the released map is trimmed the
+    /// trimmed ids slide under the floor instead of losing suppression —
+    /// a replayed ancient TU can neither re-charge the reassembly budget
+    /// nor resurrect a consumed ADU, no matter how old its id is.
+    released_floor: u64,
     deadline: SimDuration,
     max_pending: usize,
+    /// Maximum stored fragment views per assembly (0 = unlimited). Stored
+    /// views are trimmed to newly covered bytes, so legitimate traffic
+    /// needs at most `adu_len / mtu` of them — but a hostile peer can
+    /// shred an ADU into thousands of tiny disjoint views, each pinning
+    /// its whole arrival frame's chunk. Crossing the quota evicts the
+    /// offending assembly (deterministically: it alone misbehaved).
+    frag_quota: usize,
     /// Byte ceiling across all incomplete assemblies (0 = unlimited).
     budget_bytes: usize,
     shed: ShedPolicy,
@@ -243,13 +260,28 @@ impl Assembler {
             pending: BTreeMap::new(),
             ready: Vec::new(),
             released: BTreeMap::new(),
+            released_floor: 0,
             deadline,
             max_pending,
+            frag_quota: 0,
             budget_bytes: 0,
             shed: ShedPolicy::default(),
             shed_notices: Vec::new(),
             stats: AssemblerStats::default(),
         }
+    }
+
+    /// Install a per-assembly stored fragment-view quota (0 = unlimited).
+    /// Combined with `max_pending` this bounds total reassembly occupancy:
+    /// at most `max_pending * views` fragment views, whatever a hostile
+    /// peer sends.
+    pub fn set_frag_quota(&mut self, views: usize) {
+        self.frag_quota = views;
+    }
+
+    /// Total stored fragment views across all pending assemblies.
+    pub fn frag_views(&self) -> usize {
+        self.pending.values().map(|a| a.frags.len()).sum()
     }
 
     /// Install a reassembly byte budget (0 = unlimited) and the policy to
@@ -326,7 +358,7 @@ impl Assembler {
     /// under a [`ShedPolicy::Backpressure`] byte budget (the caller should
     /// signal the sender rather than treat the TU as consumed).
     pub fn on_tu(&mut self, now: SimTime, tu: &Tu) -> bool {
-        if self.released.contains_key(&tu.adu_id) {
+        if self.was_released(tu.adu_id) {
             self.stats.duplicate_tus += 1;
             return true;
         }
@@ -353,6 +385,17 @@ impl Assembler {
             assembly.nack_rounds = 0;
         } else if tu.adu_len != 0 {
             self.stats.duplicate_tus += 1;
+        }
+        if self.frag_quota > 0 && assembly.frags.len() > self.frag_quota {
+            // Fragment-view occupancy quota: this assembly has been
+            // shredded into more stored views than any legitimate
+            // fragmentation could produce. Evict it (and NACK it via the
+            // shed notice) rather than let its views pin unbounded frame
+            // memory.
+            let a = self.pending.remove(&tu.adu_id).expect("present");
+            self.stats.quota_evictions += 1;
+            self.shed_notices.push((tu.adu_id, a.name));
+            return true;
         }
         if assembly.is_complete() {
             let done = self.pending.remove(&tu.adu_id).expect("present");
@@ -418,9 +461,17 @@ impl Assembler {
     }
 
     /// Whether `adu_id` was already completed and released (duplicate TUs
-    /// for it mean the peer missed our ACK and needs another).
+    /// for it mean the peer missed our ACK and needs another). Ids below
+    /// the replay-window floor count as released: sender ids are monotone,
+    /// so anything that old is a retransmission of consumed data or an
+    /// adversarial replay — either way it must not re-enter reassembly.
     pub fn was_released(&self, adu_id: u64) -> bool {
-        self.released.contains_key(&adu_id)
+        adu_id < self.released_floor || self.released.contains_key(&adu_id)
+    }
+
+    /// The current replay-window floor (ids below it are suppressed).
+    pub fn released_floor(&self) -> u64 {
+        self.released_floor
     }
 
     /// The declared total length of a pending ADU, if under reassembly.
@@ -503,10 +554,13 @@ impl Assembler {
     }
 
     fn trim_released(&mut self) {
-        // Bound the duplicate-suppression memory.
+        // Bound the duplicate-suppression memory: trimmed (oldest) ids
+        // slide under the replay-window floor, so suppression is kept in
+        // O(1) state while the map itself stays capped.
         while self.released.len() > 4096 {
             let (&first, _) = self.released.iter().next().expect("non-empty");
             self.released.remove(&first);
+            self.released_floor = self.released_floor.max(first + 1);
         }
     }
 }
@@ -687,8 +741,9 @@ mod tests {
     #[test]
     fn released_memory_is_bounded() {
         // Duplicate-suppression memory must not grow without bound: after
-        // many completions the released map is trimmed to its cap, and the
-        // trimmed (oldest) ids lose their suppression.
+        // many completions the released map is trimmed to its cap, while
+        // the trimmed (oldest) ids slide under the replay-window floor and
+        // *keep* their suppression in O(1) state.
         let mut a = asm();
         let data = payload(100);
         for id in 0..5000u64 {
@@ -697,8 +752,67 @@ mod tests {
         }
         assert_eq!(a.stats.adus_completed, 5000);
         assert_eq!(a.released_count(), 4096);
-        assert!(!a.was_released(0)); // trimmed out
-        assert!(a.was_released(4999)); // still suppressed
+        assert_eq!(a.released_floor(), 5000 - 4096);
+        assert!(a.was_released(0)); // trimmed out, suppressed by the floor
+        assert!(a.was_released(4999)); // still in the map
+    }
+
+    /// Regression (replay window): a replayed TU for an id trimmed out of
+    /// the released map must neither re-admit the ADU (re-charging the
+    /// budget) nor resurrect it as a fresh delivery.
+    #[test]
+    fn replayed_ancient_tu_charges_nothing() {
+        let mut a = asm();
+        a.set_budget(8000, ShedPolicy::Backpressure);
+        let data = payload(100);
+        let captured = fragment_adu(1, 0, AduName::Seq { index: 0 }, &data, 1000);
+        for id in 0..5000u64 {
+            let tus = fragment_adu(1, id, AduName::Seq { index: id }, &data, 1000);
+            a.on_tu(SimTime::ZERO, &tus[0]);
+        }
+        while a.pop_ready().is_some() {}
+        assert!(a.released_floor() > 0);
+        let free = a.budget_free();
+        // Replay the very first TU, captured before the floor moved.
+        assert!(a.on_tu(SimTime::from_millis(1), &captured[0]));
+        assert_eq!(a.pending_count(), 0, "replay re-admitted an ancient ADU");
+        assert_eq!(a.budget_free(), free, "replay re-charged the budget");
+        assert!(a.pop_ready().is_none(), "replay resurrected a consumed ADU");
+    }
+
+    /// A hostile peer shredding one ADU into pathologically many tiny
+    /// disjoint fragments trips the fragment-view quota: the assembly is
+    /// evicted (with a shed notice, so the transport NACKs it) instead of
+    /// pinning unbounded frame memory.
+    #[test]
+    fn frag_quota_evicts_shredded_assembly() {
+        let mut a = asm();
+        a.set_frag_quota(16);
+        let name = AduName::Seq { index: 0 };
+        // 1-byte fragments at even offsets: every one disjoint.
+        for i in 0..32u32 {
+            let tu = Tu {
+                flags: 0,
+                assoc: 1,
+                timestamp_us: 0,
+                adu_id: 0,
+                adu_len: 100_000,
+                frag_off: i * 2,
+                name,
+                payload: vec![0xAB].into(),
+            };
+            assert!(a.on_tu(SimTime::ZERO, &tu));
+            assert!(a.frag_views() <= 17, "quota not enforced");
+        }
+        assert_eq!(a.stats.quota_evictions, 1);
+        assert_eq!(a.take_shed(), vec![(0, name)]);
+        // Normal fragmentation stays far under the quota and completes.
+        let data = payload(4000);
+        for tu in fragment_adu(1, 1, AduName::Seq { index: 1 }, &data, 1000) {
+            assert!(a.on_tu(SimTime::ZERO, &tu));
+        }
+        let (_, adu, _) = a.pop_ready().unwrap();
+        assert_eq!(adu.payload, data);
     }
 
     #[test]

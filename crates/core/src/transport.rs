@@ -25,8 +25,7 @@ use crate::adu::{Adu, AduName};
 use crate::assembler::{Assembler, ShedPolicy};
 use crate::fec;
 use crate::wire::{
-    fragment_adu_buf, restamp_tu, Message, WireError, RWND_UNLIMITED, TU_FLAG_PARITY,
-    TU_FLAG_TIMESTAMP,
+    fragment_adu_buf, restamp_tu, Message, RWND_UNLIMITED, TU_FLAG_PARITY, TU_FLAG_TIMESTAMP,
 };
 use ct_netsim::time::{SimDuration, SimTime};
 use ct_telemetry::Telemetry;
@@ -194,6 +193,14 @@ pub struct AlfConfig {
     /// refuses with [`SendRefused::PeerUnreachable`] until the peer is
     /// heard from again.
     pub peer_timeout: SimDuration,
+    /// Receiver occupancy quota: maximum stored fragment views per partial
+    /// ADU (0 = unlimited). Legitimate fragmentation needs at most
+    /// `adu_len / mtu_payload` views; a hostile peer shredding one ADU
+    /// into thousands of tiny disjoint fragments (each pinning its whole
+    /// arrival frame) trips the quota and the assembly is evicted and
+    /// NACKed. Combined with `max_partial_adus` this bounds total
+    /// reassembly occupancy per association.
+    pub max_frag_views: usize,
 }
 
 impl Default for AlfConfig {
@@ -217,6 +224,7 @@ impl Default for AlfConfig {
             rto_max: SimDuration::from_secs(2),
             reassembly_budget_bytes: 0,
             peer_timeout: SimDuration::ZERO,
+            max_frag_views: 4096,
         }
     }
 }
@@ -302,6 +310,13 @@ pub struct AlfStats {
     /// end past the ADU's declared total, or empty) — a malformed or
     /// malicious repair request, never silently answered with nothing.
     pub nack_range_errors: u64,
+    /// Data TUs suppressed by the replay window: their ADU was already
+    /// released (duplicate retransmission or adversarial replay). Re-ACKed
+    /// but never re-charged against the reassembly budget.
+    pub tus_replayed: u64,
+    /// Partial assemblies evicted by the per-association occupancy quota
+    /// (fragment-view cap), deterministically oldest-first.
+    pub quota_evictions: u64,
 }
 
 impl AlfStats {
@@ -310,7 +325,7 @@ impl AlfStats {
     /// publication, not the per-frame hot path: it allocates one name
     /// string per metric.
     pub fn publish(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
-        let counters: [(&str, u64); 25] = [
+        let counters: [(&str, u64); 27] = [
             ("adus_sent", self.adus_sent),
             ("tus_sent", self.tus_sent),
             ("control_sent", self.control_sent),
@@ -341,6 +356,8 @@ impl AlfStats {
             ("rto_backoff_events", self.rto_backoff_events),
             ("peer_unreachable_events", self.peer_unreachable_events),
             ("nack_range_errors", self.nack_range_errors),
+            ("tus_replayed", self.tus_replayed),
+            ("quota_evictions", self.quota_evictions),
             (
                 "delivery_latency_total_us",
                 self.delivery_latency_total.as_nanos() / 1_000,
@@ -522,6 +539,7 @@ impl AduTransport {
             };
             assembler.set_budget(cfg.reassembly_budget_bytes, shed);
         }
+        assembler.set_frag_quota(cfg.max_frag_views);
         Self {
             cfg,
             next_adu_id: 0,
@@ -775,6 +793,7 @@ impl AduTransport {
             budget_freed = true;
         }
         self.stats.adus_shed = self.assembler.stats.adus_shed;
+        self.stats.quota_evictions = self.assembler.stats.quota_evictions;
         if budget_freed && self.assembler.budget_bytes() > 0 {
             // Freed budget is a window update the (possibly stalled)
             // sender needs to hear about even if no ACK ids are pending.
@@ -1027,8 +1046,9 @@ impl AduTransport {
     pub fn on_message(&mut self, now: SimTime, buf: &[u8]) {
         let msg = match Message::decode(buf) {
             Ok(m) => m,
-            Err(WireError::BadChecksum) | Err(_) => {
+            Err(e) => {
                 self.stats.bad_messages += 1;
+                self.count_rejected(e.reason());
                 self.trace(now, "bad_msg", None, 0, 0, buf.len() as u64);
                 return;
             }
@@ -1048,8 +1068,9 @@ impl AduTransport {
     pub fn on_frame(&mut self, now: SimTime, frame: WireBuf) {
         let msg = match Message::decode_frame(&frame) {
             Ok(m) => m,
-            Err(WireError::BadChecksum) | Err(_) => {
+            Err(e) => {
                 self.stats.bad_messages += 1;
+                self.count_rejected(e.reason());
                 self.trace(now, "bad_msg", None, 0, 0, frame.len() as u64);
                 return;
             }
@@ -1069,11 +1090,19 @@ impl AduTransport {
             Message::Tu(tu) => {
                 if tu.assoc != self.cfg.assoc {
                     self.stats.bad_messages += 1;
+                    self.count_rejected("assoc_mismatch");
                     return;
                 }
                 if self.assembler.was_released(tu.adu_id) {
                     // The sender is retransmitting an ADU we already
-                    // delivered: our ACK was lost. Repair it.
+                    // delivered (our ACK was lost), or a hostile middlebox
+                    // is replaying a captured frame. Either way the TU
+                    // charges nothing and resurrects nothing: re-ACK and
+                    // drop. The replay window behind `was_released` keeps
+                    // this check sound even for ancient ids (see
+                    // [`crate::assembler::Assembler`]).
+                    self.stats.tus_replayed += 1;
+                    self.count_rejected("replayed");
                     self.ack_queue.push(tu.adu_id);
                     return;
                 }
@@ -1091,6 +1120,7 @@ impl AduTransport {
                         self.parities.entry(tu.adu_id).or_default().push(p);
                     } else {
                         self.stats.bad_messages += 1;
+                        self.count_rejected("bad_parity");
                     }
                 } else if !self.assembler.on_tu(now, &tu) {
                     // Byte budget full, backpressure policy: the TU is
@@ -1325,6 +1355,28 @@ impl AduTransport {
     fn ledger_touch(&self, stage: &'static str, reads: u64, writes: u64) {
         if let Some((tel, _)) = &self.telemetry {
             tel.ledger().touch(stage, reads, writes);
+        }
+    }
+
+    /// Bump the per-reason rejection counter for a frame refused at
+    /// ingest. The reason labels come from [`WireError::reason`] plus the
+    /// transport's own post-decode checks; the static match keeps the hot
+    /// rejection path allocation-free.
+    fn count_rejected(&self, reason: &'static str) {
+        if let Some((tel, _)) = &self.telemetry {
+            let name = match reason {
+                "truncated" => "alf.rx_rejected.truncated",
+                "unknown_type" => "alf.rx_rejected.unknown_type",
+                "bad_checksum" => "alf.rx_rejected.bad_checksum",
+                "length_mismatch" => "alf.rx_rejected.length_mismatch",
+                "bad_name" => "alf.rx_rejected.bad_name",
+                "frag_out_of_range" => "alf.rx_rejected.frag_out_of_range",
+                "assoc_mismatch" => "alf.rx_rejected.assoc_mismatch",
+                "bad_parity" => "alf.rx_rejected.bad_parity",
+                "replayed" => "alf.rx_rejected.replayed",
+                _ => "alf.rx_rejected.other",
+            };
+            tel.metrics_mut().counter_add(name, 1);
         }
     }
 

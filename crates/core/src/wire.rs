@@ -155,6 +155,21 @@ impl std::fmt::Display for WireError {
     }
 }
 
+impl WireError {
+    /// Stable short label for per-reason rejection counters
+    /// (`alf.rx_rejected.{reason}` in ct-telemetry).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            WireError::Truncated => "truncated",
+            WireError::UnknownType(_) => "unknown_type",
+            WireError::BadChecksum => "bad_checksum",
+            WireError::LengthMismatch => "length_mismatch",
+            WireError::Name(_) => "bad_name",
+            WireError::FragmentOutOfRange => "frag_out_of_range",
+        }
+    }
+}
+
 impl std::error::Error for WireError {}
 
 fn seal_checksum(buf: &mut [u8]) {
@@ -311,10 +326,13 @@ impl Message {
             return Err(WireError::BadChecksum);
         }
         let mut r = HeaderReader::new(buf);
-        let ty = r.get_u8().expect("sized");
-        let flags = r.get_u8().expect("sized");
-        let _ck = r.get_u16().expect("sized");
-        let assoc = r.get_u16().expect("sized");
+        // The 8-byte minimum guard above makes these reads infallible, but
+        // the decode path stays total anyway: hostile bytes must never be
+        // able to reach a panic, whatever the guards upstream look like.
+        let ty = r.get_u8().map_err(|_| WireError::Truncated)?;
+        let flags = r.get_u8().map_err(|_| WireError::Truncated)?;
+        let _ck = r.get_u16().map_err(|_| WireError::Truncated)?;
+        let assoc = r.get_u16().map_err(|_| WireError::Truncated)?;
         match ty {
             T_TU => {
                 if buf.len() < TU_HEADER_BYTES {
@@ -763,6 +781,20 @@ mod proptests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = Message::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_decode_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            // The owned-frame ingest path must be just as total as the
+            // borrowed one: every input returns Ok or a typed WireError.
+            let frame = WireBuf::from_vec(bytes.clone());
+            let owned = Message::decode_frame(&frame);
+            let borrowed = Message::decode(&bytes);
+            match (&owned, &borrowed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a.reason(), b.reason()),
+                _ => prop_assert!(false, "ingest paths disagree: {owned:?} vs {borrowed:?}"),
+            }
         }
 
         #[test]

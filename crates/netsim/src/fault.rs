@@ -314,6 +314,347 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Adversarial mutation
+// ---------------------------------------------------------------------
+
+/// The kinds of adversarial frame mutation a [`Mutator`] performs.
+///
+/// Where the [`FaultInjector`] models *statistical* misbehavior (loss,
+/// bursts, one flipped bit), the mutator models a hostile or broken
+/// middlebox: frames are truncated, padded, surgically edited in their
+/// header fields, replayed from capture, or forged outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// The frame was cut short at a random point.
+    Truncated,
+    /// Random garbage bytes were appended to the frame.
+    Extended,
+    /// A header bit past the checksum field was flipped, the stale seal
+    /// left in place: the (total, panic-free) header parse chews on the
+    /// hostile field value, and the checksum gate must then reject the
+    /// frame deterministically — a flipped bit can never reach the
+    /// assembler, because without the flip the seal verifies and with it
+    /// the one's-complement sum can no longer fold to zero.
+    HeaderFlipped,
+    /// A previously captured frame was injected again, byte-identical. It
+    /// verifies clean, so it penetrates to the replay window and the
+    /// duplicate-accounting paths.
+    Replayed,
+    /// A frame of pure random bytes was injected.
+    ForgedRandom,
+    /// A grammar-aware forgery was injected: a captured (valid) frame with
+    /// its identity bytes and entire body scrambled, then the checksum
+    /// re-sealed — well-formed on the outside, hostile on the inside. It
+    /// survives verification and exercises the admission, budget, and
+    /// eviction paths; the scrambled identity keeps it from ever being
+    /// mistaken for (or completing as) a genuine ADU.
+    ForgedGrammar,
+}
+
+impl MutationKind {
+    /// Stable short label for telemetry counters (`net.mutated.{kind}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationKind::Truncated => "truncate",
+            MutationKind::Extended => "extend",
+            MutationKind::HeaderFlipped => "header_flip",
+            MutationKind::Replayed => "replay",
+            MutationKind::ForgedRandom => "forge_random",
+            MutationKind::ForgedGrammar => "forge_grammar",
+        }
+    }
+}
+
+/// Per-link adversarial mutation configuration. All probabilities are
+/// per-frame and independent. The default mutates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutatorConfig {
+    /// Probability the frame is truncated at a random point.
+    pub truncate: f64,
+    /// Probability random bytes are appended to the frame.
+    pub extend: f64,
+    /// Probability a header bit is flipped (the checksum is left stale,
+    /// so the receiver's verify gate must catch the damage).
+    pub header_flip: f64,
+    /// Probability a previously captured frame is injected again.
+    pub replay: f64,
+    /// Probability a frame of pure random bytes is injected.
+    pub forge_random: f64,
+    /// Probability a grammar-aware forgery is injected.
+    pub forge_grammar: f64,
+    /// Byte offset of the frame format's 16-bit internet-checksum field,
+    /// if the format seals one (both ALF TUs and transport segments do).
+    /// Grammar-aware forgeries re-seal it there so they survive
+    /// verification; header flips deliberately leave it stale. `None`
+    /// leaves forgeries unsealed (they die at the checksum check instead
+    /// — still a valid hostile input).
+    pub ck_offset: Option<usize>,
+    /// How many leading bytes count as "header" for targeted mutation.
+    pub header_bytes: usize,
+    /// Half-open byte range of the frame's identity field (the ALF TU's
+    /// `adu_id` lives at bytes 6..14). Grammar-aware forgeries scramble
+    /// it so a forged frame charges admission and budget under a fresh
+    /// identity instead of squatting inside a genuine ADU's reassembly —
+    /// an in-window forged fragment with a real identity would otherwise
+    /// be indistinguishable from the real bytes it displaces (no wire
+    /// checksum survives an adversary that can re-seal it).
+    pub ident_range: (usize, usize),
+    /// Capacity of the capture ring feeding replays and grammar-aware
+    /// forgeries (0 disables both).
+    pub capture_frames: usize,
+}
+
+impl Default for MutatorConfig {
+    fn default() -> Self {
+        Self {
+            truncate: 0.0,
+            extend: 0.0,
+            header_flip: 0.0,
+            replay: 0.0,
+            forge_random: 0.0,
+            forge_grammar: 0.0,
+            // The ALF TU and the transport segment both seal an internet
+            // checksum; the TU's lives at bytes 2–3.
+            ck_offset: Some(2),
+            header_bytes: 38,
+            ident_range: (6, 14),
+            capture_frames: 64,
+        }
+    }
+}
+
+impl MutatorConfig {
+    /// Every mutation kind at probability `p` (so roughly `6p` of frames
+    /// are affected per hop).
+    pub fn hostile(p: f64) -> Self {
+        Self {
+            truncate: p,
+            extend: p,
+            header_flip: p,
+            replay: p,
+            forge_random: p,
+            forge_grammar: p,
+            ..Self::default()
+        }
+    }
+
+    /// True if every mutation probability is zero.
+    pub fn is_clean(&self) -> bool {
+        self.truncate == 0.0
+            && self.extend == 0.0
+            && self.header_flip == 0.0
+            && self.replay == 0.0
+            && self.forge_random == 0.0
+            && self.forge_grammar == 0.0
+    }
+}
+
+/// Counters of mutations performed, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Frames truncated in place.
+    pub truncated: u64,
+    /// Frames extended in place.
+    pub extended: u64,
+    /// Frames with a header bit flipped (checksum left stale).
+    pub header_flipped: u64,
+    /// Captured frames injected again.
+    pub replayed: u64,
+    /// Random-byte frames injected.
+    pub forged_random: u64,
+    /// Grammar-aware forgeries injected.
+    pub forged_grammar: u64,
+}
+
+impl MutationStats {
+    /// Total mutation events across all kinds.
+    pub fn total(&self) -> u64 {
+        self.truncated
+            + self.extended
+            + self.header_flipped
+            + self.replayed
+            + self.forged_random
+            + self.forged_grammar
+    }
+}
+
+/// What the mutator decided for one frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The in-place mutation applied to the frame, if any (at most one per
+    /// frame, so every outcome stays attributable to one kind).
+    pub mutated: Option<MutationKind>,
+    /// Extra adversarial frames to inject alongside the original, with the
+    /// kind that produced each.
+    pub injected: Vec<(MutationKind, Vec<u8>)>,
+}
+
+impl MutationOutcome {
+    /// True if nothing happened to or around this frame.
+    pub fn is_clean(&self) -> bool {
+        self.mutated.is_none() && self.injected.is_empty()
+    }
+}
+
+/// Applies a [`MutatorConfig`] to frames using a deterministic RNG stream,
+/// capturing passing traffic into a bounded ring that feeds replays and
+/// grammar-aware forgeries.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    config: MutatorConfig,
+    rng: SimRng,
+    /// Bounded capture ring; overwritten oldest-first.
+    captured: Vec<Vec<u8>>,
+    capture_next: usize,
+    /// Counters by kind.
+    pub stats: MutationStats,
+}
+
+impl Mutator {
+    /// Create a mutator with its own RNG stream.
+    pub fn new(config: MutatorConfig, rng: SimRng) -> Self {
+        Self {
+            config,
+            rng,
+            captured: Vec::new(),
+            capture_next: 0,
+            stats: MutationStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MutatorConfig {
+        &self.config
+    }
+
+    /// Re-seal the frame's internet checksum in place (if the config names
+    /// a checksum offset and the frame still covers it), so a grammar-aware
+    /// forgery passes verification and exercises the paths past the
+    /// checksum gate.
+    fn reseal(&self, buf: &mut [u8]) {
+        let Some(off) = self.config.ck_offset else {
+            return;
+        };
+        if buf.len() < off + 2 || !off.is_multiple_of(2) {
+            return;
+        }
+        buf[off] = 0;
+        buf[off + 1] = 0;
+        let ck = ct_wire::checksum::internet_checksum(buf);
+        buf[off] = (ck >> 8) as u8;
+        buf[off + 1] = (ck & 0xFF) as u8;
+    }
+
+    /// A header byte index eligible for targeted mutation: inside the
+    /// configured header region (clamped to the frame), never the checksum
+    /// field itself — flipping the seal would test nothing but the seal.
+    fn header_target(&mut self, len: usize) -> Option<usize> {
+        let hdr = self.config.header_bytes.min(len);
+        if hdr == 0 {
+            return None;
+        }
+        for _ in 0..8 {
+            let idx = self.rng.next_below(hdr as u64) as usize;
+            let in_ck = self
+                .config
+                .ck_offset
+                .is_some_and(|off| idx == off || idx == off + 1);
+            if !in_ck {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Decide the fate of one frame. The frame may be mutated in place
+    /// (truncated, extended, or header-flipped); replays and forgeries
+    /// come back as extra frames for the caller to inject. Clean traffic
+    /// is captured into the replay ring.
+    pub fn apply(&mut self, payload: &mut Vec<u8>) -> MutationOutcome {
+        let mut out = MutationOutcome::default();
+        if self.config.is_clean() {
+            return out;
+        }
+        // Capture before mutating: the ring holds frames as the sender
+        // built them, which is what a replay attack resends.
+        if self.config.capture_frames > 0 && !payload.is_empty() {
+            if self.captured.len() < self.config.capture_frames {
+                self.captured.push(payload.clone());
+            } else {
+                self.captured[self.capture_next] = payload.clone();
+                self.capture_next = (self.capture_next + 1) % self.config.capture_frames;
+            }
+        }
+        // Every chance is drawn every frame, in a fixed order, so RNG
+        // consumption — and therefore the whole simulation — stays
+        // deterministic under config sweeps.
+        let truncate = self.rng.chance(self.config.truncate);
+        let extend = self.rng.chance(self.config.extend);
+        let header_flip = self.rng.chance(self.config.header_flip);
+        let replay = self.rng.chance(self.config.replay);
+        let forge_random = self.rng.chance(self.config.forge_random);
+        let forge_grammar = self.rng.chance(self.config.forge_grammar);
+
+        // At most one in-place mutation per frame, first kind wins.
+        if truncate && !payload.is_empty() {
+            let keep = self.rng.next_below(payload.len() as u64) as usize;
+            payload.truncate(keep);
+            self.stats.truncated += 1;
+            out.mutated = Some(MutationKind::Truncated);
+        } else if extend {
+            let extra = 1 + self.rng.next_below(64) as usize;
+            let mut tail = vec![0u8; extra];
+            self.rng.fill_bytes(&mut tail);
+            payload.extend_from_slice(&tail);
+            self.stats.extended += 1;
+            out.mutated = Some(MutationKind::Extended);
+        } else if header_flip {
+            if let Some(idx) = self.header_target(payload.len()) {
+                let bit = self.rng.next_below(8) as u8;
+                payload[idx] ^= 1 << bit;
+                self.stats.header_flipped += 1;
+                out.mutated = Some(MutationKind::HeaderFlipped);
+            }
+        }
+
+        // Injections are independent of the in-place decision and of each
+        // other: a single pass can both damage the frame and spray extras.
+        if replay && !self.captured.is_empty() {
+            let pick = self.rng.next_below(self.captured.len() as u64) as usize;
+            out.injected
+                .push((MutationKind::Replayed, self.captured[pick].clone()));
+            self.stats.replayed += 1;
+        }
+        if forge_random {
+            let len = 1 + self.rng.next_below(96) as usize;
+            let mut forged = vec![0u8; len];
+            self.rng.fill_bytes(&mut forged);
+            out.injected.push((MutationKind::ForgedRandom, forged));
+            self.stats.forged_random += 1;
+        }
+        if forge_grammar && !self.captured.is_empty() {
+            let pick = self.rng.next_below(self.captured.len() as u64) as usize;
+            let mut forged = self.captured[pick].clone();
+            // Scramble the identity field and the entire body, then
+            // re-seal: the forgery verifies clean and carries a perfectly
+            // grammatical header, so it penetrates to the admission and
+            // budget paths — but under a fresh identity, never inside a
+            // genuine ADU's reassembly.
+            let (lo, hi) = self.config.ident_range;
+            let lo = lo.min(forged.len());
+            let hi = hi.min(forged.len());
+            self.rng.fill_bytes(&mut forged[lo..hi]);
+            let body = self.config.header_bytes.min(forged.len());
+            self.rng.fill_bytes(&mut forged[body..]);
+            self.reseal(&mut forged);
+            out.injected.push((MutationKind::ForgedGrammar, forged));
+            self.stats.forged_grammar += 1;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,5 +895,171 @@ mod tests {
         // Long idle: still just one token per interval window.
         assert!(!inj.apply(SimTime::from_millis(100), &mut buf).dropped);
         assert!(inj.apply(SimTime::from_millis(101), &mut buf).dropped);
+    }
+
+    // -- Mutator ------------------------------------------------------
+
+    /// A frame "sealed" the way the ALF wire format does it: checksum at
+    /// bytes 2–3 such that the whole-frame internet checksum folds to 0.
+    fn sealed_frame(len: usize, fill: u8) -> Vec<u8> {
+        let mut buf = vec![fill; len];
+        buf[2] = 0;
+        buf[3] = 0;
+        let ck = ct_wire::checksum::internet_checksum(&buf);
+        buf[2] = (ck >> 8) as u8;
+        buf[3] = (ck & 0xFF) as u8;
+        assert_eq!(ct_wire::checksum::internet_checksum(&buf), 0);
+        buf
+    }
+
+    #[test]
+    fn mutator_clean_config_is_inert() {
+        let mut m = Mutator::new(MutatorConfig::default(), SimRng::new(7));
+        let orig = sealed_frame(64, 0x5A);
+        let mut buf = orig.clone();
+        for _ in 0..100 {
+            assert!(m.apply(&mut buf).is_clean());
+        }
+        assert_eq!(buf, orig);
+        assert_eq!(m.stats.total(), 0);
+    }
+
+    #[test]
+    fn mutator_truncate_shortens() {
+        let cfg = MutatorConfig {
+            truncate: 1.0,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        let mut buf = sealed_frame(64, 0x5A);
+        let out = m.apply(&mut buf);
+        assert_eq!(out.mutated, Some(MutationKind::Truncated));
+        assert!(buf.len() < 64);
+        assert_eq!(m.stats.truncated, 1);
+    }
+
+    #[test]
+    fn mutator_extend_appends_garbage() {
+        let cfg = MutatorConfig {
+            extend: 1.0,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        let orig = sealed_frame(64, 0x5A);
+        let mut buf = orig.clone();
+        let out = m.apply(&mut buf);
+        assert_eq!(out.mutated, Some(MutationKind::Extended));
+        assert!(buf.len() > 64);
+        assert_eq!(&buf[..64], &orig[..], "extension must preserve prefix");
+    }
+
+    #[test]
+    fn mutator_header_flip_always_breaks_the_seal() {
+        // A single-bit flip changes one 16-bit word by a nonzero delta, so
+        // the one's-complement sum can never still fold to zero: the
+        // hostile field value reaches the header parse, but the checksum
+        // gate must reject the frame deterministically. The flip never
+        // lands on the seal itself (that would test nothing but the seal).
+        let cfg = MutatorConfig {
+            header_flip: 1.0,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        for round in 0..64u8 {
+            let orig = sealed_frame(64, round);
+            let mut buf = orig.clone();
+            let out = m.apply(&mut buf);
+            assert_eq!(out.mutated, Some(MutationKind::HeaderFlipped));
+            assert_ne!(buf, orig, "a header bit must have changed");
+            assert_eq!(buf[2..4], orig[2..4], "the seal itself is never the target");
+            assert_ne!(
+                ct_wire::checksum::internet_checksum(&buf),
+                0,
+                "a flipped frame must always fail verification"
+            );
+            assert_eq!(buf.len(), 64);
+        }
+        assert_eq!(m.stats.header_flipped, 64);
+    }
+
+    #[test]
+    fn mutator_replay_injects_captured_frame() {
+        let cfg = MutatorConfig {
+            replay: 1.0,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        let first = sealed_frame(40, 0x11);
+        let mut buf = first.clone();
+        // First pass: ring has only this frame, so the replay is it.
+        let out = m.apply(&mut buf);
+        assert_eq!(out.injected.len(), 1);
+        assert_eq!(out.injected[0].0, MutationKind::Replayed);
+        assert_eq!(out.injected[0].1, first);
+        assert_eq!(buf, first, "replay must not damage the original");
+        assert_eq!(m.stats.replayed, 1);
+    }
+
+    #[test]
+    fn mutator_grammar_forgery_passes_checksum() {
+        let cfg = MutatorConfig {
+            forge_grammar: 1.0,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        let orig = sealed_frame(64, 0x42);
+        let mut buf = orig.clone();
+        let out = m.apply(&mut buf);
+        assert_eq!(out.injected.len(), 1);
+        let (kind, forged) = &out.injected[0];
+        assert_eq!(*kind, MutationKind::ForgedGrammar);
+        assert_eq!(
+            ct_wire::checksum::internet_checksum(forged),
+            0,
+            "grammar-aware forgery must verify clean"
+        );
+        assert_eq!(forged.len(), orig.len());
+        let (lo, hi) = MutatorConfig::default().ident_range;
+        assert_ne!(
+            forged[lo..hi],
+            orig[lo..hi],
+            "the identity field must be scrambled"
+        );
+        assert_ne!(forged[38..], orig[38..], "the body must be scrambled");
+        // Every non-identity, non-seal header byte survives verbatim —
+        // that is what makes the forgery grammatical.
+        for i in (0..38).filter(|i| !(lo..hi).contains(i) && !(2..4).contains(i)) {
+            assert_eq!(forged[i], orig[i], "header byte {i} must be preserved");
+        }
+    }
+
+    #[test]
+    fn mutator_capture_ring_is_bounded() {
+        let cfg = MutatorConfig {
+            replay: 1.0,
+            capture_frames: 4,
+            ..MutatorConfig::default()
+        };
+        let mut m = Mutator::new(cfg, SimRng::new(7));
+        for i in 0..100u8 {
+            let mut buf = sealed_frame(32, i);
+            m.apply(&mut buf);
+        }
+        assert!(m.captured.len() <= 4);
+    }
+
+    #[test]
+    fn mutator_determinism_across_instances() {
+        let cfg = MutatorConfig::hostile(0.2);
+        let mut a = Mutator::new(cfg, SimRng::new(99));
+        let mut b = Mutator::new(cfg, SimRng::new(99));
+        for i in 0..500u32 {
+            let mut ba = sealed_frame(48, (i % 251) as u8);
+            let mut bb = ba.clone();
+            assert_eq!(a.apply(&mut ba), b.apply(&mut bb));
+            assert_eq!(ba, bb);
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.total() > 0, "hostile config must mutate something");
     }
 }

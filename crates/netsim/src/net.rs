@@ -23,7 +23,9 @@
 //! ```
 
 use crate::event::EventQueue;
-use crate::fault::{FaultConfig, FaultInjector};
+use crate::fault::{
+    FaultConfig, FaultInjector, MutationKind, MutationStats, Mutator, MutatorConfig,
+};
 use crate::link::{LinkConfig, LinkRefusal, LinkState};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -107,6 +109,9 @@ impl std::error::Error for SendError {}
 struct LinkDir {
     state: LinkState,
     injector: FaultInjector,
+    /// Adversarial mutation stage, ahead of the statistical injector —
+    /// a hostile middlebox sitting on this hop. `None` on honest links.
+    mutator: Option<Mutator>,
 }
 
 /// The simulated network.
@@ -195,6 +200,41 @@ impl Network {
         }
     }
 
+    /// Record one adversarial mutation outcome: a `net.mutated.{kind}`
+    /// counter bump plus a flight-recorder event (layer `"net"`), when a
+    /// telemetry sink is attached.
+    fn record_mutation(&mut self, kind: MutationKind, src: NodeId, dst: NodeId, len: usize) {
+        if let Some(tel) = self.telemetry.as_ref() {
+            let (ev, counter) = match kind {
+                MutationKind::Truncated => ("frame_mutate_truncate", "net.mutated.truncate"),
+                MutationKind::Extended => ("frame_mutate_extend", "net.mutated.extend"),
+                MutationKind::HeaderFlipped => {
+                    ("frame_mutate_header_flip", "net.mutated.header_flip")
+                }
+                MutationKind::Replayed => ("frame_mutate_replay", "net.mutated.replay"),
+                MutationKind::ForgedRandom => {
+                    ("frame_mutate_forge_random", "net.mutated.forge_random")
+                }
+                MutationKind::ForgedGrammar => {
+                    ("frame_mutate_forge_grammar", "net.mutated.forge_grammar")
+                }
+            };
+            tel.metrics_mut().counter_add(counter, 1);
+            if tel.tracing_enabled() {
+                tel.record(ct_telemetry::Event {
+                    at_nanos: self.now.as_nanos(),
+                    layer: "net",
+                    kind: ev,
+                    assoc: 0,
+                    adu: None,
+                    a: src.0 as u64,
+                    b: dst.0 as u64,
+                    len: len as u64,
+                });
+            }
+        }
+    }
+
     /// Add a node; returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
@@ -220,6 +260,7 @@ impl Network {
             LinkDir {
                 state: LinkState::new(link),
                 injector: inj_ab,
+                mutator: None,
             },
         );
         self.links.insert(
@@ -227,6 +268,7 @@ impl Network {
             LinkDir {
                 state: LinkState::new(link),
                 injector: inj_ba,
+                mutator: None,
             },
         );
         self.routes_dirty = true;
@@ -240,6 +282,34 @@ impl Network {
             .expect("link exists")
             .injector
             .set_config(faults);
+    }
+
+    /// Install an adversarial [`Mutator`] on the directed link `a -> b`,
+    /// ahead of the statistical fault injector: frames are truncated,
+    /// extended, header-flipped (and re-sealed), replayed from capture, or
+    /// accompanied by forgeries, per `config`. The mutator gets its own
+    /// forked RNG stream; installing replaces any previous mutator and its
+    /// counters. Panics if the link is absent.
+    pub fn set_mutator(&mut self, a: NodeId, b: NodeId, config: MutatorConfig) {
+        let rng = self.rng.fork();
+        self.links.get_mut(&(a, b)).expect("link exists").mutator = Some(Mutator::new(config, rng));
+    }
+
+    /// Remove the adversarial mutator from the directed link `a -> b`, if
+    /// any. Panics if the link is absent.
+    pub fn clear_mutator(&mut self, a: NodeId, b: NodeId) {
+        self.links.get_mut(&(a, b)).expect("link exists").mutator = None;
+    }
+
+    /// Mutation counters of the `a -> b` mutator (`None` if no mutator is
+    /// installed). Panics if the link is absent.
+    pub fn mutator_stats(&self, a: NodeId, b: NodeId) -> Option<MutationStats> {
+        self.links
+            .get(&(a, b))
+            .expect("link exists")
+            .mutator
+            .as_ref()
+            .map(|m| m.stats)
     }
 
     /// Schedule a bidirectional outage of the `a <-> b` link: frames
@@ -377,11 +447,50 @@ impl Network {
                 from: at,
                 to: frame.dst,
             })?;
+        let mut frame = frame;
+        // Adversarial mutation happens first: the hostile middlebox sits
+        // on the wire ahead of the statistical channel, and its replays /
+        // forgeries are injected even if the original frame is then lost.
+        let mutation = {
+            let dir = self
+                .links
+                .get_mut(&(at, hop))
+                .expect("route uses real link");
+            match dir.mutator.as_mut() {
+                Some(m) => m.apply(&mut frame.payload),
+                None => crate::fault::MutationOutcome::default(),
+            }
+        };
+        if let Some(kind) = mutation.mutated {
+            self.stats.mutated += 1;
+            self.record_mutation(kind, frame.src, frame.dst, frame.payload.len());
+        }
+        for (i, (kind, payload)) in mutation.injected.into_iter().enumerate() {
+            // Injected frames do not pay the sender's serialization slot —
+            // the adversary stuffs the wire directly. They arrive at the
+            // next hop a hair after "now" (deterministically staggered)
+            // and travel on toward the original frame's destination.
+            self.stats.injected += 1;
+            self.record_mutation(kind, frame.src, frame.dst, payload.len());
+            let hostile = Frame {
+                src: frame.src,
+                dst: frame.dst,
+                payload,
+                sent_at: self.now,
+                arrived_at: self.now,
+            };
+            self.queue.schedule(
+                self.now + SimDuration::from_micros(2 + i as u64),
+                Arrival {
+                    node: hop,
+                    frame: hostile,
+                },
+            );
+        }
         let dir = self
             .links
             .get_mut(&(at, hop))
             .expect("route uses real link");
-        let mut frame = frame;
         // Fault injection happens before link admission: a dropped frame
         // still consumed no transmitter time (it "vanished on the wire" at
         // this hop boundary).
@@ -794,5 +903,50 @@ mod tests {
         net.run_until_idle();
         assert_eq!(net.stats().bytes_sent, 100);
         assert_eq!(net.stats().bytes_delivered, 100);
+    }
+
+    #[test]
+    fn mutator_mutates_and_injects_on_link() {
+        let (mut net, a, b) = two_nodes(16, FaultConfig::none());
+        net.set_mutator(a, b, MutatorConfig::hostile(0.5));
+        for _ in 0..200 {
+            net.send(a, b, vec![0xAB; 48]).unwrap();
+            net.run_until_idle();
+        }
+        let stats = net.mutator_stats(a, b).expect("mutator attached");
+        assert!(stats.total() > 0, "hostile config must act on the stream");
+        assert_eq!(
+            net.stats().mutated,
+            stats.truncated + stats.extended + stats.header_flipped
+        );
+        assert_eq!(
+            net.stats().injected,
+            stats.replayed + stats.forged_random + stats.forged_grammar
+        );
+        // Injected frames arrive at the destination on top of the originals.
+        assert!(net.stats().frames_delivered >= 200);
+        // The reverse direction carries no mutator; clearing is idempotent.
+        assert!(net.mutator_stats(b, a).is_none());
+        net.clear_mutator(a, b);
+        assert!(net.mutator_stats(a, b).is_none());
+    }
+
+    #[test]
+    fn mutator_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (mut net, a, b) = two_nodes(seed, FaultConfig::none());
+            net.set_mutator(a, b, MutatorConfig::hostile(0.3));
+            for i in 0..100u8 {
+                net.send(a, b, vec![i; 40]).unwrap();
+            }
+            net.run_until_idle();
+            let mut got = Vec::new();
+            while let Some(f) = net.recv(b) {
+                got.push(f.payload);
+            }
+            (got, *net.stats())
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21).1, run(22).1);
     }
 }

@@ -143,6 +143,11 @@ pub struct NetStats {
     pub duplicates: u64,
     /// Store-and-forward operations at intermediate nodes.
     pub hops_forwarded: u64,
+    /// Frames mutated in place by an adversarial [`crate::fault::Mutator`]
+    /// (truncated, extended, or header-flipped).
+    pub mutated: u64,
+    /// Adversarial frames injected (replays and forgeries).
+    pub injected: u64,
 }
 
 impl NetStats {
@@ -161,7 +166,7 @@ impl fmt::Display for NetStats {
         write!(
             f,
             "sent {} ({} B), delivered {} ({} B), drops {} fault / {} congestion, \
-             corrupted {}, dup {}, forwarded {}",
+             corrupted {}, dup {}, forwarded {}, mutated {}, injected {}",
             self.frames_sent,
             self.bytes_sent,
             self.frames_delivered,
@@ -171,6 +176,8 @@ impl fmt::Display for NetStats {
             self.corrupted,
             self.duplicates,
             self.hops_forwarded,
+            self.mutated,
+            self.injected,
         )
     }
 }

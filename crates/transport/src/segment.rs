@@ -82,6 +82,17 @@ impl std::fmt::Display for SegmentError {
     }
 }
 
+impl SegmentError {
+    /// Stable short label for per-reason rejection counters.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            SegmentError::Truncated => "truncated",
+            SegmentError::LengthMismatch { .. } => "length_mismatch",
+            SegmentError::BadChecksum => "bad_checksum",
+        }
+    }
+}
+
 impl std::error::Error for SegmentError {}
 
 impl Segment {
@@ -156,15 +167,18 @@ impl Segment {
             return Err(SegmentError::BadChecksum);
         }
         let mut r = HeaderReader::new(buf);
-        let src_port = r.get_u16().expect("sized");
-        let dst_port = r.get_u16().expect("sized");
-        let seq = r.get_u64().expect("sized");
-        let ack = r.get_u64().expect("sized");
-        let flags = r.get_u8().expect("sized");
-        let _rsvd = r.get_u8().expect("sized");
-        let window = r.get_u32().expect("sized");
-        let _ck = r.get_u16().expect("sized");
-        let paylen = r.get_u16().expect("sized") as usize;
+        // The header-length guard above makes these reads infallible, but
+        // the decode path stays total anyway: network bytes must never be
+        // able to reach a panic, whatever the guards upstream look like.
+        let src_port = r.get_u16().map_err(|_| SegmentError::Truncated)?;
+        let dst_port = r.get_u16().map_err(|_| SegmentError::Truncated)?;
+        let seq = r.get_u64().map_err(|_| SegmentError::Truncated)?;
+        let ack = r.get_u64().map_err(|_| SegmentError::Truncated)?;
+        let flags = r.get_u8().map_err(|_| SegmentError::Truncated)?;
+        let _rsvd = r.get_u8().map_err(|_| SegmentError::Truncated)?;
+        let window = r.get_u32().map_err(|_| SegmentError::Truncated)?;
+        let _ck = r.get_u16().map_err(|_| SegmentError::Truncated)?;
+        let paylen = r.get_u16().map_err(|_| SegmentError::Truncated)? as usize;
         let payload = r.rest();
         if payload.len() != paylen {
             return Err(SegmentError::LengthMismatch {
@@ -289,6 +303,20 @@ mod proptests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Segment::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_decode_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // The zero-copy ingest path must be just as total as the
+            // borrowed one: every input returns Ok or a typed SegmentError.
+            let frame = WireBuf::from_vec(bytes.clone());
+            let owned = Segment::decode_frame(&frame);
+            let borrowed = Segment::decode(&bytes);
+            match (&owned, &borrowed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a.reason(), b.reason()),
+                _ => prop_assert!(false, "ingest paths disagree: {owned:?} vs {borrowed:?}"),
+            }
         }
     }
 }

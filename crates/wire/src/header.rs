@@ -95,9 +95,13 @@ impl<'a> HeaderReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
-        if self.pos + n > self.buf.len() {
+        // `pos <= len` always holds, so `len - pos` cannot underflow; the
+        // obvious `pos + n > len` form would overflow (and with
+        // overflow-checks, panic) on a hostile length, and a reader fed
+        // network bytes must be total.
+        if n > self.buf.len() - self.pos {
             return Err(Truncated {
-                need: self.pos + n,
+                need: self.pos.saturating_add(n),
                 have: self.buf.len(),
             });
         }
@@ -222,5 +226,44 @@ mod tests {
         assert_eq!(r.position(), 0);
         r.get_u32().unwrap();
         assert_eq!(r.position(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Reader totality: any sequence of reads over arbitrary bytes —
+        /// including `get_slice` with hostile lengths up to `usize::MAX` —
+        /// returns Ok or a typed `Truncated`, never panics, and a failed
+        /// read never consumes.
+        #[test]
+        fn prop_reader_total_over_arbitrary_ops(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+            ops in proptest::collection::vec((0u8..6, any::<usize>()), 0..32),
+        ) {
+            let mut r = HeaderReader::new(&bytes);
+            for (op, n) in ops {
+                let before = r.position();
+                let ok = match op {
+                    0 => r.get_u8().is_ok(),
+                    1 => r.get_u16().is_ok(),
+                    2 => r.get_u32().is_ok(),
+                    3 => r.get_u64().is_ok(),
+                    4 => r.get_slice(n).is_ok(),
+                    _ => {
+                        r.rest();
+                        true
+                    }
+                };
+                if !ok {
+                    prop_assert_eq!(r.position(), before);
+                }
+                prop_assert!(r.position() <= bytes.len());
+                prop_assert_eq!(r.remaining(), bytes.len() - r.position());
+            }
+        }
     }
 }

@@ -3,6 +3,8 @@
 #
 # SOAK=1 additionally runs the extended chaos sweep (32 extra seeds of
 # fault churn against the flow-controlled transport; see tests/chaos.rs).
+# HOSTILE=1 additionally runs the bounded hostile soak (extra seeds with
+# the adversarial frame mutator armed for the whole run).
 set -eux
 
 cargo build --release --workspace
@@ -26,28 +28,40 @@ cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
 # Snapshot them before the harness overwrites them in place.
 BASE_DIR=$(mktemp -d)
 trap 'rm -rf "$BASE_DIR"' EXIT
-cp BENCH_x10.json BENCH_x11.json "$BASE_DIR"/
+cp BENCH_x10.json BENCH_x11.json BENCH_x12.json "$BASE_DIR"/
 
 cargo run --release -q -p ct-bench --bin harness x10 > /dev/null
 
 # Lifecycle-span smoke: X11 asserts ALF HOL stall stays ~0 while the
 # stream substrate's stall grows with loss, and that the offline
 # stitcher reproduces the in-process reports byte-identically; it
-# refreshes BENCH_x11.json and dumps x11_*_trace.jsonl.
+# refreshes BENCH_x11.json and dumps target/x11_*_trace.jsonl.
 cargo run --release -q -p ct-bench --bin harness x11 > /dev/null
 
 # ct-trace self-check: the analyzer must attribute X11's own dumps
 # (exporter and analyzer still speak the same schema).
 cargo run --release -q -p ct-telemetry --bin ct-trace -- \
-    --self-check x11_alf_trace.jsonl > /dev/null
+    --self-check target/x11_alf_trace.jsonl > /dev/null
 cargo run --release -q -p ct-telemetry --bin ct-trace -- \
-    --self-check --adu-bytes 4000 x11_stream_trace.jsonl > /dev/null
+    --self-check --adu-bytes 4000 target/x11_stream_trace.jsonl > /dev/null
+
+# Hostile-wire smoke: X12 drives >= 10^6 mutated/forged/replayed frames
+# through the simulator and asserts zero panics, zero corrupted-byte
+# deliveries, quota-bounded memory, and graceful goodput degradation;
+# it refreshes BENCH_x12.json.
+cargo run --release -q -p ct-bench --bin harness x12 > /dev/null
 
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x10.json BENCH_x10.json
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x11.json BENCH_x11.json
+cargo run --release -q -p ct-bench --bin bench-gate -- \
+    "$BASE_DIR"/BENCH_x12.json BENCH_x12.json
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended
+fi
+
+if [ "${HOSTILE:-0}" = "1" ]; then
+    HOSTILE=1 cargo test --release -q -p ct-bench --test chaos hostile_soak_extended
 fi

@@ -5,18 +5,25 @@
 //! Each seeded run drives two [`AduTransport`] endpoints directly over the
 //! simulated [`Network`] while the fault regime mutates every ~100–250 ms:
 //! uniform loss, Gilbert–Elliott loss bursts, duplication, corruption,
-//! rate-limit flaps, and scheduled partitions that heal. After a fixed churn
-//! horizon the link is left clean and the run must converge.
+//! rate-limit flaps, and scheduled partitions that heal. Adversarial churn
+//! rides on top: phases randomly arm and disarm the link's frame mutator
+//! (replays, grammar-aware forgeries, truncation), so the
+//! statistical and adversarial injectors interact instead of being tested
+//! in isolation. After a fixed churn horizon the link is left clean, the
+//! mutator disarmed, and the run must converge.
 //!
 //! Invariants, checked every iteration:
 //!
-//! * every delivered ADU is byte-identical to what was offered;
+//! * every delivered ADU is byte-identical to what was offered — replayed,
+//!   corrupted, and forged frames must never surface as application bytes;
 //! * no ADU is delivered twice (at-most-once);
 //! * receiver reassembly memory never exceeds its byte budget;
 //! * the buffered sender never gives an ADU up (the churn heals, so the
 //!   transfer must complete — silence is not an acceptable failure mode).
 //!
-//! `SOAK=1` (see `scripts/verify.sh`) widens the sweep from 8 to 32 seeds.
+//! `SOAK=1` (see `scripts/verify.sh`) widens the sweep from 8 to 32 seeds;
+//! `HOSTILE=1` runs extra seeds with the mutator armed for the whole run,
+//! not just in churn phases.
 //!
 //! Every run carries an armed [`Telemetry`] flight recorder; when an
 //! invariant trips, the panic message includes the last 96 recorded events
@@ -29,7 +36,7 @@ use std::collections::{HashMap, HashSet};
 use alf_core::driver::workload_payload;
 use alf_core::transport::{AduTransport, AlfConfig, RecoveryMode};
 use alf_core::AduName;
-use ct_netsim::fault::{FaultConfig, GilbertElliott};
+use ct_netsim::fault::{FaultConfig, GilbertElliott, MutatorConfig};
 use ct_netsim::link::LinkConfig;
 use ct_netsim::net::Network;
 use ct_netsim::rng::SimRng;
@@ -80,7 +87,26 @@ fn next_regime(rng: &mut SimRng) -> FaultConfig {
     }
 }
 
+/// The adversarial churn regime: replay pressure plus a trickle of
+/// truncation and grammar-aware forgery. Mild enough that a churn-armed
+/// phase still makes progress, hostile enough to exercise the replay
+/// window, the strict decoders, and the reassembly quotas mid-transfer.
+fn churn_mutator() -> MutatorConfig {
+    MutatorConfig {
+        truncate: 0.05,
+        replay: 0.15,
+        forge_grammar: 0.05,
+        ..MutatorConfig::default()
+    }
+}
+
 fn chaos_run(seed: u64) -> Telemetry {
+    chaos_run_mode(seed, false)
+}
+
+/// `always_hostile` arms the frame mutator for the entire run (the
+/// `HOSTILE=1` sweep); otherwise churn phases arm and disarm it randomly.
+fn chaos_run_mode(seed: u64, always_hostile: bool) -> Telemetry {
     let tel = Telemetry::with_tracing(TRACE_CAPACITY);
     let mut rng = SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut net = Network::new(seed);
@@ -88,6 +114,9 @@ fn chaos_run(seed: u64) -> Telemetry {
     let node_b = net.add_node();
     net.connect(node_a, node_b, LinkConfig::lan(), FaultConfig::none());
     net.attach_telemetry(tel.clone());
+    if always_hostile {
+        net.set_mutator(node_a, node_b, churn_mutator());
+    }
 
     let cfg = AlfConfig {
         recovery: RecoveryMode::TransportBuffer,
@@ -125,10 +154,21 @@ fn chaos_run(seed: u64) -> Telemetry {
                 } else {
                     net.set_faults(node_a, node_b, next_regime(&mut rng));
                 }
+                // Adversarial churn rides on top of the statistical regime:
+                // a third of phases arm the frame mutator, the rest disarm
+                // it (unless this run is always-hostile).
+                if always_hostile || rng.chance(0.33) {
+                    net.set_mutator(node_a, node_b, churn_mutator());
+                } else {
+                    net.clear_mutator(node_a, node_b);
+                }
                 next_phase_at = now + SimDuration::from_millis(100 + rng.next_below(150));
             }
         } else if !healed {
             net.set_faults(node_a, node_b, FaultConfig::none());
+            if !always_hostile {
+                net.clear_mutator(node_a, node_b);
+            }
             healed = true;
         }
 
@@ -334,5 +374,21 @@ fn chaos_soak_extended() {
     }
     for seed in 8..40 {
         chaos_run(seed);
+    }
+}
+
+/// Bounded hostile soak, opt-in via `HOSTILE=1` (wired into
+/// `scripts/verify.sh`): the adversarial frame mutator stays armed for the
+/// entire run — replays, truncation, and grammar-aware forgeries on top of
+/// the statistical churn — and every invariant (byte-identical delivery,
+/// at-most-once, bounded reassembly, convergence) must still hold.
+#[test]
+fn hostile_soak_extended() {
+    if std::env::var("HOSTILE").map(|v| v != "0" && !v.is_empty()) != Ok(true) {
+        eprintln!("hostile_soak_extended: set HOSTILE=1 to run the hostile sweep");
+        return;
+    }
+    for seed in 40..52 {
+        chaos_run_mode(seed, true);
     }
 }
