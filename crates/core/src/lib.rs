@@ -39,6 +39,8 @@
 //!   fragment per group without a retransmission round trip.
 //! * [`mux`] — association multiplexing (§3): one endpoint per association
 //!   id, dispatch without mis-delivery.
+//! * [`timer`] — hashed timer wheel: O(1) deadline scheduling with lazy
+//!   cancellation, so timer cost never scales with in-flight count.
 //! * [`driver`] — glue running ADU workloads over `ct-netsim` (packet or
 //!   ATM), producing the reports the X-series experiments consume.
 //!
@@ -61,6 +63,7 @@ pub mod driver;
 pub mod fec;
 pub mod mux;
 pub mod pipeline;
+pub mod timer;
 pub mod transport;
 pub mod wire;
 

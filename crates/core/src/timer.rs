@@ -1,0 +1,391 @@
+//! Hashed timer wheel (Varghese & Lauck, SOSP '87) for retransmission
+//! deadlines.
+//!
+//! The ALF transport used to find its next retransmission deadline with a
+//! full min-scan over every in-flight ADU — O(n) per `poll` and per
+//! `next_timeout`, which is exactly the per-association cost curve a
+//! many-association server cannot afford. The wheel replaces both scans:
+//!
+//! * **insert is O(1)**: a deadline hashes to slot
+//!   `(deadline / granularity) % slots`; the slot's cached minimum is
+//!   updated in the same step;
+//! * **cancellation is O(1) expected**: [`TimerWheel::remove`] addresses
+//!   the entry's slot directly from its deadline and scans only that
+//!   bucket. Callers may also cancel lazily — leave the superseded entry
+//!   behind and discard it when it fires, by validating against the
+//!   authoritative deadline — at the price of conservatively-early
+//!   `next_deadline` answers;
+//! * **firing touches only expired slots**: [`TimerWheel::advance`] scans
+//!   just the slots whose time window passed since the previous call
+//!   (capped at one full rotation), so the work is proportional to
+//!   elapsed ticks plus entries actually due — never to the number of
+//!   timers pending;
+//! * **`next_deadline` is O(slots)**: the minimum over per-slot cached
+//!   minima, touching no entries at all.
+//!
+//! Two properties keep the wheel drift-free with respect to the exact
+//! min-scan it replaces:
+//!
+//! 1. **Never late.** Entries record their *exact* deadline; `advance`
+//!    returns every entry with `deadline <= now`, so nothing is quantized
+//!    to a slot boundary.
+//! 2. **Conservatively early.** [`TimerWheel::next_deadline`] may report a
+//!    superseded (lazily cancelled) entry's deadline. A driver waking at
+//!    such an instant finds nothing due — the stale entry is dropped
+//!    during `advance`, guaranteeing progress — and the endpoint emits
+//!    nothing, because every real action is gated on an exact comparison
+//!    against authoritative state.
+
+use ct_netsim::time::{SimDuration, SimTime};
+
+/// Instrumentation counters for a [`TimerWheel`] — the regression tests
+/// use these to prove timer cost does not scale with the number of
+/// pending entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Entries inserted over the wheel's lifetime.
+    pub inserts: u64,
+    /// Entries returned as due by [`TimerWheel::advance`] (the caller
+    /// still validates them; stale entries are counted here too).
+    pub fired: u64,
+    /// Entries looked at while scanning expired slots.
+    pub entries_examined: u64,
+    /// Slots scanned by [`TimerWheel::advance`].
+    pub slots_scanned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    entries: Vec<(SimTime, K)>,
+    /// Exact minimum deadline among `entries` (`None` when empty).
+    /// Maintained incrementally on insert, recomputed on scan.
+    min: Option<SimTime>,
+}
+
+impl<K> Slot<K> {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            min: None,
+        }
+    }
+}
+
+/// A hashed timer wheel over copyable keys.
+///
+/// The wheel stores `(deadline, key)` pairs and hands them back, exact,
+/// once `advance` passes the deadline. It knows nothing about what a key
+/// means: the caller owns the authoritative deadline per key and treats
+/// any fired entry that no longer matches it as a lazy cancellation.
+#[derive(Debug, Clone)]
+pub struct TimerWheel<K> {
+    slots: Vec<Slot<K>>,
+    granularity: SimDuration,
+    /// Every entry with `deadline <= cursor` has been drained.
+    cursor: SimTime,
+    /// Safety pocket for entries inserted at or before the cursor (they
+    /// would otherwise wait a full rotation); drained first on `advance`.
+    overdue: Vec<(SimTime, K)>,
+    len: usize,
+    stats: WheelStats,
+}
+
+impl<K: Copy> TimerWheel<K> {
+    /// A wheel of `slots` buckets, each `granularity` wide (one rotation
+    /// covers `slots * granularity`). Entries beyond one rotation are
+    /// simply rescanned each time their slot comes around.
+    ///
+    /// # Panics
+    /// When `slots` is zero or `granularity` is zero.
+    pub fn new(slots: usize, granularity: SimDuration) -> Self {
+        assert!(slots > 0, "timer wheel needs at least one slot");
+        assert!(
+            granularity > SimDuration::ZERO,
+            "timer wheel granularity must be positive"
+        );
+        Self {
+            slots: (0..slots).map(|_| Slot::new()).collect(),
+            granularity,
+            cursor: SimTime::ZERO,
+            overdue: Vec::new(),
+            len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Pending entries (live and lazily cancelled alike).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lifetime instrumentation counters.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    /// Approximate heap bytes held by the wheel (slot vectors plus their
+    /// entries). Deterministic: derived from capacities only.
+    pub fn approx_mem_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(SimTime, K)>();
+        self.slots
+            .iter()
+            .map(|s| s.entries.capacity() * entry)
+            .sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<Slot<K>>()
+            + self.overdue.capacity() * entry
+    }
+
+    /// Cancel a previously inserted `(deadline, key)` entry. O(1)
+    /// expected: the deadline addresses its slot directly and only that
+    /// slot's bucket is scanned. Returns false when no such entry is
+    /// pending (already fired, or never inserted) — callers treat that as
+    /// a no-op.
+    pub fn remove(&mut self, deadline: SimTime, key: K) -> bool
+    where
+        K: PartialEq,
+    {
+        if deadline <= self.cursor {
+            // Slotted entries at or before the cursor have been drained;
+            // only the overdue pocket can still hold this deadline.
+            if let Some(pos) = self
+                .overdue
+                .iter()
+                .position(|&(d, k)| d == deadline && k == key)
+            {
+                self.overdue.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+            return false;
+        }
+        let idx = (deadline.as_nanos() / self.granularity.as_nanos()) as usize % self.slots.len();
+        let slot = &mut self.slots[idx];
+        if let Some(pos) = slot
+            .entries
+            .iter()
+            .position(|&(d, k)| d == deadline && k == key)
+        {
+            slot.entries.swap_remove(pos);
+            self.len -= 1;
+            if slot.min == Some(deadline) {
+                slot.min = slot.entries.iter().map(|&(d, _)| d).min();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Schedule `key` at the exact `deadline`. O(1).
+    pub fn insert(&mut self, deadline: SimTime, key: K) {
+        self.stats.inserts += 1;
+        self.len += 1;
+        if deadline <= self.cursor {
+            // Already due (caller scheduled into the past): keep it out of
+            // the rotation so the very next `advance` returns it.
+            self.overdue.push((deadline, key));
+            return;
+        }
+        let idx = (deadline.as_nanos() / self.granularity.as_nanos()) as usize % self.slots.len();
+        let slot = &mut self.slots[idx];
+        slot.min = Some(slot.min.map_or(deadline, |m| m.min(deadline)));
+        slot.entries.push((deadline, key));
+    }
+
+    /// Earliest pending deadline, or `None` when the wheel is empty.
+    /// O(slots); touches no entries. May be conservatively early: a
+    /// lazily-cancelled entry's deadline counts until its slot is next
+    /// scanned — but it is never later than the true earliest deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let overdue = self.overdue.iter().map(|&(d, _)| d).min();
+        let slotted = self.slots.iter().filter_map(|s| s.min).min();
+        match (overdue, slotted) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Move the cursor to `now`, appending every entry with
+    /// `deadline <= now` to `due`. Scans only the slots whose window
+    /// elapsed since the previous call (at most one full rotation);
+    /// remaining entries in scanned slots are retained and their slot
+    /// minima recomputed exactly. Time never moves backwards: a `now`
+    /// before the cursor is a no-op.
+    pub fn advance(&mut self, now: SimTime, due: &mut Vec<(SimTime, K)>) {
+        if !self.overdue.is_empty() {
+            self.stats.entries_examined += self.overdue.len() as u64;
+            self.stats.fired += self.overdue.len() as u64;
+            self.len -= self.overdue.len();
+            due.append(&mut self.overdue);
+        }
+        if now <= self.cursor {
+            return;
+        }
+        if self.len == 0 {
+            self.cursor = now;
+            return;
+        }
+        let g = self.granularity.as_nanos();
+        let n = self.slots.len() as u64;
+        let start = self.cursor.as_nanos() / g;
+        let end = now.as_nanos() / g;
+        // The cursor's own slot is rescanned every time: a partial tick
+        // may hold entries that only now came due.
+        let span = (end - start).min(n - 1);
+        for tick in start..=start + span {
+            let idx = (tick % n) as usize;
+            let slot = &mut self.slots[idx];
+            if slot.entries.is_empty() {
+                self.stats.slots_scanned += 1;
+                continue;
+            }
+            self.stats.slots_scanned += 1;
+            self.stats.entries_examined += slot.entries.len() as u64;
+            let before = due.len();
+            slot.entries.retain(|&(deadline, key)| {
+                if deadline <= now {
+                    due.push((deadline, key));
+                    false
+                } else {
+                    true
+                }
+            });
+            let drained = due.len() - before;
+            self.stats.fired += drained as u64;
+            self.len -= drained;
+            slot.min = slot.entries.iter().map(|&(d, _)| d).min();
+        }
+        self.cursor = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel<u64> {
+        TimerWheel::new(8, SimDuration::from_millis(1))
+    }
+
+    fn at(ms: u64, extra_ns: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000 + extra_ns)
+    }
+
+    #[test]
+    fn fires_exactly_at_deadline_not_slot_boundary() {
+        let mut w = wheel();
+        let d = at(2, 500);
+        w.insert(d, 7);
+        let mut due = Vec::new();
+        // A wake just before the deadline, in the same slot, yields nothing.
+        w.advance(at(2, 499), &mut due);
+        assert!(due.is_empty());
+        assert_eq!(w.next_deadline(), Some(d));
+        // The exact instant fires it, with the exact recorded deadline.
+        w.advance(d, &mut due);
+        assert_eq!(due, vec![(d, 7)]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn lazy_cancellation_leaves_only_stale_entries() {
+        let mut w = wheel();
+        w.insert(at(1, 0), 1);
+        w.insert(at(3, 0), 1); // reschedule: the 1ms entry is now stale
+        assert_eq!(w.next_deadline(), Some(at(1, 0)), "conservatively early");
+        let mut due = Vec::new();
+        w.advance(at(2, 0), &mut due);
+        assert_eq!(due, vec![(at(1, 0), 1)], "stale entry handed back once");
+        assert_eq!(w.next_deadline(), Some(at(3, 0)), "live entry remains");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn deadlines_beyond_one_rotation_survive() {
+        let mut w = wheel(); // rotation = 8ms
+        let far = at(100, 3);
+        w.insert(far, 42);
+        let mut due = Vec::new();
+        for ms in 1..100 {
+            w.advance(at(ms, 0), &mut due);
+            assert!(due.is_empty(), "nothing due at {ms}ms");
+        }
+        w.advance(at(100, 3), &mut due);
+        assert_eq!(due, vec![(far, 42)]);
+    }
+
+    #[test]
+    fn big_jump_scans_at_most_one_rotation() {
+        let mut w = wheel();
+        for i in 0..16u64 {
+            w.insert(at(i + 1, 0), i);
+        }
+        let mut due = Vec::new();
+        let scanned_before = w.stats().slots_scanned;
+        w.advance(at(1_000_000, 0), &mut due);
+        assert_eq!(due.len(), 16, "everything due after the jump");
+        assert!(
+            w.stats().slots_scanned - scanned_before <= 8,
+            "one rotation max"
+        );
+    }
+
+    #[test]
+    fn insert_at_or_before_cursor_fires_next_advance() {
+        let mut w = wheel();
+        let mut due = Vec::new();
+        w.advance(at(5, 0), &mut due);
+        w.insert(at(3, 0), 9); // scheduled into the past
+        assert_eq!(w.next_deadline(), Some(at(3, 0)));
+        w.advance(at(5, 1), &mut due);
+        assert_eq!(due, vec![(at(3, 0), 9)]);
+    }
+
+    #[test]
+    fn time_never_moves_backwards() {
+        let mut w = wheel();
+        w.insert(at(4, 0), 1);
+        let mut due = Vec::new();
+        w.advance(at(6, 0), &mut due);
+        assert_eq!(due.len(), 1);
+        due.clear();
+        w.insert(at(7, 0), 2);
+        w.advance(at(2, 0), &mut due); // regression: must not re-open old slots
+        assert!(due.is_empty());
+        w.advance(at(7, 0), &mut due);
+        assert_eq!(due, vec![(at(7, 0), 2)]);
+    }
+
+    #[test]
+    fn next_deadline_touches_no_entries() {
+        let mut w = wheel();
+        for i in 0..10_000u64 {
+            w.insert(at(1 + i % 50, i), i);
+        }
+        let examined = w.stats().entries_examined;
+        for _ in 0..1_000 {
+            let _ = w.next_deadline();
+        }
+        assert_eq!(
+            w.stats().entries_examined,
+            examined,
+            "next_deadline must not scan entries regardless of load"
+        );
+    }
+
+    #[test]
+    fn duplicate_entries_fire_once_each() {
+        let mut w = wheel();
+        w.insert(at(1, 0), 5);
+        w.insert(at(1, 0), 5);
+        let mut due = Vec::new();
+        w.advance(at(1, 0), &mut due);
+        assert_eq!(due.len(), 2, "wheel is honest; the caller dedups");
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Jacobson/Karels round-trip estimation for the adaptive RTO.
+
+use ct_netsim::time::SimDuration;
+
+/// Jacobson/Karels round-trip estimation (SIGCOMM '88, as carried into
+/// RFC 6298): per sample, `rttvar += (|srtt − rtt| − rttvar)/4` then
+/// `srtt += (rtt − srtt)/8`; the retransmission timeout is
+/// `srtt + 4·rttvar`, clamped to a configured floor and ceiling. Samples
+/// come from ACK timestamp echoes, so they are valid even for
+/// retransmitted TUs (each release is freshly stamped) — no Karn filter
+/// needed.
+#[derive(Debug, Default)]
+pub(super) struct RttEstimator {
+    pub(super) srtt_us: f64,
+    pub(super) rttvar_us: f64,
+    pub(super) samples: u64,
+}
+
+impl RttEstimator {
+    pub(super) fn on_sample(&mut self, rtt_us: f64) {
+        if self.samples == 0 {
+            self.srtt_us = rtt_us;
+            self.rttvar_us = rtt_us / 2.0;
+        } else {
+            let err = (self.srtt_us - rtt_us).abs();
+            self.rttvar_us += (err - self.rttvar_us) / 4.0;
+            self.srtt_us += (rtt_us - self.srtt_us) / 8.0;
+        }
+        self.samples += 1;
+    }
+
+    /// Current RTO, or `None` before the first sample.
+    pub(super) fn rto(&self, floor: SimDuration, ceil: SimDuration) -> Option<SimDuration> {
+        if self.samples == 0 {
+            return None;
+        }
+        let rto_us = self.srtt_us + 4.0 * self.rttvar_us;
+        let rto = SimDuration::from_nanos((rto_us * 1_000.0) as u64);
+        Some(rto.max(floor).min(ceil))
+    }
+
+    /// Smoothed RTT as a duration, or `None` before the first sample.
+    pub(super) fn srtt(&self) -> Option<SimDuration> {
+        (self.samples > 0).then(|| SimDuration::from_nanos((self.srtt_us * 1_000.0) as u64))
+    }
+}

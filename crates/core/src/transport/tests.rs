@@ -1,0 +1,1083 @@
+use super::*;
+use crate::wire::fragment_adu;
+
+fn cfg(recovery: RecoveryMode) -> AlfConfig {
+    AlfConfig {
+        recovery,
+        ..AlfConfig::default()
+    }
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 13 % 251) as u8).collect()
+}
+
+/// Wire both endpoints directly (lossless, zero-delay) until quiet.
+fn pump(a: &mut AduTransport, b: &mut AduTransport, mut now: SimTime) -> SimTime {
+    for _ in 0..1000 {
+        now += SimDuration::from_micros(50);
+        let fa = a.poll(now);
+        let fb = b.poll(now);
+        if fa.is_empty() && fb.is_empty() {
+            return now;
+        }
+        for f in fa {
+            b.on_message(now, &f);
+        }
+        for f in fb {
+            a.on_message(now, &f);
+        }
+    }
+    panic!("did not quiesce");
+}
+
+#[test]
+fn single_adu_roundtrip() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let data = payload(5000);
+    let name = AduName::FileRange { offset: 4096 };
+    a.send_adu(name, data.clone()).unwrap();
+    pump(&mut a, &mut b, SimTime::ZERO);
+    let (adu, _latency) = b.recv_adu().unwrap();
+    assert_eq!(adu.name, name);
+    assert_eq!(adu.payload, data);
+    assert!(a.send_complete(), "ACK must clear the sender buffer");
+    assert_eq!(a.retransmit_buffer_bytes(), 0);
+}
+
+#[test]
+fn many_adus_all_delivered() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut now = SimTime::ZERO;
+    let mut delivered = 0;
+    for batch in 0..5 {
+        for i in 0..20u64 {
+            a.send_adu(
+                AduName::Seq {
+                    index: batch * 20 + i,
+                },
+                payload(100 + i as usize * 37),
+            )
+            .unwrap();
+        }
+        now = pump(&mut a, &mut b, now);
+        while b.recv_adu().is_some() {
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 100);
+    assert_eq!(b.stats.adus_delivered, 100);
+}
+
+#[test]
+fn window_refuses_when_full() {
+    let mut a = AduTransport::new(AlfConfig {
+        window_adus: 2,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    a.send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+    a.send_adu(AduName::Seq { index: 1 }, payload(10)).unwrap();
+    assert_eq!(
+        a.send_adu(AduName::Seq { index: 2 }, payload(10)),
+        Err(SendRefused::WindowFull)
+    );
+}
+
+#[test]
+fn no_retransmit_mode_has_no_window() {
+    let mut a = AduTransport::new(AlfConfig {
+        window_adus: 1,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    for i in 0..100 {
+        a.send_adu(AduName::Seq { index: i }, payload(10)).unwrap();
+    }
+    for round in 0..20 {
+        let _ = a.poll(SimTime::from_micros(round));
+        if a.send_complete() {
+            break;
+        }
+    }
+    assert!(a.send_complete(), "fire-and-forget keeps no state");
+    assert_eq!(a.retransmit_buffer_bytes(), 0);
+}
+
+#[test]
+fn buffer_mode_recovers_from_total_loss() {
+    // All first-copy TUs vanish. The sender's timeout fires a cheap
+    // first-TU probe; the receiver's missing-range NACKs then fetch the
+    // rest — the full repair loop, driven by hand.
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(AlfConfig {
+        assembly_timeout: SimDuration::from_millis(5),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let data = payload(2000); // 2 TUs
+    a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+    let lost = a.poll(SimTime::ZERO);
+    assert_eq!(lost.len(), 2); // dropped on the floor
+                               // Timeout: probe goes out.
+    let t1 = SimTime::from_millis(100);
+    let probe = a.poll(t1);
+    assert_eq!(probe.len(), 1, "first-TU probe only");
+    assert_eq!(a.stats.probe_tus, 1);
+    for f in probe {
+        b.on_message(t1, &f);
+    }
+    // Receiver now has 1400/2000 bytes; its deadline expires and it
+    // NACKs the missing range.
+    let t2 = SimTime::from_millis(110);
+    let nacks = b.poll(t2);
+    assert_eq!(nacks.len(), 1);
+    for f in nacks {
+        a.on_message(t2, &f);
+    }
+    let repair = a.poll(t2);
+    assert_eq!(repair.len(), 1, "just the missing fragment");
+    assert_eq!(a.stats.tus_retransmitted_selective, 1);
+    for f in repair {
+        b.on_message(t2, &f);
+    }
+    let (adu, _) = b.recv_adu().unwrap();
+    assert_eq!(adu.payload, data);
+}
+
+#[test]
+fn single_tu_adu_timeout_resends_whole() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(500)).unwrap();
+    let _ = a.poll(SimTime::ZERO);
+    let retx = a.poll(SimTime::from_millis(100));
+    assert_eq!(retx.len(), 1);
+    assert_eq!(a.stats.adus_retransmitted, 1);
+    assert_eq!(a.stats.probe_tus, 0);
+}
+
+#[test]
+fn recompute_mode_asks_application() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::AppRecompute));
+    let mut b = AduTransport::new(cfg(RecoveryMode::AppRecompute));
+    let data = payload(900);
+    let id = a
+        .send_adu(AduName::Rpc { call: 1, part: 0 }, data.clone())
+        .unwrap();
+    let _lost = a.poll(SimTime::ZERO); // dropped on the floor
+    assert_eq!(
+        a.retransmit_buffer_bytes(),
+        0,
+        "recompute mode buffers nothing"
+    );
+    // Timeout fires: transport must ask the app, not retransmit.
+    let later = SimTime::from_millis(100);
+    let out = a.poll(later);
+    assert!(out.is_empty(), "nothing to send without the payload");
+    let reqs = a.take_recompute_requests();
+    assert_eq!(reqs.len(), 1);
+    assert_eq!(reqs[0].adu_id, id);
+    assert_eq!(reqs[0].name, AduName::Rpc { call: 1, part: 0 });
+    // App regenerates the data.
+    assert!(a.provide_recomputed(id, data.clone()));
+    let retx = a.poll(later);
+    assert!(!retx.is_empty());
+    for f in retx {
+        b.on_message(later, &f);
+    }
+    let (adu, _) = b.recv_adu().unwrap();
+    assert_eq!(adu.payload, data);
+}
+
+#[test]
+fn sender_gives_up_and_reports_by_name() {
+    let mut a = AduTransport::new(AlfConfig {
+        max_retries: 2,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let name = AduName::Media { frame: 9, slot: 1 };
+    a.send_adu(name, payload(100)).unwrap();
+    let mut now = SimTime::ZERO;
+    // Let every (re)transmission vanish. The horizon covers the
+    // per-ADU backoff *and* the global consecutive-timeout backoff
+    // that stretches each RTO while no ACKs arrive.
+    for _ in 0..15 {
+        now += SimDuration::from_millis(100);
+        let _ = a.poll(now);
+    }
+    let losses = a.take_loss_reports();
+    assert_eq!(losses.len(), 1);
+    assert_eq!(losses[0].name, name, "loss reported in application terms");
+    assert!(a.send_complete());
+    assert_eq!(a.stats.adus_given_up, 1);
+}
+
+#[test]
+fn out_of_order_delivery_counted() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap();
+    a.send_adu(AduName::Seq { index: 1 }, payload(500)).unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    // ADU 0 = 3 TUs, ADU 1 = 1 TU. Drop ADU 0's first TU initially.
+    assert_eq!(frames.len(), 4);
+    let now = SimTime::from_micros(10);
+    b.on_message(now, &frames[1]);
+    b.on_message(now, &frames[2]);
+    b.on_message(now, &frames[3]); // ADU 1 completes first
+    let (adu, _) = b.recv_adu().unwrap();
+    assert_eq!(adu.name, AduName::Seq { index: 1 });
+    // Now ADU 0's missing TU arrives.
+    b.on_message(SimTime::from_micros(20), &frames[0]);
+    let (adu0, _) = b.recv_adu().unwrap();
+    assert_eq!(adu0.name, AduName::Seq { index: 0 });
+    assert_eq!(b.stats.adus_delivered_out_of_order, 1);
+}
+
+#[test]
+fn nack_triggers_selective_recovery() {
+    let mut a = AduTransport::new(AlfConfig {
+        retransmit_timeout: SimDuration::from_secs(10), // timer too slow to matter
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        assembly_timeout: SimDuration::from_millis(5),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let data = payload(3000); // 3 TUs at the default 1400-byte MTU
+    a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    assert_eq!(frames.len(), 3);
+    // Deliver only the first TU: b starts an assembly that will expire.
+    b.on_message(SimTime::from_micros(10), &frames[0]);
+    let nacks = b.poll(SimTime::from_millis(10));
+    assert!(!nacks.is_empty(), "expired assembly must be NACKed");
+    for f in nacks {
+        a.on_message(SimTime::from_millis(10), &f);
+    }
+    // The first recovery round is selective: only the two missing TUs
+    // are resent, not the whole ADU.
+    let retx = a.poll(SimTime::from_millis(10));
+    assert_eq!(retx.len(), 2, "exactly the missing fragments");
+    assert_eq!(a.stats.tus_retransmitted_selective, 2);
+    assert_eq!(a.stats.adus_retransmitted, 0);
+    for f in retx {
+        b.on_message(SimTime::from_millis(11), &f);
+    }
+    let (adu, _) = b.recv_adu().expect("completed after selective repair");
+    assert_eq!(adu.payload, data);
+}
+
+#[test]
+fn selective_rounds_exhaust_to_whole_adu_nack() {
+    let mut b = AduTransport::new(AlfConfig {
+        assembly_timeout: SimDuration::from_millis(5),
+        nack_frag_rounds: 2,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    b.on_message(SimTime::from_micros(10), &frames[0]);
+    // Round 1 and 2: selective NACKs. Round 3: abandoned + whole NACK.
+    let mut whole_nack_seen = false;
+    for round in 1..=3u64 {
+        let out = b.poll(SimTime::from_millis(10 * round));
+        for f in &out {
+            match crate::wire::Message::decode(f).unwrap() {
+                crate::wire::Message::NackFrags { ranges, .. } => {
+                    assert!(round <= 2);
+                    assert_eq!(ranges, vec![(1400, 1600)]);
+                }
+                crate::wire::Message::Nack { ids, .. } => {
+                    assert_eq!(round, 3);
+                    assert_eq!(ids, vec![0]);
+                    whole_nack_seen = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    assert!(whole_nack_seen);
+    assert_eq!(b.assembler_stats().adus_abandoned, 1);
+}
+
+/// Satellite of the zero-copy PR: a repair request whose range falls
+/// outside the ADU we declared is a protocol error — counted and
+/// refused, never silently clamped into a plausible-looking repair.
+#[test]
+fn out_of_range_repair_request_rejected_and_counted() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    assert_eq!(frames.len(), 3, "all TUs released");
+    // Forged/corrupted selective NACK: offset at the total, end past
+    // the total, and an empty range. None may produce a repair.
+    let bad = crate::wire::Message::NackFrags {
+        assoc: 1,
+        adu_id: 0,
+        ranges: vec![(3000, 100), (2900, 200), (0, 0)],
+    }
+    .encode();
+    a.on_message(SimTime::from_millis(1), &bad);
+    assert_eq!(a.stats.nack_range_errors, 3);
+    assert_eq!(a.stats.tus_retransmitted_selective, 0);
+    assert!(
+        a.poll(SimTime::from_millis(1)).is_empty(),
+        "rejected ranges must not be answered"
+    );
+    // A mixed request still repairs its valid range — per-range
+    // rejection, not per-message.
+    let mixed = crate::wire::Message::NackFrags {
+        assoc: 1,
+        adu_id: 0,
+        ranges: vec![(u32::MAX - 7, 8), (0, 1400)],
+    }
+    .encode();
+    a.on_message(SimTime::from_millis(2), &mixed);
+    assert_eq!(a.stats.nack_range_errors, 4);
+    assert_eq!(a.stats.tus_retransmitted_selective, 1);
+    assert_eq!(a.poll(SimTime::from_millis(2)).len(), 1);
+}
+
+#[test]
+fn bidirectional_adu_exchange() {
+    // Both ends send ADUs at once over the same association: data TUs
+    // and control messages interleave without interference.
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    for i in 0..10u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(2000 + i as usize))
+            .unwrap();
+        b.send_adu(
+            AduName::Media {
+                frame: i as u32,
+                slot: 0,
+            },
+            payload(900 + i as usize),
+        )
+        .unwrap();
+    }
+    pump(&mut a, &mut b, SimTime::ZERO);
+    let mut from_a = 0;
+    while let Some((adu, _)) = b.recv_adu() {
+        assert!(matches!(adu.name, AduName::Seq { .. }));
+        from_a += 1;
+    }
+    let mut from_b = 0;
+    while let Some((adu, _)) = a.recv_adu() {
+        assert!(matches!(adu.name, AduName::Media { .. }));
+        from_b += 1;
+    }
+    assert_eq!(from_a, 10);
+    assert_eq!(from_b, 10);
+    assert!(a.send_complete() && b.send_complete());
+}
+
+#[test]
+fn corrupt_messages_counted() {
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    b.on_message(SimTime::ZERO, &[0u8; 40]);
+    b.on_message(SimTime::ZERO, &[1, 2, 3]);
+    assert_eq!(b.stats.bad_messages, 2);
+}
+
+#[test]
+fn wrong_assoc_ignored() {
+    let mut a = AduTransport::new(AlfConfig {
+        assoc: 1,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        assoc: 2,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    a.send_adu(AduName::Seq { index: 0 }, payload(10)).unwrap();
+    for f in a.poll(SimTime::ZERO) {
+        b.on_message(SimTime::ZERO, &f);
+    }
+    assert!(b.recv_adu().is_none());
+}
+
+#[test]
+fn fec_repairs_single_tu_loss_without_retransmission() {
+    let mut a = AduTransport::new(AlfConfig {
+        fec_group: 4,
+        recovery: RecoveryMode::NoRetransmit,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+    let data = payload(4000); // 3 data TUs
+    a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    assert_eq!(frames.len(), 4, "3 data + 1 parity");
+    assert_eq!(a.stats.fec_parity_sent, 1);
+    // Drop one data TU (the middle one); parity travels last.
+    for (i, f) in frames.iter().enumerate() {
+        if i == 1 {
+            continue;
+        }
+        b.on_message(SimTime::from_micros(i as u64), f);
+    }
+    let (adu, _) = b.recv_adu().expect("FEC must complete the ADU");
+    assert_eq!(adu.payload, data);
+    assert_eq!(b.stats.fec_reconstructions, 1);
+}
+
+#[test]
+fn fec_parity_loss_harmless() {
+    let mut a = AduTransport::new(AlfConfig {
+        fec_group: 4,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let data = payload(4000);
+    a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    // Drop the parity (last frame), deliver all data.
+    for f in &frames[..frames.len() - 1] {
+        b.on_message(SimTime::ZERO, f);
+    }
+    let (adu, _) = b.recv_adu().unwrap();
+    assert_eq!(adu.payload, data);
+    assert_eq!(b.stats.fec_reconstructions, 0);
+}
+
+#[test]
+fn fec_two_losses_fall_back_to_retransmission() {
+    let mut a = AduTransport::new(AlfConfig {
+        fec_group: 4,
+        retransmit_timeout: SimDuration::from_millis(5),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        assembly_timeout: SimDuration::from_millis(2),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let data = payload(4000);
+    a.send_adu(AduName::Seq { index: 0 }, data.clone()).unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    // Drop two data TUs: parity can't help; NACK path must.
+    b.on_message(SimTime::ZERO, &frames[0]); // first data TU
+    b.on_message(SimTime::ZERO, &frames[3]); // parity (travels last)
+    assert!(b.recv_adu().is_none());
+    let nacks = b.poll(SimTime::from_millis(5));
+    assert!(!nacks.is_empty());
+    for f in nacks {
+        a.on_message(SimTime::from_millis(5), &f);
+    }
+    for f in a.poll(SimTime::from_millis(5)) {
+        b.on_message(SimTime::from_millis(6), &f);
+    }
+    let (adu, _) = b.recv_adu().expect("selective repair completes it");
+    assert_eq!(adu.payload, data);
+}
+
+#[test]
+fn timestamps_off_by_default_zero_jitter() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap();
+    for (i, f) in a.poll(SimTime::ZERO).iter().enumerate() {
+        b.on_message(SimTime::from_micros(100 * i as u64), f);
+    }
+    assert_eq!(b.stats.timestamped_tus, 0);
+    assert_eq!(b.stats.jitter_us, 0.0);
+}
+
+#[test]
+fn steady_arrivals_converge_to_low_jitter() {
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+    // Send many single-TU ADUs stamped at a perfectly regular cadence,
+    // delivered with constant latency: D = 0 every step.
+    for i in 0..50u64 {
+        let t = SimTime::from_micros(i * 1000);
+        a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+        for f in a.poll(t) {
+            b.on_message(t + SimDuration::from_micros(40), &f);
+        }
+    }
+    assert_eq!(b.stats.timestamped_tus, 50);
+    assert!(
+        b.stats.jitter_us < 1.0,
+        "constant transit must give ~zero jitter, got {}",
+        b.stats.jitter_us
+    );
+}
+
+#[test]
+fn variable_delay_raises_jitter() {
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+    for i in 0..50u64 {
+        let t = SimTime::from_micros(i * 1000);
+        a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+        // Alternate 40 µs and 640 µs transit: |D| = 600 µs.
+        let transit = if i % 2 == 0 { 40 } else { 640 };
+        for f in a.poll(t) {
+            b.on_message(t + SimDuration::from_micros(transit), &f);
+        }
+    }
+    assert!(
+        b.stats.jitter_us > 100.0,
+        "alternating transit must register, got {}",
+        b.stats.jitter_us
+    );
+}
+
+#[test]
+fn probe_retransmission_carries_timestamp_when_configured() {
+    // Regression: the timeout probe used to go out with flags 0 and
+    // timestamp 0 even under `timestamps: true`, leaving a hole in the
+    // receiver's jitter series.
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    a.send_adu(AduName::Seq { index: 0 }, payload(2000))
+        .unwrap(); // 2 TUs
+    let _lost = a.poll(SimTime::ZERO);
+    let t1 = SimTime::from_millis(100);
+    let probe = a.poll(t1);
+    assert_eq!(probe.len(), 1);
+    assert_eq!(a.stats.probe_tus, 1);
+    let Ok(Message::Tu(tu)) = Message::decode(&probe[0]) else {
+        panic!("probe must decode as a TU");
+    };
+    assert_ne!(tu.flags & TU_FLAG_TIMESTAMP, 0, "probe must be stamped");
+    assert_eq!(tu.timestamp_us, micros_wrapping(t1));
+}
+
+#[test]
+fn selective_repair_tus_carry_timestamps_when_configured() {
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        assembly_timeout: SimDuration::from_millis(5),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap(); // 3 TUs
+    let frames = a.poll(SimTime::ZERO);
+    b.on_message(SimTime::from_micros(10), &frames[0]);
+    let nacks = b.poll(SimTime::from_millis(10));
+    for f in nacks {
+        a.on_message(SimTime::from_millis(10), &f);
+    }
+    let t = SimTime::from_millis(10);
+    let repairs = a.poll(t);
+    assert_eq!(repairs.len(), 2);
+    for f in &repairs {
+        let Ok(Message::Tu(tu)) = Message::decode(f) else {
+            panic!("repair must decode as a TU");
+        };
+        assert_ne!(tu.flags & TU_FLAG_TIMESTAMP, 0, "repair must be stamped");
+        assert_eq!(tu.timestamp_us, micros_wrapping(t));
+    }
+}
+
+#[test]
+fn rtt_sampling_survives_microsecond_clock_wrap() {
+    // Start just shy of the 32-bit µs wrap (~71.6 minutes in) and run
+    // the echo loop across it: samples must stay small and sane, not
+    // jump by ~2^32 µs.
+    let mut a = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut now = SimTime::from_micros((1u64 << 32) - 300);
+    for i in 0..10u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(400)).unwrap();
+        now += SimDuration::from_micros(100);
+        for f in a.poll(now) {
+            b.on_message(now + SimDuration::from_micros(50), &f);
+        }
+        now += SimDuration::from_micros(100);
+        for f in b.poll(now) {
+            a.on_message(now + SimDuration::from_micros(50), &f);
+        }
+    }
+    // The wrap falls inside the second iteration; well over half the
+    // exchanges complete across it (the rest queue behind the
+    // delivery-rate pacer, which is orthogonal to this test).
+    assert!(
+        a.stats.rtt_samples >= 5,
+        "echoes must keep flowing across the wrap"
+    );
+    assert!(
+        a.stats.srtt_us > 0.0 && a.stats.srtt_us < 10_000.0,
+        "srtt must stay near the real ~100 µs RTT, got {}",
+        a.stats.srtt_us
+    );
+}
+
+#[test]
+fn jitter_estimator_survives_microsecond_clock_wrap() {
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::NoRetransmit));
+    // Constant 40 µs transit across the 2^32 µs wrap: jitter stays ~0.
+    for i in 0..50u64 {
+        let t = SimTime::from_micros((1u64 << 32) - 25_000 + i * 1000);
+        a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+        for f in a.poll(t) {
+            b.on_message(t + SimDuration::from_micros(40), &f);
+        }
+    }
+    assert_eq!(b.stats.timestamped_tus, 50);
+    assert!(
+        b.stats.jitter_us < 1.0,
+        "the wrap must not spike the jitter estimate, got {}",
+        b.stats.jitter_us
+    );
+}
+
+#[test]
+fn adaptive_rto_tracks_measured_rtt() {
+    let mut a = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    for i in 0..20u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(500)).unwrap();
+    }
+    pump(&mut a, &mut b, SimTime::ZERO);
+    assert!(a.stats.rtt_samples > 0, "echoes must produce samples");
+    assert!(a.stats.rto_us >= 500.0, "RTO is clamped at rto_min");
+    assert!(
+        a.stats.rto_us < 50_000.0,
+        "adaptive RTO must sit far below the fixed 50 ms default, got {} µs",
+        a.stats.rto_us
+    );
+}
+
+#[test]
+fn cwnd_halves_on_loss_and_regrows_on_acks() {
+    let mut a = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut now = SimTime::ZERO;
+    // Clean exchange grows the window past its initial value.
+    for i in 0..30u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(200)).unwrap();
+    }
+    now = pump(&mut a, &mut b, now);
+    let grown = a.stats.cwnd_adus;
+    assert!(
+        grown > CWND_INIT_ADUS,
+        "clean ACKs must grow cwnd, got {grown}"
+    );
+    assert_eq!(a.stats.loss_events, 0);
+    // Lose a transmission outright: the timeout is a loss event.
+    a.send_adu(AduName::Seq { index: 99 }, payload(200))
+        .unwrap();
+    let _lost = a.poll(now); // dropped on the floor
+    now += SimDuration::from_millis(200);
+    let retx = a.poll(now);
+    assert_eq!(a.stats.loss_events, 1);
+    let halved = a.stats.cwnd_adus;
+    assert!(
+        halved <= grown / 2.0 + 1e-9,
+        "multiplicative decrease: {halved} !<= {grown}/2"
+    );
+    // Recovery: deliver the retransmission, keep exchanging cleanly.
+    for f in retx {
+        b.on_message(now, &f);
+    }
+    now = pump(&mut a, &mut b, now);
+    for i in 100..130u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(200)).unwrap();
+    }
+    pump(&mut a, &mut b, now);
+    assert!(
+        a.stats.cwnd_adus > halved,
+        "cwnd must regrow after recovery: {} !> {halved}",
+        a.stats.cwnd_adus
+    );
+    assert!(a.stats.cwnd_peak_adus >= grown);
+}
+
+#[test]
+fn no_retransmit_ignores_congestion_window() {
+    // Real-time flows have no ACK clock; adaptive mode must not gate
+    // them behind a window that can never grow.
+    let mut a = AduTransport::new(AlfConfig {
+        adaptive: true,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    for i in 0..100 {
+        a.send_adu(AduName::Seq { index: i }, payload(10)).unwrap();
+    }
+    let mut sent = 0;
+    for round in 0..20 {
+        sent += a.poll(SimTime::from_micros(round)).len();
+        if a.send_complete() {
+            break;
+        }
+    }
+    assert_eq!(sent, 100, "fire-and-forget must not be ACK-clocked");
+    assert!(a.send_complete());
+}
+
+#[test]
+fn adaptive_off_leaves_fixed_timers_in_force() {
+    // With `adaptive: false`, an arriving echo feeds the estimator (for
+    // observability) but the RTO stays the configured fixed value.
+    let mut a = AduTransport::new(AlfConfig {
+        timestamps: true,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut now = SimTime::ZERO;
+    for i in 0..5u64 {
+        a.send_adu(AduName::Seq { index: i }, payload(100)).unwrap();
+    }
+    now = pump(&mut a, &mut b, now);
+    assert!(a.stats.rtt_samples > 0, "echoes still observed when off");
+    assert_eq!(a.stats.loss_events, 0);
+    assert_eq!(a.stats.cwnd_adus, CWND_INIT_ADUS, "cwnd untouched when off");
+    // A fresh ADU lost on the floor must wait the full fixed timeout.
+    a.send_adu(AduName::Seq { index: 9 }, payload(100)).unwrap();
+    let _lost = a.poll(now);
+    let before = now + SimDuration::from_millis(49);
+    assert!(a.poll(before).is_empty(), "fixed 50 ms RTO still in force");
+    let after = now + SimDuration::from_millis(51);
+    assert!(!a.poll(after).is_empty());
+}
+
+#[test]
+fn delivery_latency_recorded() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(3000))
+        .unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    b.on_message(SimTime::from_millis(1), &frames[0]);
+    b.on_message(SimTime::from_millis(2), &frames[1]);
+    b.on_message(SimTime::from_millis(4), &frames[2]);
+    let (_, latency) = b.recv_adu().unwrap();
+    assert_eq!(latency, SimDuration::from_millis(3));
+    assert_eq!(b.stats.delivery_latency_max, SimDuration::from_millis(3));
+}
+
+// ------------------------------------------------------------------
+// Flow control, backpressure, partition survival
+// ------------------------------------------------------------------
+
+#[test]
+fn acks_advertise_receiver_window() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(AlfConfig {
+        reassembly_budget_bytes: 64 * 1024,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    a.send_adu(AduName::Seq { index: 0 }, payload(1000))
+        .unwrap();
+    let frames = a.poll(SimTime::ZERO);
+    for f in &frames {
+        b.on_message(SimTime::ZERO, f);
+    }
+    let out = b.poll(SimTime::from_micros(10));
+    let ack = out
+        .iter()
+        .find_map(|f| match Message::decode(f) {
+            Ok(Message::Ack { ids, rwnd, .. }) => Some((ids, rwnd)),
+            _ => None,
+        })
+        .expect("an ACK");
+    assert_eq!(ack.0, vec![0]);
+    // The ADU completed and was released: the whole budget is free.
+    assert_eq!(ack.1, 64 * 1024);
+    // An endpoint without a budget advertises an unlimited window.
+    let mut c = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    c.on_message(SimTime::ZERO, &frames[0]);
+    let out = c.poll(SimTime::from_micros(10));
+    let rwnd = out
+        .iter()
+        .find_map(|f| match Message::decode(f) {
+            Ok(Message::Ack { rwnd, .. }) => Some(rwnd),
+            _ => None,
+        })
+        .expect("an ACK");
+    assert_eq!(rwnd, RWND_UNLIMITED);
+}
+
+#[test]
+fn backpressure_never_exceeds_budget_and_recovers() {
+    const BUDGET: usize = 8 * 1024;
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    let mut b = AduTransport::new(AlfConfig {
+        reassembly_budget_bytes: BUDGET,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    // Far more in flight than the receiver can hold at once, with the
+    // final TU of each ADU lost on first transmission so assemblies
+    // pile up incomplete — the condition that actually squeezes the
+    // budget and forces refusals.
+    let mut sent = Vec::new();
+    for i in 0..6u64 {
+        let data = payload(3000 + i as usize);
+        a.send_adu(AduName::Seq { index: i }, data.clone()).unwrap();
+        sent.push(data);
+    }
+    let mut now = SimTime::ZERO;
+    let mut got = Vec::new();
+    let mut tail_drops = 0;
+    for _ in 0..30_000 {
+        now += SimDuration::from_micros(50);
+        let fa = a.poll(now);
+        let fb = b.poll(now);
+        for f in fa {
+            if tail_drops < 6 {
+                if let Ok(Message::Tu(tu)) = Message::decode(&f) {
+                    if tu.frag_off > 0
+                        && tu.frag_off as usize + tu.payload.len() == tu.adu_len as usize
+                    {
+                        tail_drops += 1;
+                        continue; // the network eats the closing TU
+                    }
+                }
+            }
+            b.on_message(now, &f);
+        }
+        for f in fb {
+            a.on_message(now, &f);
+        }
+        // The invariant the budget exists to enforce:
+        assert!(
+            b.reassembly_bytes() <= BUDGET,
+            "reassembly {} exceeds budget",
+            b.reassembly_bytes()
+        );
+        while let Some((adu, _)) = b.recv_adu() {
+            got.push(adu);
+        }
+        if got.len() == sent.len() && a.send_complete() {
+            break;
+        }
+    }
+    assert_eq!(got.len(), sent.len(), "backpressure must not lose data");
+    got.sort_by_key(|adu| match adu.name {
+        AduName::Seq { index } => index,
+        _ => unreachable!(),
+    });
+    for (adu, want) in got.iter().zip(&sent) {
+        assert_eq!(&adu.payload, want, "byte-identical delivery");
+    }
+    assert!(
+        b.stats.tus_backpressured > 0,
+        "the squeeze must actually have engaged"
+    );
+    assert_eq!(b.assembler_stats().adus_shed, 0, "no silent shedding");
+}
+
+#[test]
+fn zero_window_probe_backs_off_and_resumes() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(1000))
+        .unwrap();
+    a.send_adu(AduName::Seq { index: 1 }, payload(1000))
+        .unwrap();
+    // The peer slams the window shut before anything is admitted.
+    let shut = Message::Ack {
+        assoc: 1,
+        ids: vec![],
+        echo: None,
+        rwnd: 0,
+    }
+    .encode();
+    a.on_message(SimTime::ZERO, &shut);
+    let frames = a.poll(SimTime::ZERO);
+    assert!(
+        frames
+            .iter()
+            .all(|f| matches!(Message::decode(f), Ok(Message::WindowProbe { .. }))),
+        "no data may move through a zero window"
+    );
+    assert_eq!(a.stats.zero_window_probes, 1);
+    // Probes back off exponentially: the second comes after ~RTO, not
+    // on the next poll.
+    assert!(a.poll(SimTime::from_millis(1)).is_empty());
+    assert!(!a.poll(SimTime::from_millis(51)).is_empty());
+    assert_eq!(a.stats.zero_window_probes, 2);
+    assert!(a.poll(SimTime::from_millis(100)).is_empty());
+    let t3 = a.next_timeout().expect("probe timer armed");
+    assert!(t3 >= SimTime::from_millis(151), "backoff doubled");
+    // The window reopens: queued data flows and probe state resets.
+    let open = Message::Ack {
+        assoc: 1,
+        ids: vec![],
+        echo: None,
+        rwnd: RWND_UNLIMITED,
+    }
+    .encode();
+    a.on_message(SimTime::from_millis(200), &open);
+    let frames = a.poll(SimTime::from_millis(200));
+    assert!(frames
+        .iter()
+        .any(|f| matches!(Message::decode(f), Ok(Message::Tu(_)))));
+    assert_eq!(a.stats.zero_window_probes, 2, "no probe after reopen");
+}
+
+#[test]
+fn window_probe_answered_with_id_less_ack() {
+    let mut b = AduTransport::new(AlfConfig {
+        reassembly_budget_bytes: 4096,
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    b.on_message(SimTime::ZERO, &Message::WindowProbe { assoc: 1 }.encode());
+    let out = b.poll(SimTime::from_micros(10));
+    let (ids, rwnd) = out
+        .iter()
+        .find_map(|f| match Message::decode(f) {
+            Ok(Message::Ack { ids, rwnd, .. }) => Some((ids, rwnd)),
+            _ => None,
+        })
+        .expect("probe answered");
+    assert!(ids.is_empty());
+    assert_eq!(rwnd, 4096);
+}
+
+#[test]
+fn silent_peer_declared_unreachable_then_heals() {
+    let mut a = AduTransport::new(AlfConfig {
+        peer_timeout: SimDuration::from_secs(1),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    let name = AduName::Seq { index: 7 };
+    a.send_adu(name, payload(500)).unwrap();
+    let mut now = SimTime::ZERO;
+    // Nothing ever answers.
+    while now < SimTime::from_millis(1500) {
+        now += SimDuration::from_millis(25);
+        let _ = a.poll(now);
+    }
+    assert!(a.peer_unreachable());
+    assert_eq!(a.stats.peer_unreachable_events, 1);
+    let losses = a.take_loss_reports();
+    assert_eq!(losses.len(), 1);
+    assert_eq!(losses[0].name, name, "flushed in application terms");
+    assert!(a.send_complete(), "no infinite retry loop");
+    assert_eq!(
+        a.send_adu(AduName::Seq { index: 8 }, payload(10)),
+        Err(SendRefused::PeerUnreachable)
+    );
+    // The peer comes back: any intact message revives the association.
+    let ack = Message::Ack {
+        assoc: 1,
+        ids: vec![],
+        echo: None,
+        rwnd: RWND_UNLIMITED,
+    }
+    .encode();
+    a.on_message(now, &ack);
+    assert!(!a.peer_unreachable());
+    assert!(a.send_adu(AduName::Seq { index: 8 }, payload(10)).is_ok());
+}
+
+#[test]
+fn idle_endpoint_never_declares_peer_dead() {
+    let mut a = AduTransport::new(AlfConfig {
+        peer_timeout: SimDuration::from_millis(100),
+        ..cfg(RecoveryMode::TransportBuffer)
+    });
+    // Long silence with nothing outstanding: silence is not evidence.
+    for ms in (0..2000).step_by(50) {
+        let _ = a.poll(SimTime::from_millis(ms));
+    }
+    assert!(!a.peer_unreachable());
+    // Work submitted *after* the silence gets the full timeout.
+    a.send_adu(AduName::Seq { index: 0 }, payload(100)).unwrap();
+    let _ = a.poll(SimTime::from_millis(2000));
+    assert!(!a.peer_unreachable());
+    let _ = a.poll(SimTime::from_millis(2099));
+    assert!(!a.peer_unreachable());
+    let _ = a.poll(SimTime::from_millis(2150));
+    assert!(a.peer_unreachable());
+}
+
+#[test]
+fn consecutive_timeouts_stretch_rto() {
+    let mut a = AduTransport::new(cfg(RecoveryMode::TransportBuffer));
+    a.send_adu(AduName::Seq { index: 0 }, payload(100)).unwrap();
+    let mut now = SimTime::ZERO;
+    let mut fires = Vec::new();
+    let mut last_frames = 0usize;
+    for _ in 0..400 {
+        now += SimDuration::from_millis(10);
+        let n = a.poll(now).len();
+        if n > 0 && last_frames == 0 {
+            fires.push(now);
+        }
+        last_frames = n;
+    }
+    // Gaps between successive (re)transmissions grow strictly: the
+    // per-ADU doubling is compounded by the global backoff.
+    assert!(fires.len() >= 3, "need several retransmissions: {fires:?}");
+    let gaps: Vec<_> = fires
+        .windows(2)
+        .map(|w| w[1].saturating_since(w[0]))
+        .collect();
+    for pair in gaps.windows(2) {
+        assert!(pair[1] > pair[0], "RTO must keep stretching: {gaps:?}");
+    }
+    assert!(a.stats.rto_backoff_events >= 2);
+}
+
+#[test]
+fn drop_oldest_shedding_for_media_counted() {
+    const BUDGET: usize = 4096;
+    let mut b = AduTransport::new(AlfConfig {
+        reassembly_budget_bytes: BUDGET,
+        ..cfg(RecoveryMode::NoRetransmit)
+    });
+    // Three incomplete 3000-byte assemblies can't coexist under 4 KiB:
+    // each newcomer evicts the previous (oldest) one.
+    for id in 0..3u64 {
+        let tus = fragment_adu(
+            1,
+            id,
+            AduName::Media {
+                frame: id as u32,
+                slot: 0,
+            },
+            &payload(3000),
+            1400,
+        );
+        b.on_message(
+            SimTime::from_millis(id),
+            &Message::Tu(tus[0].clone()).encode(),
+        );
+        assert!(b.reassembly_bytes() <= BUDGET);
+    }
+    assert_eq!(b.assembler_stats().adus_shed, 2);
+    let _ = b.poll(SimTime::from_millis(10));
+    assert_eq!(b.stats.adus_shed, 2, "sheds surface in AlfStats");
+}

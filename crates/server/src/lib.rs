@@ -1,0 +1,901 @@
+//! The many-association ALF server.
+//!
+//! The paper's ALF/ILP argument is ultimately about how a *server* should
+//! be organized: the ADU is the unit the application names, so a server
+//! terminating many clients should pay a flat, small cost per ADU no
+//! matter how many associations it holds. [`AlfServer`] owns N
+//! [`AduTransport`] endpoints behind three structures chosen for exactly
+//! that property:
+//!
+//! * a **sharded association table** — [`AssocKey`] (peer, association id)
+//!   hashes by FNV-1a to a shard, so frames of one association always land
+//!   on the same shard and reassembly state is never shared across shards
+//!   (lock-free by construction; the sharding also fixes the layout a
+//!   multi-core deployment would pin threads to);
+//! * a per-shard **hashed timer wheel** ([`alf_core::timer::TimerWheel`])
+//!   holding at most one wakeup per association — the association's own
+//!   `next_timeout()` — so finding expired work is O(slots + expired),
+//!   never a scan of all N associations;
+//! * a **batched event loop** — [`AlfServer::poll_batch`] drains up to a
+//!   configured number of ingress frames per tick with one caller-supplied
+//!   clock read and one telemetry flush per batch, and only polls the
+//!   associations actually touched by a frame or an expired timer (the
+//!   *dirty list*), never all N.
+//!
+//! The driver in [`cluster`] wires a server node to many client nodes in
+//! `ct-netsim` and is what experiment X13 measures: per-ADU cost flat from
+//! 1 to 100 000 concurrent associations, memory bounded per association.
+
+pub mod cluster;
+
+use alf_core::adu::Adu;
+use alf_core::mux::peek_assoc;
+use alf_core::timer::TimerWheel;
+use alf_core::transport::{AduTransport, AlfConfig, AlfStats, LossReport, SendRefused};
+use ct_netsim::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Identity of one association terminated by the server: the originating
+/// peer (an opaque 64-bit id the caller derives from its addressing —
+/// a node id, a socket, a flow hash) plus the 16-bit association id
+/// carried in every wire message. Two peers may reuse the same wire
+/// association id without colliding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AssocKey {
+    /// Opaque peer identity (who the frame came from / goes to).
+    pub peer: u64,
+    /// Wire association id within that peer.
+    pub assoc: u16,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the key's bytes. Deliberately *not* `std`'s `RandomState`:
+/// shard placement must be deterministic across runs so two runs of the
+/// same seed produce byte-identical telemetry.
+fn shard_hash(key: AssocKey) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in key.peer.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    for b in key.assoc.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Static configuration of an [`AlfServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of shards the association table is split into. Same-key
+    /// frames always land on the same shard.
+    pub shards: usize,
+    /// Slots per shard wakeup wheel.
+    pub wheel_slots: usize,
+    /// Tick width of the shard wakeup wheels. Deadlines stay exact; the
+    /// granularity only bounds how many slots an advance scans.
+    pub wheel_granularity: SimDuration,
+    /// Maximum ingress frames drained per [`AlfServer::poll_batch`] call —
+    /// the amortization unit: one clock read and one telemetry flush cover
+    /// up to this many frames.
+    pub batch_frames: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            wheel_slots: 64,
+            wheel_granularity: SimDuration::from_millis(2),
+            batch_frames: 1024,
+        }
+    }
+}
+
+/// Error from [`AlfServer::add_association`]: the key is already bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssocExists(pub AssocKey);
+
+impl std::fmt::Display for AssocExists {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "association (peer {}, assoc {}) already exists",
+            self.0.peer, self.0.assoc
+        )
+    }
+}
+
+impl std::error::Error for AssocExists {}
+
+/// What one [`AlfServer::poll_batch`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Ingress frames dispatched to associations.
+    pub frames_ingested: usize,
+    /// Association wakeups fired from the shard wheels.
+    pub timers_fired: usize,
+    /// Associations polled (the dirty list — not N).
+    pub assocs_polled: usize,
+    /// Egress frames produced.
+    pub egress_frames: usize,
+    /// ADUs that completed reassembly this batch.
+    pub adus_delivered: usize,
+}
+
+impl BatchReport {
+    /// Nothing happened: no frames, no timers, no polls.
+    pub fn idle(&self) -> bool {
+        *self == BatchReport::default()
+    }
+}
+
+/// Server-level counters, aggregated over all shards by
+/// [`AlfServer::publish_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardCounters {
+    frames_in: u64,
+    frames_out: u64,
+    timer_fires: u64,
+    polls: u64,
+    /// Frames for unknown associations — dropped, never delivered to a
+    /// wrong endpoint (the §3 mis-delivery security property).
+    misdelivered: u64,
+    /// Frames too short to carry an association id.
+    malformed: u64,
+}
+
+/// One association's slot in a shard.
+#[derive(Debug)]
+struct AssocEntry {
+    ep: AduTransport,
+    /// The wakeup deadline currently armed in the shard wheel for this
+    /// association (strict one-entry-per-association protocol: re-arming
+    /// removes the old entry first, so the wheel's minimum is exact).
+    armed: Option<SimTime>,
+    /// Already on the shard's dirty list this batch.
+    dirty: bool,
+}
+
+/// A shard is a *slab*: entries live contiguously in [`Shard::slots`] and
+/// every hot structure (wheel, dirty list) is keyed by the 32-bit slot
+/// index, so the frame/timer/poll paths never walk a tree — one hash
+/// lookup on ingress, direct indexing everywhere after. The dirty drain
+/// sorts its indexes first, which on a slab is address order: polling
+/// 10 000 touched associations walks their endpoints forward through
+/// memory instead of hopping the heap.
+#[derive(Debug)]
+struct Shard {
+    /// Key → slot index. Lookups only — never iterated — so the std
+    /// hasher's per-process seed cannot leak into run-to-run behavior.
+    index: HashMap<AssocKey, u32>,
+    /// Slot storage; freed slots become `None` and are recycled LIFO via
+    /// [`Shard::free`].
+    slots: Vec<Option<(AssocKey, AssocEntry)>>,
+    free: Vec<u32>,
+    wheel: TimerWheel<u32>,
+    wheel_scratch: Vec<(SimTime, u32)>,
+    /// Slot indexes needing a poll: touched by ingress, a fired timer, or
+    /// an application send since the last drain. Deduplicated by
+    /// `AssocEntry::dirty`, sorted (→ memory order) at drain time —
+    /// deterministic.
+    dirty: Vec<u32>,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    fn new(cfg: &ServerConfig) -> Self {
+        Self {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            wheel: TimerWheel::new(cfg.wheel_slots, cfg.wheel_granularity),
+            wheel_scratch: Vec::new(),
+            dirty: Vec::new(),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// Occupied entries, in slot (= memory) order.
+    fn entries(&self) -> impl Iterator<Item = &AssocEntry> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(_, e)| e))
+    }
+}
+
+/// A server terminating many ALF associations — see the module docs for
+/// the three structures (sharded table, wakeup wheels, batched loop) that
+/// keep its per-ADU cost flat in the association count.
+#[derive(Debug)]
+pub struct AlfServer {
+    cfg: ServerConfig,
+    shards: Vec<Shard>,
+    /// Ingress frames queued by [`AlfServer::ingest`], drained (up to
+    /// `batch_frames` at a time) by [`AlfServer::poll_batch`].
+    ingress: VecDeque<(u64, Vec<u8>)>,
+    /// Completed ADUs awaiting [`AlfServer::take_delivered`].
+    delivered: Vec<(AssocKey, Adu, SimDuration)>,
+    /// Loss reports awaiting [`AlfServer::take_losses`].
+    losses: Vec<(AssocKey, LossReport)>,
+    assoc_count: usize,
+    batches: u64,
+    telemetry: Option<ct_telemetry::Telemetry>,
+    /// Layer label for flight-recorder events and the metric prefix of the
+    /// per-batch flush. `"server"` unless this instance is reused as a
+    /// client-side stack (the cluster driver does exactly that).
+    role: &'static str,
+}
+
+impl AlfServer {
+    /// A server with `cfg.shards` empty shards.
+    ///
+    /// # Panics
+    /// If `shards`, `wheel_slots` or `batch_frames` is zero, or the wheel
+    /// granularity is zero.
+    pub fn new(cfg: ServerConfig) -> Self {
+        assert!(cfg.shards > 0, "server needs at least one shard");
+        assert!(cfg.batch_frames > 0, "batch size must be positive");
+        let shards = (0..cfg.shards).map(|_| Shard::new(&cfg)).collect();
+        Self {
+            cfg,
+            shards,
+            ingress: VecDeque::new(),
+            delivered: Vec::new(),
+            losses: Vec::new(),
+            assoc_count: 0,
+            batches: 0,
+            telemetry: None,
+            role: "server",
+        }
+    }
+
+    /// Observability: the batch counters flush into `tel`'s metrics
+    /// registry once per [`AlfServer::poll_batch`], and endpoints created
+    /// *after* this call record flight-recorder events under layer
+    /// `"server"` (if tracing is armed).
+    pub fn attach_telemetry(&mut self, tel: ct_telemetry::Telemetry) {
+        self.attach_telemetry_as(tel, "server");
+    }
+
+    /// [`AlfServer::attach_telemetry`] under a different layer label —
+    /// for reusing this stack on the *client* side of a simulation, where
+    /// its events and batch counters should not masquerade as the server's.
+    pub fn attach_telemetry_as(&mut self, tel: ct_telemetry::Telemetry, role: &'static str) {
+        self.telemetry = Some(tel);
+        self.role = role;
+    }
+
+    fn shard_of(&self, key: AssocKey) -> usize {
+        (shard_hash(key) % self.cfg.shards as u64) as usize
+    }
+
+    /// Associations currently terminated.
+    pub fn assoc_count(&self) -> usize {
+        self.assoc_count
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingress frames queued but not yet dispatched.
+    pub fn ingress_backlog(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Batches executed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// True while another [`AlfServer::poll_batch`] call would do work at
+    /// the *current* instant: queued ingress or dirty associations. Timer
+    /// wakeups are reported by [`AlfServer::next_wakeup`] instead.
+    pub fn pending_work(&self) -> bool {
+        !self.ingress.is_empty() || self.shards.iter().any(|s| !s.dirty.is_empty())
+    }
+
+    /// Create an endpoint for `key` (the config's `assoc` field is
+    /// overridden to match the key's).
+    ///
+    /// # Errors
+    /// [`AssocExists`] if the key is already bound.
+    pub fn add_association(
+        &mut self,
+        key: AssocKey,
+        mut cfg: AlfConfig,
+    ) -> Result<(), AssocExists> {
+        let si = self.shard_of(key);
+        let shard = &mut self.shards[si];
+        if shard.index.contains_key(&key) {
+            return Err(AssocExists(key));
+        }
+        cfg.assoc = key.assoc;
+        let mut ep = AduTransport::new(cfg);
+        if let Some(tel) = &self.telemetry {
+            ep.attach_telemetry(tel.clone(), self.role);
+        }
+        let entry = AssocEntry {
+            ep,
+            armed: None,
+            dirty: false,
+        };
+        let idx = match shard.free.pop() {
+            Some(i) => {
+                shard.slots[i as usize] = Some((key, entry));
+                i
+            }
+            None => {
+                shard.slots.push(Some((key, entry)));
+                (shard.slots.len() - 1) as u32
+            }
+        };
+        shard.index.insert(key, idx);
+        self.assoc_count += 1;
+        Ok(())
+    }
+
+    /// Tear an association down, returning its endpoint (e.g. to drain
+    /// final deliveries). Its armed wakeup, if any, is cancelled. A stale
+    /// dirty-list index is harmless: the drain skips empty slots, and a
+    /// recycled slot merely absorbs one spurious (idempotent) poll.
+    pub fn remove_association(&mut self, key: AssocKey) -> Option<AduTransport> {
+        let si = self.shard_of(key);
+        let shard = &mut self.shards[si];
+        let idx = shard.index.remove(&key)?;
+        let (_, entry) = shard.slots[idx as usize]
+            .take()
+            .expect("indexed slot occupied");
+        if let Some(d) = entry.armed {
+            shard.wheel.remove(d, idx);
+        }
+        shard.free.push(idx);
+        self.assoc_count -= 1;
+        Some(entry.ep)
+    }
+
+    /// Borrow one association's endpoint.
+    pub fn endpoint(&self, key: AssocKey) -> Option<&AduTransport> {
+        let shard = &self.shards[self.shard_of(key)];
+        let idx = *shard.index.get(&key)?;
+        shard.slots[idx as usize].as_ref().map(|(_, e)| &e.ep)
+    }
+
+    /// Mutably borrow one association's endpoint. The association is
+    /// marked dirty — whatever the caller does to it (answer a recompute
+    /// request, reconfigure), the next batch polls it and re-arms its
+    /// wakeup.
+    pub fn endpoint_mut(&mut self, key: AssocKey) -> Option<&mut AduTransport> {
+        let si = self.shard_of(key);
+        let shard = &mut self.shards[si];
+        let idx = *shard.index.get(&key)?;
+        let (_, entry) = shard.slots[idx as usize].as_mut()?;
+        if !entry.dirty {
+            entry.dirty = true;
+            shard.dirty.push(idx);
+        }
+        Some(&mut entry.ep)
+    }
+
+    /// Submit an ADU for transmission on `key`'s association. The frames
+    /// leave on the next [`AlfServer::poll_batch`].
+    ///
+    /// # Errors
+    /// [`SendRefused::WindowFull`] (and friends) exactly as
+    /// [`AduTransport::send_adu`]; an unknown key refuses as
+    /// [`SendRefused::PeerUnreachable`].
+    pub fn send_adu(
+        &mut self,
+        key: AssocKey,
+        name: alf_core::adu::AduName,
+        payload: impl Into<ct_wire::WireBuf>,
+    ) -> Result<u64, SendRefused> {
+        let si = self.shard_of(key);
+        let shard = &mut self.shards[si];
+        let Some(&idx) = shard.index.get(&key) else {
+            return Err(SendRefused::PeerUnreachable);
+        };
+        let (_, entry) = shard.slots[idx as usize]
+            .as_mut()
+            .expect("indexed slot occupied");
+        let id = entry.ep.send_adu(name, payload)?;
+        if !entry.dirty {
+            entry.dirty = true;
+            shard.dirty.push(idx);
+        }
+        Ok(id)
+    }
+
+    /// Queue one arriving frame from `peer`. No parsing, no clock read —
+    /// dispatch happens in [`AlfServer::poll_batch`], amortized over the
+    /// whole batch.
+    pub fn ingest(&mut self, peer: u64, frame: Vec<u8>) {
+        self.ingress.push_back((peer, frame));
+    }
+
+    /// The earliest armed association wakeup across all shards —
+    /// O(shards × wheel slots), never O(associations). Returns `None` when
+    /// no association has pending timed work.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.wheel.next_deadline())
+            .min()
+    }
+
+    /// Run one batch at instant `now` (the batch's single clock read):
+    ///
+    /// 1. dispatch up to `batch_frames` queued ingress frames to their
+    ///    associations (peek the key, shard-route, ingest);
+    /// 2. advance each shard's wakeup wheel to `now` and collect the
+    ///    associations whose timers expired;
+    /// 3. poll exactly the dirty associations, pushing their egress frames
+    ///    into `egress` as `(peer, frame)` and their completed ADUs into
+    ///    the [`AlfServer::take_delivered`] queue; re-arm each polled
+    ///    association's wakeup from its `next_timeout()`;
+    /// 4. flush the batch counters to telemetry — once.
+    ///
+    /// An association whose poll produced output stays dirty (it may have
+    /// more to emit at this same instant — e.g. a burst cap); drive the
+    /// loop with [`AlfServer::pending_work`].
+    pub fn poll_batch(&mut self, now: SimTime, egress: &mut Vec<(u64, Vec<u8>)>) -> BatchReport {
+        let mut report = BatchReport::default();
+
+        // 1. Ingress dispatch, capped at the batch size.
+        for _ in 0..self.cfg.batch_frames {
+            let Some((peer, frame)) = self.ingress.pop_front() else {
+                break;
+            };
+            report.frames_ingested += 1;
+            let Some(assoc) = peek_assoc(&frame) else {
+                // Too short to route: count it on the shard the bare peer
+                // hashes to, so the drop is visible *somewhere* stable.
+                let si =
+                    (shard_hash(AssocKey { peer, assoc: 0 }) % self.cfg.shards as u64) as usize;
+                self.shards[si].counters.malformed += 1;
+                continue;
+            };
+            let key = AssocKey { peer, assoc };
+            let si = self.shard_of(key);
+            let shard = &mut self.shards[si];
+            match shard.index.get(&key) {
+                Some(&idx) => {
+                    shard.counters.frames_in += 1;
+                    let (_, entry) = shard.slots[idx as usize]
+                        .as_mut()
+                        .expect("indexed slot occupied");
+                    entry.ep.on_frame(now, frame.into());
+                    if !entry.dirty {
+                        entry.dirty = true;
+                        shard.dirty.push(idx);
+                    }
+                }
+                None => shard.counters.misdelivered += 1,
+            }
+        }
+
+        // 2. Fire expired wakeups — only expired slots are scanned.
+        for shard in &mut self.shards {
+            let mut due = std::mem::take(&mut shard.wheel_scratch);
+            shard.wheel.advance(now, &mut due);
+            for &(deadline, idx) in &due {
+                if let Some((_, entry)) = shard.slots[idx as usize].as_mut() {
+                    if entry.armed == Some(deadline) {
+                        entry.armed = None;
+                        shard.counters.timer_fires += 1;
+                        report.timers_fired += 1;
+                        if !entry.dirty {
+                            entry.dirty = true;
+                            shard.dirty.push(idx);
+                        }
+                    }
+                }
+            }
+            due.clear();
+            shard.wheel_scratch = due;
+        }
+
+        // 3. Poll the dirty list — the associations something happened to.
+        // Sorted first: slot order is memory order on a slab, so a big
+        // drain walks the endpoints forward through the heap.
+        for shard in &mut self.shards {
+            let mut dirty = std::mem::take(&mut shard.dirty);
+            dirty.sort_unstable();
+            for idx in dirty {
+                let Some((key, entry)) = shard.slots[idx as usize].as_mut() else {
+                    continue; // removed since it was marked
+                };
+                let key = *key;
+                entry.dirty = false;
+                report.assocs_polled += 1;
+                shard.counters.polls += 1;
+                let frames = entry.ep.poll(now);
+                let moved = !frames.is_empty();
+                for f in frames {
+                    report.egress_frames += 1;
+                    shard.counters.frames_out += 1;
+                    egress.push((key.peer, f));
+                }
+                while let Some((adu, latency)) = entry.ep.recv_adu() {
+                    report.adus_delivered += 1;
+                    self.delivered.push((key, adu, latency));
+                }
+                for loss in entry.ep.take_loss_reports() {
+                    self.losses.push((key, loss));
+                }
+                // Re-arm: strict one-entry protocol against the shard wheel.
+                let desired = entry.ep.next_timeout();
+                if desired != entry.armed {
+                    if let Some(old) = entry.armed {
+                        shard.wheel.remove(old, idx);
+                    }
+                    if let Some(d) = desired {
+                        shard.wheel.insert(d, idx);
+                    }
+                    entry.armed = desired;
+                }
+                if moved && !entry.dirty {
+                    // Output at this instant may beget more output (burst
+                    // caps, ACK-triggered sends): keep it on the list.
+                    entry.dirty = true;
+                    shard.dirty.push(idx);
+                }
+            }
+        }
+
+        // 4. One telemetry flush for the whole batch.
+        self.batches += 1;
+        if let Some(tel) = &self.telemetry {
+            let role = self.role;
+            let mut reg = tel.metrics_mut();
+            reg.counter_set(&format!("{role}.batches"), self.batches);
+            reg.counter_set(
+                &format!("{role}.frames_in"),
+                self.shards.iter().map(|s| s.counters.frames_in).sum(),
+            );
+            reg.counter_set(
+                &format!("{role}.frames_out"),
+                self.shards.iter().map(|s| s.counters.frames_out).sum(),
+            );
+            reg.counter_set(
+                &format!("{role}.timer_fires"),
+                self.shards.iter().map(|s| s.counters.timer_fires).sum(),
+            );
+            reg.counter_set(&format!("{role}.assocs"), self.assoc_count as u64);
+        }
+        report
+    }
+
+    /// Every association has fully drained (nothing queued, paced or
+    /// unacknowledged anywhere) and no work is pending. O(associations) —
+    /// an end-of-run check, not a hot-path one; gate it behind cheap
+    /// counters as the cluster driver does.
+    pub fn drained(&self) -> bool {
+        !self.pending_work()
+            && self
+                .shards
+                .iter()
+                .all(|s| s.entries().all(|e| e.ep.send_complete()))
+    }
+
+    /// Completed ADUs since the last call: `(key, adu, delivery latency)`.
+    pub fn take_delivered(&mut self) -> Vec<(AssocKey, Adu, SimDuration)> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Loss reports since the last call, in application terms per §5.
+    pub fn take_losses(&mut self) -> Vec<(AssocKey, LossReport)> {
+        std::mem::take(&mut self.losses)
+    }
+
+    /// Aggregate transport stats of every association in shard `i`.
+    pub fn shard_stats(&self, i: usize) -> AlfStats {
+        let mut total = AlfStats::default();
+        for entry in self.shards[i].entries() {
+            total.merge(&entry.ep.stats);
+        }
+        total
+    }
+
+    /// Publish per-shard aggregates under `prefix.shard<i>.*` (via
+    /// [`AlfStats::publish`]) plus the shard's own dispatch counters, and
+    /// server totals under `prefix.*`. End-of-run publication — it walks
+    /// every association.
+    pub fn publish_stats(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let agg = self.shard_stats(i);
+            let shard_prefix = format!("{prefix}.shard{i}");
+            agg.publish(reg, &shard_prefix);
+            reg.counter_set(&format!("{shard_prefix}.assocs"), shard.index.len() as u64);
+            reg.counter_set(
+                &format!("{shard_prefix}.frames_in"),
+                shard.counters.frames_in,
+            );
+            reg.counter_set(
+                &format!("{shard_prefix}.frames_out"),
+                shard.counters.frames_out,
+            );
+            reg.counter_set(
+                &format!("{shard_prefix}.timer_fires"),
+                shard.counters.timer_fires,
+            );
+            reg.counter_set(&format!("{shard_prefix}.polls"), shard.counters.polls);
+            reg.counter_set(
+                &format!("{shard_prefix}.misdelivered"),
+                shard.counters.misdelivered,
+            );
+            reg.counter_set(
+                &format!("{shard_prefix}.malformed"),
+                shard.counters.malformed,
+            );
+        }
+        reg.counter_set(&format!("{prefix}.assocs"), self.assoc_count as u64);
+        reg.counter_set(&format!("{prefix}.batches"), self.batches);
+    }
+
+    /// Approximate resident footprint in bytes: every association's own
+    /// accounting ([`AduTransport::approx_mem_bytes`]) plus table, wheel
+    /// and queue overhead. Deterministic (capacity-derived, no allocator
+    /// introspection) so X13 can commit it to a gated baseline.
+    pub fn approx_mem_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for shard in &self.shards {
+            total += std::mem::size_of::<Shard>();
+            total += shard.wheel.approx_mem_bytes();
+            total += shard.wheel_scratch.capacity() * std::mem::size_of::<(SimTime, u32)>();
+            total += shard.dirty.capacity() * std::mem::size_of::<u32>();
+            total += shard.free.capacity() * std::mem::size_of::<u32>();
+            // Slab slot overhead (the endpoint body itself is counted by
+            // `ep.approx_mem_bytes()` below) plus the hash index (entry +
+            // control-byte overhead per bucket).
+            total += shard.slots.capacity()
+                * (std::mem::size_of::<Option<(AssocKey, AssocEntry)>>()
+                    - std::mem::size_of::<AduTransport>());
+            total += shard.index.capacity() * (std::mem::size_of::<(AssocKey, u32)>() + 2);
+            for entry in shard.entries() {
+                total += entry.ep.approx_mem_bytes();
+            }
+        }
+        total += self
+            .ingress
+            .iter()
+            .map(|(_, f)| f.capacity() + std::mem::size_of::<(u64, Vec<u8>)>())
+            .sum::<usize>();
+        total += self.delivered.capacity() * std::mem::size_of::<(AssocKey, Adu, SimDuration)>();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alf_core::adu::AduName;
+
+    fn key(peer: u64, assoc: u16) -> AssocKey {
+        AssocKey { peer, assoc }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    /// Drive `server` and one client endpoint until both go quiet.
+    fn pump(server: &mut AlfServer, client: &mut AduTransport, peer: u64) {
+        let mut now = SimTime::ZERO;
+        let mut egress = Vec::new();
+        for _ in 0..10_000 {
+            now += SimDuration::from_micros(50);
+            let mut moved = false;
+            for f in client.poll(now) {
+                moved = true;
+                server.ingest(peer, f);
+            }
+            while server.pending_work() {
+                let r = server.poll_batch(now, &mut egress);
+                if r.idle() {
+                    break;
+                }
+                moved = true;
+            }
+            for (p, f) in egress.drain(..) {
+                assert_eq!(p, peer);
+                client.on_frame(now, f.into());
+            }
+            if !moved && server.next_wakeup().is_none() && client.next_timeout().is_none() {
+                return;
+            }
+        }
+        panic!("did not quiesce");
+    }
+
+    #[test]
+    fn same_key_routes_to_same_shard() {
+        let server = AlfServer::new(ServerConfig::default());
+        let k = key(7, 42);
+        assert_eq!(server.shard_of(k), server.shard_of(k));
+        // Distinct peers with the same wire assoc id are distinct keys.
+        assert_ne!(shard_hash(key(1, 5)), shard_hash(key(2, 5)));
+    }
+
+    #[test]
+    fn delivers_across_associations_without_bleed() {
+        let mut server = AlfServer::new(ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        });
+        let cfg = AlfConfig::default();
+        let mut clients: Vec<(u64, u16, AduTransport)> = Vec::new();
+        for peer in 0..3u64 {
+            for assoc in 1..=4u16 {
+                server.add_association(key(peer, assoc), cfg).unwrap();
+                clients.push((peer, assoc, AduTransport::new(AlfConfig { assoc, ..cfg })));
+            }
+        }
+        // Each association sends one ADU whose bytes encode its identity.
+        for (peer, assoc, client) in &mut clients {
+            let mut body = payload(600);
+            body[0] = *peer as u8;
+            body[1] = *assoc as u8;
+            client.send_adu(AduName::Seq { index: 0 }, body).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut egress = Vec::new();
+        for _ in 0..1000 {
+            now += SimDuration::from_micros(50);
+            let mut moved = false;
+            for (peer, _, client) in &mut clients {
+                for f in client.poll(now) {
+                    moved = true;
+                    server.ingest(*peer, f);
+                }
+            }
+            while server.pending_work() {
+                if server.poll_batch(now, &mut egress).idle() {
+                    break;
+                }
+                moved = true;
+            }
+            for (p, f) in egress.drain(..) {
+                for (peer, _, client) in &mut clients {
+                    if *peer == p {
+                        // The wire assoc id demultiplexes within the peer.
+                        if alf_core::mux::peek_assoc(&f) == Some(client.config().assoc) {
+                            client.on_frame(now, f.clone().into());
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let delivered = server.take_delivered();
+        assert_eq!(delivered.len(), 12);
+        for (k, adu, _) in &delivered {
+            assert_eq!(adu.payload.as_slice()[0], k.peer as u8, "payload bleed");
+            assert_eq!(adu.payload.as_slice()[1], k.assoc as u8, "payload bleed");
+        }
+        assert!(server.shard_count() == 4);
+    }
+
+    #[test]
+    fn unknown_and_malformed_frames_are_counted_not_delivered() {
+        let mut server = AlfServer::new(ServerConfig::default());
+        server
+            .add_association(key(1, 1), AlfConfig::default())
+            .unwrap();
+        let mut client = AduTransport::new(AlfConfig::default());
+        client
+            .send_adu(AduName::Seq { index: 0 }, payload(100))
+            .unwrap();
+        let frames = client.poll(SimTime::ZERO);
+        let mut egress = Vec::new();
+        // Wrong peer: same wire assoc id, unknown key.
+        server.ingest(99, frames[0].clone());
+        // Truncated garbage.
+        server.ingest(1, vec![1, 2, 3]);
+        server.poll_batch(SimTime::ZERO, &mut egress);
+        let mis: u64 = (0..server.shard_count())
+            .map(|i| server.shards[i].counters.misdelivered)
+            .sum();
+        let mal: u64 = (0..server.shard_count())
+            .map(|i| server.shards[i].counters.malformed)
+            .sum();
+        assert_eq!(mis, 1);
+        assert_eq!(mal, 1);
+        assert!(server.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn batch_cap_defers_excess_frames() {
+        let mut server = AlfServer::new(ServerConfig {
+            batch_frames: 2,
+            ..ServerConfig::default()
+        });
+        server
+            .add_association(key(1, 1), AlfConfig::default())
+            .unwrap();
+        for _ in 0..5 {
+            server.ingest(1, vec![0; 3]);
+        }
+        let mut egress = Vec::new();
+        let r = server.poll_batch(SimTime::ZERO, &mut egress);
+        assert_eq!(r.frames_ingested, 2);
+        assert_eq!(server.ingress_backlog(), 3);
+        assert!(server.pending_work());
+    }
+
+    #[test]
+    fn round_trip_with_acks_quiesces_and_rearms_nothing() {
+        let mut server = AlfServer::new(ServerConfig::default());
+        let cfg = AlfConfig::default();
+        server.add_association(key(5, 9), cfg).unwrap();
+        let mut client = AduTransport::new(AlfConfig { assoc: 9, ..cfg });
+        for i in 0..20u64 {
+            client
+                .send_adu(AduName::Seq { index: i }, payload(3000))
+                .unwrap();
+        }
+        pump(&mut server, &mut client, 5);
+        assert_eq!(server.take_delivered().len(), 20);
+        assert!(client.send_complete(), "ACKs must reach the client back");
+        assert_eq!(
+            server.next_wakeup(),
+            None,
+            "a drained server must hold no armed wakeups"
+        );
+    }
+
+    #[test]
+    fn remove_association_cancels_its_wakeup() {
+        let mut server = AlfServer::new(ServerConfig::default());
+        let k = key(2, 3);
+        server.add_association(k, AlfConfig::default()).unwrap();
+        // Server-side send leaves an un-ACKed ADU → armed retransmit wakeup.
+        server
+            .send_adu(k, AduName::Seq { index: 0 }, payload(100))
+            .unwrap();
+        let mut egress = Vec::new();
+        while server.pending_work() {
+            if server.poll_batch(SimTime::ZERO, &mut egress).idle() {
+                break;
+            }
+        }
+        assert!(server.next_wakeup().is_some());
+        let ep = server.remove_association(k).expect("was added");
+        assert!(!ep.send_complete());
+        assert_eq!(server.next_wakeup(), None);
+        assert_eq!(server.assoc_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_key_refused() {
+        let mut server = AlfServer::new(ServerConfig::default());
+        let k = key(1, 1);
+        server.add_association(k, AlfConfig::default()).unwrap();
+        assert_eq!(
+            server.add_association(k, AlfConfig::default()),
+            Err(AssocExists(k))
+        );
+        assert_eq!(server.assoc_count(), 1);
+    }
+
+    #[test]
+    fn mem_accounting_scales_with_associations() {
+        let mut server = AlfServer::new(ServerConfig::default());
+        let empty = server.approx_mem_bytes();
+        for i in 0..100u64 {
+            server
+                .add_association(key(i, 1), AlfConfig::default())
+                .unwrap();
+        }
+        let loaded = server.approx_mem_bytes();
+        assert!(loaded > empty);
+        let per_assoc = (loaded - empty) / 100;
+        assert!(
+            per_assoc < 64 * 1024,
+            "idle association should cost well under 64 KiB, got {per_assoc}"
+        );
+    }
+}

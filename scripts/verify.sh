@@ -28,7 +28,7 @@ cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
 # Snapshot them before the harness overwrites them in place.
 BASE_DIR=$(mktemp -d)
 trap 'rm -rf "$BASE_DIR"' EXIT
-cp BENCH_x10.json BENCH_x11.json BENCH_x12.json "$BASE_DIR"/
+cp BENCH_x10.json BENCH_x11.json BENCH_x12.json BENCH_x13.json "$BASE_DIR"/
 
 cargo run --release -q -p ct-bench --bin harness x10 > /dev/null
 
@@ -51,15 +51,26 @@ cargo run --release -q -p ct-telemetry --bin ct-trace -- \
 # it refreshes BENCH_x12.json.
 cargo run --release -q -p ct-bench --bin harness x12 > /dev/null
 
+# Many-association server: a quick 512-association smoke (CLI-validated
+# args, per-ADU cost printed) and then the full X13 sweep — 1 → 1k → 100k
+# associations through one AlfServer — which asserts the per-ADU cost
+# curve stays flat, bounds per-association memory, and refreshes
+# BENCH_x13.json.
+cargo run --release -q -p ct-bench --bin harness x13 --assoc 512 > /dev/null
+cargo run --release -q -p ct-bench --bin harness x13 > /dev/null
+
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x10.json BENCH_x10.json
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x11.json BENCH_x11.json
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x12.json BENCH_x12.json
+cargo run --release -q -p ct-bench --bin bench-gate -- \
+    "$BASE_DIR"/BENCH_x13.json BENCH_x13.json
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended
+    SOAK=1 cargo test -q -p ct-bench --test chaos server_churn_soak_extended
 fi
 
 if [ "${HOSTILE:-0}" = "1" ]; then

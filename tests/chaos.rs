@@ -30,6 +30,12 @@
 //! (association, ADU name, layer, sim-time) — the post-mortem is in the
 //! failure output, not in a rerun under a debugger. Identically seeded runs
 //! must produce byte-identical trace streams (`chaos_trace_deterministic`).
+//!
+//! The second half of the file soaks the many-association `AlfServer`
+//! under the same storm while associations are created and destroyed
+//! mid-run (`server_churn_run`): no cross-association payload bleed, no
+//! delivery for destroyed associations, at-most-once delivery, and
+//! per-peer reassembly quotas that hold every iteration.
 
 use std::collections::{HashMap, HashSet};
 
@@ -390,5 +396,367 @@ fn hostile_soak_extended() {
     }
     for seed in 40..52 {
         chaos_run_mode(seed, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-association churn: an `AlfServer` terminating many associations
+// under the same fault + mutator storm, while associations are created and
+// destroyed mid-run. In-loop invariants: a delivered payload always matches
+// the identity bytes of its own (peer, association, index) — so frames can
+// never bleed across associations — delivery is at-most-once, nothing is
+// delivered for a destroyed association, and per-peer reassembly memory
+// stays within the sum of that peer's per-association budgets.
+// ---------------------------------------------------------------------------
+
+const SRV_BUDGET: usize = 24 * 1024;
+const SRV_ADU_BYTES: usize = 2500;
+/// ADUs each association offers over its lifetime (churned ones offer fewer).
+const SRV_ADUS_PER_ASSOC: u64 = 8;
+const SRV_PEERS: usize = 2;
+const SRV_ASSOCS_PER_PEER: usize = 6;
+
+fn server_churn_run(seed: u64) -> ct_telemetry::Telemetry {
+    use ct_server::cluster::assoc_payload;
+    use ct_server::{AlfServer, AssocKey, ServerConfig};
+
+    let tel = Telemetry::with_tracing(TRACE_CAPACITY);
+    let mut rng = SimRng::new(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut net = Network::new(seed);
+    let server_node = net.add_node();
+    let peer_nodes: Vec<_> = (0..SRV_PEERS).map(|_| net.add_node()).collect();
+    for &p in &peer_nodes {
+        net.connect(server_node, p, LinkConfig::lan(), FaultConfig::none());
+    }
+    net.attach_telemetry(tel.clone());
+    let mut peer_of_node = vec![u64::MAX; net.node_count()];
+    for (i, p) in peer_nodes.iter().enumerate() {
+        peer_of_node[p.index()] = i as u64;
+    }
+
+    let cfg = AlfConfig {
+        recovery: RecoveryMode::TransportBuffer,
+        reassembly_budget_bytes: SRV_BUDGET,
+        window_adus: 8,
+        // Churn heals, so giving up is a bug, not a policy.
+        max_retries: 200,
+        ..AlfConfig::default()
+    };
+    let mut server = AlfServer::new(ServerConfig::default());
+    server.attach_telemetry(tel.clone());
+    let mut clients: Vec<AlfServer> = (0..SRV_PEERS)
+        .map(|_| {
+            let mut c = AlfServer::new(ServerConfig::default());
+            c.attach_telemetry_as(tel.clone(), "client");
+            c
+        })
+        .collect();
+
+    // Association lifecycle state. Wire ids only ever move forward, so a
+    // churned-in association can never collide with a dead one's frames.
+    let mut next_id = [1u16; SRV_PEERS];
+    let mut live: Vec<AssocKey> = Vec::new();
+    let mut removed: HashSet<AssocKey> = HashSet::new();
+    let mut next_index: HashMap<AssocKey, u64> = HashMap::new();
+    let spawn = |peer: usize,
+                 next_id: &mut [u16; SRV_PEERS],
+                 server: &mut AlfServer,
+                 clients: &mut Vec<AlfServer>|
+     -> AssocKey {
+        let assoc = next_id[peer];
+        next_id[peer] += 1;
+        let key = AssocKey {
+            peer: peer as u64,
+            assoc,
+        };
+        server.add_association(key, cfg).expect("fresh id");
+        clients[peer]
+            .add_association(AssocKey { peer: 0, assoc }, cfg)
+            .expect("fresh id");
+        key
+    };
+    for peer in 0..SRV_PEERS {
+        for _ in 0..SRV_ASSOCS_PER_PEER {
+            let key = spawn(peer, &mut next_id, &mut server, &mut clients);
+            live.push(key);
+            next_index.insert(key, 0);
+        }
+    }
+
+    let mut seen: HashSet<(u64, u16, u64)> = HashSet::new();
+    let mut egress: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut next_phase_at = SimTime::from_millis(50);
+    let mut healed = false;
+    let mut done = false;
+
+    for _ in 0..4_000_000u64 {
+        let now = net.now();
+
+        // Fault + mutator + association churn until the horizon, then heal.
+        if now < CHURN_UNTIL {
+            if now >= next_phase_at {
+                let p = rng.next_below(SRV_PEERS as u64) as usize;
+                if rng.chance(0.2) {
+                    let dur = SimDuration::from_millis(50 + rng.next_below(200));
+                    net.schedule_outage(server_node, peer_nodes[p], now, now + dur);
+                } else {
+                    net.set_faults(server_node, peer_nodes[p], next_regime(&mut rng));
+                }
+                if rng.chance(0.33) {
+                    net.set_mutator(peer_nodes[p], server_node, churn_mutator());
+                } else {
+                    net.clear_mutator(peer_nodes[p], server_node);
+                }
+                // Destroy one association and create another, mid-storm.
+                if rng.chance(0.5) && live.len() > SRV_PEERS {
+                    let victim = live.swap_remove(rng.next_below(live.len() as u64) as usize);
+                    server.remove_association(victim).expect("victim was live");
+                    clients[victim.peer as usize]
+                        .remove_association(AssocKey {
+                            peer: 0,
+                            assoc: victim.assoc,
+                        })
+                        .expect("victim was live");
+                    removed.insert(victim);
+                    let fresh = spawn(
+                        victim.peer as usize,
+                        &mut next_id,
+                        &mut server,
+                        &mut clients,
+                    );
+                    live.push(fresh);
+                    next_index.insert(fresh, 0);
+                }
+                next_phase_at = now + SimDuration::from_millis(100 + rng.next_below(150));
+            }
+        } else if !healed {
+            for &p in &peer_nodes {
+                net.set_faults(server_node, p, FaultConfig::none());
+                net.clear_mutator(p, server_node);
+            }
+            healed = true;
+        }
+
+        // Offer: one ADU per live association per iteration, identity bytes
+        // derived from the *server-view* key so verification pins the owner.
+        if now < CHURN_UNTIL {
+            for &key in &live {
+                let idx = next_index[&key];
+                if idx >= SRV_ADUS_PER_ASSOC {
+                    continue;
+                }
+                let payload = assoc_payload(key.peer, key.assoc, idx, SRV_ADU_BYTES);
+                let ckey = AssocKey {
+                    peer: 0,
+                    assoc: key.assoc,
+                };
+                if clients[key.peer as usize]
+                    .send_adu(ckey, AduName::Seq { index: idx }, payload)
+                    .is_ok()
+                {
+                    next_index.insert(key, idx + 1);
+                }
+            }
+        }
+
+        let mut moved = false;
+        for (peer, client) in clients.iter_mut().enumerate() {
+            while client.pending_work() || client.next_wakeup().is_some_and(|w| w <= now) {
+                if client.poll_batch(now, &mut egress).idle() {
+                    break;
+                }
+                moved = true;
+            }
+            for (_, f) in egress.drain(..) {
+                let _ = net.send(peer_nodes[peer], server_node, f);
+            }
+            if let Some((key, report)) = client.take_losses().into_iter().next() {
+                violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "buffered client gave up on {:?} of assoc {key:?} under healable churn",
+                        report.name
+                    ),
+                );
+            }
+        }
+        while let Some(frame) = net.recv(server_node) {
+            moved = true;
+            server.ingest(peer_of_node[frame.src.index()], frame.payload);
+        }
+        while server.pending_work() || server.next_wakeup().is_some_and(|w| w <= now) {
+            if server.poll_batch(now, &mut egress).idle() {
+                break;
+            }
+            moved = true;
+        }
+        for (peer, f) in egress.drain(..) {
+            let _ = net.send(server_node, peer_nodes[peer as usize], f);
+        }
+        for (peer, client) in clients.iter_mut().enumerate() {
+            while let Some(frame) = net.recv(peer_nodes[peer]) {
+                moved = true;
+                client.ingest(0, frame.payload);
+            }
+        }
+
+        // --- In-loop invariants ---
+        for (key, adu, _latency) in server.take_delivered() {
+            let AduName::Seq { index } = adu.name else {
+                violation(&tel, seed, &format!("unexpected ADU name {:?}", adu.name));
+            };
+            if removed.contains(&key) {
+                violation(
+                    &tel,
+                    seed,
+                    &format!("ADU {index} delivered for destroyed association {key:?}"),
+                );
+            }
+            let want = assoc_payload(key.peer, key.assoc, index, SRV_ADU_BYTES);
+            if adu.payload.as_slice() != want.as_slice() {
+                violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "payload of ADU {index} on {key:?} does not encode its own \
+                         identity — cross-association bleed or corruption"
+                    ),
+                );
+            }
+            if !seen.insert((key.peer, key.assoc, index)) {
+                violation(
+                    &tel,
+                    seed,
+                    &format!("ADU {index} on {key:?} delivered twice"),
+                );
+            }
+        }
+        for peer in 0..SRV_PEERS as u64 {
+            let (count, bytes) = live
+                .iter()
+                .filter(|k| k.peer == peer)
+                .map(|&k| server.endpoint(k).expect("live").reassembly_bytes())
+                .fold((0usize, 0usize), |(c, b), r| (c + 1, b + r));
+            if bytes > count * SRV_BUDGET {
+                violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "peer {peer} holds {bytes} reassembly bytes across {count} \
+                         associations — exceeds its {} byte quota at {now}",
+                        count * SRV_BUDGET
+                    ),
+                );
+            }
+        }
+
+        // Completion: churn over, offers finished, everything drained.
+        if healed
+            && !moved
+            && live.iter().all(|k| next_index[k] >= SRV_ADUS_PER_ASSOC)
+            && clients.iter().all(|c| c.drained())
+            && !server.pending_work()
+            && net.is_idle()
+        {
+            done = true;
+            break;
+        }
+        if net.now() >= SimTime::from_secs(60) {
+            violation(
+                &tel,
+                seed,
+                &format!(
+                    "server churn run exceeded 60 simulated seconds \
+                     ({} delivered)",
+                    seen.len()
+                ),
+            );
+        }
+
+        if !net.is_idle() {
+            while net.step().is_some() {}
+        } else if moved {
+            // Re-poll at the same instant.
+        } else {
+            let timer = [
+                server.next_wakeup(),
+                clients.iter().filter_map(|c| c.next_wakeup()).min(),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let phase = (net.now() < CHURN_UNTIL).then_some(next_phase_at);
+            match [timer, phase].into_iter().flatten().min() {
+                Some(t) if t > now => net.advance(t.saturating_since(now)),
+                Some(_) => {}
+                None if live
+                    .iter()
+                    .any(|&k| server.endpoint(k).expect("live").reassembly_bytes() > 0) =>
+                {
+                    net.advance(cfg.assembly_timeout + SimDuration::from_millis(1));
+                }
+                None => violation(
+                    &tel,
+                    seed,
+                    &format!("wedged with nothing scheduled ({} delivered)", seen.len()),
+                ),
+            }
+        }
+    }
+
+    if !done {
+        violation(
+            &tel,
+            seed,
+            &format!(
+                "server churn run did not converge after healing ({} delivered)",
+                seen.len()
+            ),
+        );
+    }
+    // Every ADU offered on an association that survived to the end must
+    // have arrived exactly once; churned-out associations owe nothing.
+    for &key in &live {
+        for idx in 0..next_index[&key] {
+            if !seen.contains(&(key.peer, key.assoc, idx)) {
+                violation(
+                    &tel,
+                    seed,
+                    &format!("ADU {idx} on surviving association {key:?} never delivered"),
+                );
+            }
+        }
+    }
+    tel
+}
+
+#[test]
+fn server_churn_soak_four_seeds() {
+    for seed in 60..64 {
+        server_churn_run(seed);
+    }
+}
+
+/// Same-seed server churn runs must be byte-identical in their telemetry —
+/// the multi-association extension of `chaos_trace_deterministic`.
+#[test]
+fn server_churn_trace_deterministic() {
+    let t1 = server_churn_run(61);
+    let t2 = server_churn_run(61);
+    assert!(!t1.trace_jsonl().is_empty());
+    assert_eq!(t1.trace_jsonl(), t2.trace_jsonl());
+    assert_eq!(t1.metrics().render_text(), t2.metrics().render_text());
+}
+
+/// Extended server-churn sweep, opt-in via `SOAK=1`.
+#[test]
+fn server_churn_soak_extended() {
+    if std::env::var("SOAK").map(|v| v != "0" && !v.is_empty()) != Ok(true) {
+        eprintln!("server_churn_soak_extended: set SOAK=1 to run the 16-seed sweep");
+        return;
+    }
+    for seed in 64..80 {
+        server_churn_run(seed);
     }
 }
