@@ -64,8 +64,9 @@ fn compare(path: &str, base: &JsonValue, fresh: &JsonValue, tol: f64, offences: 
                     a.len(),
                     b.len()
                 ));
-                return;
             }
+            // Still compare the common prefix: one run reports *every*
+            // drifted leaf, not just the first structural mismatch.
             for (i, (x, y)) in a.iter().zip(b).enumerate() {
                 compare(&format!("{path}[{i}]"), x, y, tol, offences);
             }
@@ -144,5 +145,61 @@ fn main() -> ExitCode {
             eprintln!("  {line}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offences(base: &str, fresh: &str, tol: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        compare(
+            "$",
+            &parse(base).unwrap(),
+            &parse(fresh).unwrap(),
+            tol,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn identical_and_within_tolerance_pass() {
+        let doc = r#"{"rows":[{"x":100,"y":2.5},{"x":7}],"id":"x13"}"#;
+        assert!(offences(doc, doc, 0.05).is_empty());
+        assert!(offences(r#"{"x":100}"#, r#"{"x":104}"#, 0.05).is_empty());
+    }
+
+    #[test]
+    fn two_leaf_regression_reports_both_offences_in_one_run() {
+        // The regression that motivated this: two drifted leaves in one
+        // array used to surface one at a time (fix, re-run, find the
+        // next). One gate run must list them all.
+        let base = r#"{"rows":[{"ns":100},{"ns":200},{"ns":300}]}"#;
+        let fresh = r#"{"rows":[{"ns":150},{"ns":200},{"ns":450}]}"#;
+        let out = offences(base, fresh, 0.05);
+        assert_eq!(out.len(), 2, "both drifted leaves in one report: {out:?}");
+        assert!(out[0].contains("$.rows[0].ns"), "{out:?}");
+        assert!(out[1].contains("$.rows[2].ns"), "{out:?}");
+    }
+
+    #[test]
+    fn array_length_mismatch_still_compares_common_prefix() {
+        let base = r#"{"rows":[{"ns":100},{"ns":200}]}"#;
+        let fresh = r#"{"rows":[{"ns":900}]}"#;
+        let out = offences(base, fresh, 0.05);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].contains("array length changed"), "{out:?}");
+        assert!(out[1].contains("$.rows[0].ns"), "{out:?}");
+    }
+
+    #[test]
+    fn structural_mismatches_all_reported() {
+        let base = r#"{"a":1,"b":"x","c":[1]}"#;
+        let fresh = r#"{"a":"1","b":"y","d":[1]}"#;
+        let out = offences(base, fresh, 0.05);
+        // a: kind change; b: string change; c: missing; d: new key.
+        assert_eq!(out.len(), 4, "{out:?}");
     }
 }

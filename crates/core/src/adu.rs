@@ -69,6 +69,29 @@ pub enum AduName {
 pub const NAME_WIRE_BYTES: usize = 10;
 
 impl AduName {
+    /// A stable 64-bit digest of the name for span-sampling decisions:
+    /// FNV-1a over the name's (tag, operand, operand) triple, word-wise.
+    /// Cheap enough to compute on every flight-recorder event — the
+    /// sampler hashes this digest instead of formatting the name, and
+    /// every layer that traces the same ADU derives the same key, so a
+    /// span is kept or dropped whole.
+    pub fn span_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let (tag, a, b): (u64, u64, u64) = match *self {
+            AduName::Seq { index } => (0, index, 0),
+            AduName::FileRange { offset } => (1, offset, 0),
+            AduName::Media { frame, slot } => (2, u64::from(frame), u64::from(slot)),
+            AduName::Rpc { call, part } => (3, u64::from(call), u64::from(part)),
+            AduName::Shard { shard, index } => (4, u64::from(shard), u64::from(index)),
+        };
+        let mut h = OFFSET;
+        for word in [tag, a, b] {
+            h = (h ^ word).wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Encode to the fixed 10-byte wire form.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let mut w = HeaderWriter::new(out);

@@ -92,16 +92,20 @@ pub struct ScenarioOpts {
 pub type RecomputeFn<'a> = &'a dyn Fn(AduName) -> Vec<u8>;
 
 /// Record an application-layer lifecycle event (`adu_submit` /
-/// `adu_consume`) — a no-op unless tracing is armed.
+/// `adu_consume`) — a no-op unless tracing is armed. `span_assoc` is the
+/// *transport's* association id, used only for the span-sampling decision
+/// so the app edges of a span agree with its transport edges (the recorded
+/// event keeps `assoc: 0` under layer `"app"`, as always).
 fn trace_app(
     telemetry: &Option<ct_telemetry::Telemetry>,
     at: SimTime,
     kind: &'static str,
     name: AduName,
     len: u64,
+    span_assoc: u32,
 ) {
     if let Some(tel) = telemetry {
-        if tel.tracing_enabled() {
+        if tel.tracing_enabled() && tel.span_sampled_key(span_assoc, name.span_key()) {
             tel.record(ct_telemetry::Event {
                 at_nanos: at.as_nanos(),
                 layer: "app",
@@ -236,6 +240,7 @@ pub fn run_alf_transfer_scenario(
                     "adu_submit",
                     adu.name,
                     adu.len() as u64,
+                    u32::from(cfg.assoc),
                 );
                 submitted_upto = next_offer + 1;
             }
@@ -327,6 +332,7 @@ pub fn run_alf_transfer_scenario(
                 "adu_consume",
                 adu.name,
                 adu.len() as u64,
+                u32::from(cfg.assoc),
             );
             match expected.get(&adu.name) {
                 Some(want) if *want == adu.payload.as_slice() => delivered_ok += 1,

@@ -287,6 +287,15 @@ impl AduTransport {
     ) {
         if let Some((tel, role)) = &self.telemetry {
             if tel.tracing_enabled() {
+                // Span sampling gates *named* events only: the seeded hash
+                // of (assoc, name) keeps or drops an ADU's whole lifecycle
+                // span, so tracing stays O(sample) at server scale while
+                // unnamed control events (ACKs, probes) always record.
+                if let Some(n) = &name {
+                    if !tel.span_sampled_key(u32::from(self.cfg.assoc), n.span_key()) {
+                        return;
+                    }
+                }
                 tel.record(ct_telemetry::Event {
                     at_nanos: at.as_nanos(),
                     layer: role,

@@ -176,6 +176,15 @@ impl Network {
             });
         }
         if let Some(tel) = self.telemetry.as_ref() {
+            // With span sampling armed, the per-frame mirror is suppressed:
+            // at 100k associations this firehose of counter bumps and
+            // assoc-less recorder events is exactly the O(population) cost
+            // the sampler exists to avoid. The authoritative [`NetStats`]
+            // block still counts every frame; [`Self::publish_net_counters`]
+            // flushes the same final values in O(1) at a drain point.
+            if tel.span_sampling_enabled() {
+                return;
+            }
             let (kind, counter) = match event {
                 FrameEvent::Sent => ("frame_send", "net.frame_send"),
                 FrameEvent::Delivered => ("frame_deliver", "net.frame_deliver"),
@@ -358,6 +367,37 @@ impl Network {
     /// Cumulative statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Mirror the authoritative [`NetStats`] into the attached telemetry's
+    /// `net.*` counters — the same names and final values the per-frame
+    /// mirror leaves behind, set in one pass. Drivers that arm span
+    /// sampling (which suppresses the per-frame mirror) call this at a
+    /// drain point; with sampling unarmed it is an idempotent no-op, since
+    /// the per-frame counters already hold these exact values. Mutation
+    /// counters (`net.mutated.*`) are not affected: adversarial mutation
+    /// volume is scenario-bound, not population-bound, so that mirror
+    /// stays per-frame even when sampling is armed.
+    pub fn publish_net_counters(&self) {
+        let Some(tel) = self.telemetry.as_ref() else {
+            return;
+        };
+        let mut reg = tel.metrics_mut();
+        for (name, v) in [
+            ("net.frame_send", self.stats.frames_sent),
+            ("net.frame_deliver", self.stats.frames_delivered),
+            ("net.frame_forward", self.stats.hops_forwarded),
+            ("net.frame_drop", self.stats.fault_drops),
+            ("net.frame_congest", self.stats.congestion_drops),
+            ("net.frame_corrupt", self.stats.corrupted),
+        ] {
+            // Only nonzero values: the per-frame mirror never creates a
+            // name for an event that did not happen, and neither may the
+            // flush — the two paths must leave byte-identical registries.
+            if v > 0 {
+                reg.counter_set(name, v);
+            }
+        }
     }
 
     /// Recompute shortest-path next-hop tables (BFS per source). Called

@@ -80,6 +80,15 @@ pub struct ServerConfig {
     /// the amortization unit: one clock read and one telemetry flush cover
     /// up to this many frames.
     pub batch_frames: usize,
+    /// Stuck-association watchdog deadline: an association that has held
+    /// outstanding work for this long in simulated time without delivering
+    /// an ADU is flagged (counter + flight-recorder event — observation
+    /// only, no behavior change). Checked only when the association is
+    /// polled, so the watchdog is O(dirty), and a genuinely stuck
+    /// association is still seen because its retransmission timer keeps
+    /// firing it dirty. The default is far beyond any healthy recovery
+    /// cycle so clean runs never flag.
+    pub stuck_deadline: SimDuration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +98,7 @@ impl Default for ServerConfig {
             wheel_slots: 64,
             wheel_granularity: SimDuration::from_millis(2),
             batch_frames: 1024,
+            stuck_deadline: SimDuration::from_millis(30_000),
         }
     }
 }
@@ -144,6 +154,10 @@ struct ShardCounters {
     misdelivered: u64,
     /// Frames too short to carry an association id.
     malformed: u64,
+    /// Watchdog episodes: associations flagged for holding outstanding
+    /// work past [`ServerConfig::stuck_deadline`] without delivering.
+    /// One count per episode (the flag clears on delivery progress).
+    stuck_assocs: u64,
 }
 
 /// One association's slot in a shard.
@@ -156,6 +170,12 @@ struct AssocEntry {
     armed: Option<SimTime>,
     /// Already on the shard's dirty list this batch.
     dirty: bool,
+    /// Watchdog epoch: when outstanding work was first seen with no
+    /// delivery progress since. `None` while idle or progressing.
+    stalled_since: Option<SimTime>,
+    /// Already flagged for the current stall episode (flag once, clear on
+    /// progress).
+    stuck: bool,
 }
 
 /// A shard is a *slab*: entries live contiguously in [`Shard::slots`] and
@@ -203,6 +223,61 @@ impl Shard {
     }
 }
 
+/// Ground-truth occupancy of one shard, read straight off the structures
+/// (not from telemetry) — what the rollup gauges must agree with. See
+/// [`AlfServer::shard_occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Occupied slab slots (= live associations in this shard).
+    pub occupied: usize,
+    /// Total slab slots (occupied + free).
+    pub slots: usize,
+    /// Entries pending in the shard's wakeup wheel.
+    pub wheel_pending: usize,
+    /// Associations holding an armed wakeup deadline. The strict
+    /// one-entry-per-association wheel protocol makes this equal to
+    /// `wheel_pending` at all times — the invariant the chaos soak checks.
+    pub armed: usize,
+    /// Dirty-list length (slots awaiting a poll).
+    pub dirty: usize,
+}
+
+/// Metric names the per-batch telemetry flush writes, built **once** at
+/// [`AlfServer::attach_telemetry_as`] so the hot loop never formats a
+/// string — five `format!` calls per batch were measurable at X13 scale.
+#[derive(Debug)]
+struct BatchMetricNames {
+    batches: String,
+    frames_in: String,
+    frames_out: String,
+    timer_fires: String,
+    assocs: String,
+    stuck_assocs: String,
+    phase_ingest: String,
+    phase_timers: String,
+    phase_dirty: String,
+    phase_flush: String,
+    slowest_assoc: String,
+}
+
+impl BatchMetricNames {
+    fn new(role: &str) -> Self {
+        Self {
+            batches: format!("{role}.batches"),
+            frames_in: format!("{role}.frames_in"),
+            frames_out: format!("{role}.frames_out"),
+            timer_fires: format!("{role}.timer_fires"),
+            assocs: format!("{role}.assocs"),
+            stuck_assocs: format!("{role}.stuck_assocs"),
+            phase_ingest: format!("{role}.phase.ingest_frames"),
+            phase_timers: format!("{role}.phase.timer_fires"),
+            phase_dirty: format!("{role}.phase.dirty_polls"),
+            phase_flush: format!("{role}.phase.flush_egress"),
+            slowest_assoc: format!("{role}.batch.slowest_assoc_work"),
+        }
+    }
+}
+
 /// A server terminating many ALF associations — see the module docs for
 /// the three structures (sharded table, wakeup wheels, batched loop) that
 /// keep its per-ADU cost flat in the association count.
@@ -220,6 +295,9 @@ pub struct AlfServer {
     assoc_count: usize,
     batches: u64,
     telemetry: Option<ct_telemetry::Telemetry>,
+    /// Prebuilt names for the per-batch flush (set with the telemetry
+    /// handle; `None` exactly when `telemetry` is).
+    batch_names: Option<BatchMetricNames>,
     /// Layer label for flight-recorder events and the metric prefix of the
     /// per-batch flush. `"server"` unless this instance is reused as a
     /// client-side stack (the cluster driver does exactly that).
@@ -245,6 +323,7 @@ impl AlfServer {
             assoc_count: 0,
             batches: 0,
             telemetry: None,
+            batch_names: None,
             role: "server",
         }
     }
@@ -262,6 +341,7 @@ impl AlfServer {
     /// its events and batch counters should not masquerade as the server's.
     pub fn attach_telemetry_as(&mut self, tel: ct_telemetry::Telemetry, role: &'static str) {
         self.telemetry = Some(tel);
+        self.batch_names = Some(BatchMetricNames::new(role));
         self.role = role;
     }
 
@@ -320,6 +400,8 @@ impl AlfServer {
             ep,
             armed: None,
             dirty: false,
+            stalled_since: None,
+            stuck: false,
         };
         let idx = match shard.free.pop() {
             Some(i) => {
@@ -499,6 +581,13 @@ impl AlfServer {
         // 3. Poll the dirty list — the associations something happened to.
         // Sorted first: slot order is memory order on a slab, so a big
         // drain walks the endpoints forward through the heap.
+        //
+        // Tail attribution rides along at O(dirty): each polled
+        // association's work this batch (egress frames + deliveries) feeds
+        // a running max, and the stuck watchdog checks delivery progress
+        // against the deadline. Ties keep the first association in shard/
+        // slot order — deterministic.
+        let mut slowest: Option<(AssocKey, u64)> = None;
         for shard in &mut self.shards {
             let mut dirty = std::mem::take(&mut shard.dirty);
             dirty.sort_unstable();
@@ -512,17 +601,60 @@ impl AlfServer {
                 shard.counters.polls += 1;
                 let frames = entry.ep.poll(now);
                 let moved = !frames.is_empty();
+                let mut work = 0u64;
                 for f in frames {
                     report.egress_frames += 1;
                     shard.counters.frames_out += 1;
+                    work += 1;
                     egress.push((key.peer, f));
                 }
+                let mut delivered_now = false;
                 while let Some((adu, latency)) = entry.ep.recv_adu() {
                     report.adus_delivered += 1;
+                    work += 1;
+                    delivered_now = true;
                     self.delivered.push((key, adu, latency));
                 }
                 for loss in entry.ep.take_loss_reports() {
                     self.losses.push((key, loss));
+                }
+                if work > 0 && slowest.is_none_or(|(_, w)| work > w) {
+                    slowest = Some((key, work));
+                }
+                // Watchdog: outstanding work with no delivery progress
+                // past the deadline flags the association — once per
+                // episode, cleared by progress. Pure observation: nothing
+                // about the poll, re-arm, or dirty protocol changes.
+                let outstanding = !entry.ep.send_complete() || entry.ep.reassembly_bytes() > 0;
+                if delivered_now || !outstanding {
+                    entry.stalled_since = None;
+                    entry.stuck = false;
+                } else {
+                    match entry.stalled_since {
+                        None => entry.stalled_since = Some(now),
+                        Some(since) => {
+                            if !entry.stuck
+                                && now.saturating_since(since) >= self.cfg.stuck_deadline
+                            {
+                                entry.stuck = true;
+                                shard.counters.stuck_assocs += 1;
+                                if let Some(tel) = &self.telemetry {
+                                    if tel.tracing_enabled() {
+                                        tel.record(ct_telemetry::Event {
+                                            at_nanos: now.as_nanos(),
+                                            layer: self.role,
+                                            kind: "assoc_stuck",
+                                            assoc: u32::from(key.assoc),
+                                            adu: None,
+                                            a: key.peer,
+                                            b: now.saturating_since(since).as_nanos(),
+                                            len: 0,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
                 // Re-arm: strict one-entry protocol against the shard wheel.
                 let desired = entry.ep.next_timeout();
@@ -544,25 +676,55 @@ impl AlfServer {
             }
         }
 
-        // 4. One telemetry flush for the whole batch.
+        // 4. One telemetry flush for the whole batch — prebuilt names (no
+        // per-batch formatting), O(shards) counter sums, and the batch's
+        // phase-attribution samples: deterministic work units per phase
+        // (frames dispatched / wakeups fired / associations polled /
+        // egress frames flushed) into log2 histograms. Work units, not
+        // wall time: every phase of a batch runs at one simulated instant,
+        // and rollup snapshots must stay byte-identical across same-seed
+        // runs, which host-clock durations would break.
         self.batches += 1;
-        if let Some(tel) = &self.telemetry {
-            let role = self.role;
+        if let (Some(tel), Some(names)) = (&self.telemetry, &self.batch_names) {
             let mut reg = tel.metrics_mut();
-            reg.counter_set(&format!("{role}.batches"), self.batches);
+            reg.counter_set(&names.batches, self.batches);
             reg.counter_set(
-                &format!("{role}.frames_in"),
+                &names.frames_in,
                 self.shards.iter().map(|s| s.counters.frames_in).sum(),
             );
             reg.counter_set(
-                &format!("{role}.frames_out"),
+                &names.frames_out,
                 self.shards.iter().map(|s| s.counters.frames_out).sum(),
             );
             reg.counter_set(
-                &format!("{role}.timer_fires"),
+                &names.timer_fires,
                 self.shards.iter().map(|s| s.counters.timer_fires).sum(),
             );
-            reg.counter_set(&format!("{role}.assocs"), self.assoc_count as u64);
+            reg.counter_set(&names.assocs, self.assoc_count as u64);
+            reg.counter_set(
+                &names.stuck_assocs,
+                self.shards.iter().map(|s| s.counters.stuck_assocs).sum(),
+            );
+            reg.observe(&names.phase_ingest, report.frames_ingested as u64);
+            reg.observe(&names.phase_timers, report.timers_fired as u64);
+            reg.observe(&names.phase_dirty, report.assocs_polled as u64);
+            reg.observe(&names.phase_flush, report.egress_frames as u64);
+            if let Some((key, work)) = slowest {
+                reg.observe(&names.slowest_assoc, work);
+                drop(reg);
+                if tel.tracing_enabled() {
+                    tel.record(ct_telemetry::Event {
+                        at_nanos: now.as_nanos(),
+                        layer: self.role,
+                        kind: "batch_slowest_assoc",
+                        assoc: u32::from(key.assoc),
+                        adu: None,
+                        a: key.peer,
+                        b: work,
+                        len: 0,
+                    });
+                }
+            }
         }
         report
     }
@@ -632,6 +794,131 @@ impl AlfServer {
         }
         reg.counter_set(&format!("{prefix}.assocs"), self.assoc_count as u64);
         reg.counter_set(&format!("{prefix}.batches"), self.batches);
+    }
+
+    /// Ground-truth occupancy of shard `i`, read straight off the slab,
+    /// wheel and dirty list. The rollup gauges must agree with this — the
+    /// occupancy tests and the chaos soak's in-loop invariants compare
+    /// them after churn.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn shard_occupancy(&self, i: usize) -> ShardOccupancy {
+        let shard = &self.shards[i];
+        ShardOccupancy {
+            occupied: shard.index.len(),
+            slots: shard.slots.len(),
+            wheel_pending: shard.wheel.len(),
+            armed: shard.entries().filter(|e| e.armed.is_some()).count(),
+            dirty: shard.dirty.len(),
+        }
+    }
+
+    /// One shard's dispatch counters and occupancy gauges as a standalone
+    /// registry under **unprefixed** names (`frames_in`, `wheel_pending`,
+    /// …), so [`ct_telemetry::MetricsRegistry::merge`] rolls any set of shards up into
+    /// one aggregate: counters add, gauges keep the worst-observed
+    /// (maximum) shard.
+    pub fn shard_registry(&self, i: usize) -> ct_telemetry::MetricsRegistry {
+        let shard = &self.shards[i];
+        let mut reg = ct_telemetry::MetricsRegistry::new();
+        reg.counter_set("assocs", shard.index.len() as u64);
+        reg.counter_set("frames_in", shard.counters.frames_in);
+        reg.counter_set("frames_out", shard.counters.frames_out);
+        reg.counter_set("timer_fires", shard.counters.timer_fires);
+        reg.counter_set("polls", shard.counters.polls);
+        reg.counter_set("misdelivered", shard.counters.misdelivered);
+        reg.counter_set("malformed", shard.counters.malformed);
+        reg.counter_set("stuck_assocs", shard.counters.stuck_assocs);
+        reg.gauge_set("slab_slots", shard.slots.len() as f64);
+        reg.gauge_set("slab_occupied", shard.index.len() as f64);
+        reg.gauge_set("wheel_pending", shard.wheel.len() as f64);
+        reg.gauge_set("dirty_len", shard.dirty.len() as f64);
+        reg
+    }
+
+    /// The server-wide rollup: every shard's registry merged
+    /// ([`ct_telemetry::MetricsRegistry::merge`] — counters add, gauges max) plus the
+    /// cross-shard derived gauges: `imbalance.assocs` and
+    /// `imbalance.frames_in` (max shard / mean shard; 1.0 is perfectly
+    /// balanced), `slab.occupancy` (occupied / total slots),
+    /// `wheel.pending_total` and `dirty.total` (sums — the merged
+    /// `wheel_pending`/`dirty_len` gauges keep the max shard), and
+    /// `batch.mean_frames` (ingress frames per batch).
+    pub fn rollup(&self) -> ct_telemetry::MetricsRegistry {
+        let mut total = ct_telemetry::MetricsRegistry::new();
+        for i in 0..self.shards.len() {
+            total.merge(&self.shard_registry(i));
+        }
+        total.counter_set("batches", self.batches);
+        let n = self.shards.len() as f64;
+        let imbalance = |max: f64, sum: f64| if sum > 0.0 { max / (sum / n) } else { 1.0 };
+        let assoc_max = self.shards.iter().map(|s| s.index.len()).max().unwrap_or(0);
+        let frames_max = self
+            .shards
+            .iter()
+            .map(|s| s.counters.frames_in)
+            .max()
+            .unwrap_or(0);
+        let frames_sum: u64 = self.shards.iter().map(|s| s.counters.frames_in).sum();
+        let slots_sum: usize = self.shards.iter().map(|s| s.slots.len()).sum();
+        total.gauge_set(
+            "imbalance.assocs",
+            imbalance(assoc_max as f64, self.assoc_count as f64),
+        );
+        total.gauge_set(
+            "imbalance.frames_in",
+            imbalance(frames_max as f64, frames_sum as f64),
+        );
+        total.gauge_set(
+            "slab.occupancy",
+            if slots_sum > 0 {
+                self.assoc_count as f64 / slots_sum as f64
+            } else {
+                0.0
+            },
+        );
+        total.gauge_set(
+            "wheel.pending_total",
+            self.shards.iter().map(|s| s.wheel.len()).sum::<usize>() as f64,
+        );
+        total.gauge_set(
+            "dirty.total",
+            self.shards.iter().map(|s| s.dirty.len()).sum::<usize>() as f64,
+        );
+        total.gauge_set(
+            "batch.mean_frames",
+            if self.batches > 0 {
+                frames_sum as f64 / self.batches as f64
+            } else {
+                0.0
+            },
+        );
+        total
+    }
+
+    /// Publish the observability-plane rollup into `reg`: each shard's
+    /// registry under `prefix.shard<i>.*` (the ct-top per-shard table) and
+    /// the [`AlfServer::rollup`] aggregate under `prefix.*`. End-of-run
+    /// publication, like [`AlfServer::publish_stats`].
+    pub fn publish_rollup(&self, reg: &mut ct_telemetry::MetricsRegistry, prefix: &str) {
+        for i in 0..self.shards.len() {
+            let sreg = self.shard_registry(i);
+            let sp = format!("{prefix}.shard{i}");
+            for (name, v) in sreg.counters() {
+                reg.counter_set(&format!("{sp}.{name}"), v);
+            }
+            for (name, v) in sreg.gauges() {
+                reg.gauge_set(&format!("{sp}.{name}"), v);
+            }
+        }
+        let total = self.rollup();
+        for (name, v) in total.counters() {
+            reg.counter_set(&format!("{prefix}.{name}"), v);
+        }
+        for (name, v) in total.gauges() {
+            reg.gauge_set(&format!("{prefix}.{name}"), v);
+        }
     }
 
     /// Approximate resident footprint in bytes: every association's own
@@ -879,6 +1166,146 @@ mod tests {
             Err(AssocExists(k))
         );
         assert_eq!(server.assoc_count(), 1);
+    }
+
+    #[test]
+    fn rollup_merges_shard_registries_to_ground_truth() {
+        let mut server = AlfServer::new(ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        });
+        for peer in 0..6u64 {
+            for assoc in 1..=3u16 {
+                server
+                    .add_association(key(peer, assoc), AlfConfig::default())
+                    .unwrap();
+            }
+        }
+        // Arm some wakeups so the wheel gauges are non-trivial.
+        for peer in 0..3u64 {
+            server
+                .send_adu(key(peer, 1), AduName::Seq { index: 0 }, payload(64))
+                .unwrap();
+        }
+        let mut egress = Vec::new();
+        while server.pending_work() {
+            if server.poll_batch(SimTime::ZERO, &mut egress).idle() {
+                break;
+            }
+        }
+
+        let rollup = server.rollup();
+        // Counters are shard sums; cross-check against ground truth.
+        assert_eq!(rollup.counter("assocs"), 18);
+        let polls: u64 = (0..4).map(|i| server.shards[i].counters.polls).sum();
+        assert_eq!(rollup.counter("polls"), polls);
+        assert_eq!(rollup.counter("batches"), server.batches());
+        // Occupancy gauges agree with the structures, per shard and rolled.
+        let mut wheel_total = 0usize;
+        for i in 0..4 {
+            let occ = server.shard_occupancy(i);
+            assert_eq!(occ.wheel_pending, occ.armed, "one-entry wheel protocol");
+            wheel_total += occ.wheel_pending;
+            let sreg = server.shard_registry(i);
+            assert_eq!(sreg.gauge("wheel_pending"), Some(occ.wheel_pending as f64));
+            assert_eq!(sreg.gauge("slab_occupied"), Some(occ.occupied as f64));
+            assert_eq!(sreg.gauge("slab_slots"), Some(occ.slots as f64));
+            assert_eq!(sreg.gauge("dirty_len"), Some(occ.dirty as f64));
+        }
+        assert!(wheel_total > 0, "un-ACKed sends must arm wakeups");
+        assert_eq!(
+            rollup.gauge("wheel.pending_total"),
+            Some(wheel_total as f64)
+        );
+        assert_eq!(rollup.gauge("slab.occupancy"), Some(1.0), "no freed slots");
+        assert!(rollup.gauge("imbalance.assocs").unwrap() >= 1.0);
+
+        // publish_rollup writes the same values under the prefix.
+        let mut reg = ct_telemetry::MetricsRegistry::new();
+        server.publish_rollup(&mut reg, "srv");
+        assert_eq!(reg.counter("srv.assocs"), 18);
+        assert_eq!(
+            reg.gauge("srv.wheel.pending_total"),
+            Some(wheel_total as f64)
+        );
+        let shard0 = server.shard_registry(0);
+        assert_eq!(
+            reg.counter("srv.shard0.polls"),
+            shard0.counter("polls"),
+            "per-shard table entries match the shard registry"
+        );
+    }
+
+    #[test]
+    fn batch_flush_writes_phase_histograms_and_attribution() {
+        let tel = ct_telemetry::Telemetry::new();
+        let mut server = AlfServer::new(ServerConfig::default());
+        server.attach_telemetry(tel.clone());
+        let k = key(3, 1);
+        server.add_association(k, AlfConfig::default()).unwrap();
+        server
+            .send_adu(k, AduName::Seq { index: 0 }, payload(2000))
+            .unwrap();
+        let mut egress = Vec::new();
+        while server.pending_work() {
+            if server.poll_batch(SimTime::ZERO, &mut egress).idle() {
+                break;
+            }
+        }
+        assert!(!egress.is_empty());
+        let reg = tel.metrics();
+        for phase in [
+            "server.phase.ingest_frames",
+            "server.phase.timer_fires",
+            "server.phase.dirty_polls",
+            "server.phase.flush_egress",
+        ] {
+            let h = reg.histogram(phase).unwrap_or_else(|| panic!("{phase}"));
+            assert_eq!(h.count(), server.batches(), "one sample per batch");
+        }
+        let slow = reg.histogram("server.batch.slowest_assoc_work").unwrap();
+        assert!(slow.count() > 0 && slow.max() > 0);
+        assert_eq!(reg.counter("server.stuck_assocs"), 0);
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_association_once_per_episode() {
+        let tel = ct_telemetry::Telemetry::with_tracing(256);
+        let mut server = AlfServer::new(ServerConfig {
+            stuck_deadline: SimDuration::from_millis(100),
+            ..ServerConfig::default()
+        });
+        server.attach_telemetry(tel.clone());
+        let k = key(9, 2);
+        server.add_association(k, AlfConfig::default()).unwrap();
+        // An un-ACKed send with no peer: retransmission timers keep firing
+        // the association dirty, but delivery never progresses.
+        server
+            .send_adu(k, AduName::Seq { index: 0 }, payload(500))
+            .unwrap();
+        let mut egress = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            while server.pending_work() || server.next_wakeup().is_some_and(|w| w <= now) {
+                if server.poll_batch(now, &mut egress).idle() {
+                    break;
+                }
+            }
+            egress.clear();
+            match server.next_wakeup() {
+                Some(w) => now = now.max(w),
+                None => break,
+            }
+            if now.as_nanos() > 2_000_000_000 {
+                break;
+            }
+        }
+        let stuck = tel.metrics().counter("server.stuck_assocs");
+        assert_eq!(stuck, 1, "flag once per episode, not once per poll");
+        assert!(
+            tel.trace_events().iter().any(|e| e.kind == "assoc_stuck"),
+            "watchdog must leave a flight-recorder event"
+        );
     }
 
     #[test]

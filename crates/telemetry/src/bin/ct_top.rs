@@ -1,0 +1,90 @@
+//! `ct-top`: offline renderer for server observability-plane snapshots.
+//!
+//! Ingests a metrics JSONL export ([`MetricsRegistry::to_jsonl`] — from a
+//! file argument or stdin) and renders, via [`ct_telemetry::top`]:
+//!
+//! * the **per-shard rollup table** — dispatch counters and occupancy
+//!   gauges for every `base.shard<N>.*` family published by
+//!   `AlfServer::publish_rollup`, with the merged totals row;
+//! * the **rollup gauges** — shard imbalance (max/mean), slab occupancy,
+//!   timer-wheel and dirty-list totals, mean batch size;
+//! * **batch phase attribution** — p50/p99/max work units per event-loop
+//!   phase (ingest / timers / dirty-poll / flush) from the log2
+//!   histograms;
+//! * **tail attribution** — the slowest-association-per-batch histogram
+//!   and stuck-watchdog counts.
+//!
+//! Rendering is the same code path an in-process caller uses on its live
+//! registry, and the JSONL round trip is exact — so the offline report is
+//! byte-identical to the live one (pinned by `tests/observability.rs`).
+//!
+//! ```text
+//! ct-top [--self-check] [FILE]
+//! ```
+//!
+//! `--self-check` exits non-zero when the snapshot yields no shard table
+//! and no attribution histograms — the CI guard that the publisher and
+//! this renderer still speak the same schema.
+
+use ct_telemetry::top::{has_attribution, render_top};
+use ct_telemetry::MetricsRegistry;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ct-top [--self-check] [FILE]");
+    eprintln!("  FILE: metrics JSONL export (stdin when omitted)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut self_check = false;
+    let mut file: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--self-check" => self_check = true,
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ if file.is_none() => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+
+    let input = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ct-top: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("ct-top: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let reg = match MetricsRegistry::from_jsonl(&input) {
+        Ok(reg) => reg,
+        Err(e) => {
+            eprintln!("ct-top: malformed metrics JSONL: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", render_top(&reg));
+
+    if self_check && !has_attribution(&reg) {
+        eprintln!("ct-top: self-check FAILED — no shard rollups and no attribution histograms");
+        return ExitCode::FAILURE;
+    }
+    if self_check {
+        println!();
+        println!("self-check OK");
+    }
+    ExitCode::SUCCESS
+}

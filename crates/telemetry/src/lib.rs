@@ -31,6 +31,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod ring;
 pub mod span;
+pub mod top;
 pub mod trace;
 
 pub use ledger::{StageTouch, TouchLedger};
@@ -39,14 +40,51 @@ pub use ring::Ring;
 pub use span::{AduSpan, SpanReport, StageStat, StallSummary, StreamStall};
 pub use trace::{Event, ParsedEvent};
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::{Cell, Ref, RefCell, RefMut};
+use std::fmt::{self, Write as _};
 use std::rc::Rc;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Deterministic span-sampling state: a seed folded into an FNV-1a hash
+/// of `(association id, ADU name)`, compared against a rate-derived
+/// threshold. `Copy` so it lives in a `Cell` — the armed check never
+/// borrows.
+#[derive(Clone, Copy, Debug)]
+struct SpanSampler {
+    seed: u64,
+    threshold: u64,
+}
+
+/// Streams `Display` output straight into an FNV-1a state, so hashing an
+/// ADU name allocates nothing (the unsampled path must stay O(1) heap).
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.push_bytes(s.as_bytes());
+        Ok(())
+    }
+}
 
 /// The shared telemetry state behind a [`Telemetry`] handle.
 #[derive(Debug, Default)]
 struct Inner {
     metrics: RefCell<MetricsRegistry>,
     recorder: RefCell<Option<Ring<Event>>>,
+    sampler: Cell<Option<SpanSampler>>,
     ledger: TouchLedger,
 }
 
@@ -93,6 +131,78 @@ impl Telemetry {
         if let Some(ring) = self.inner.recorder.borrow_mut().as_mut() {
             ring.push(event);
         }
+    }
+
+    /// Arm deterministic span sampling: a seeded FNV-1a hash of
+    /// `(association id, ADU name)` against `rate` (clamped to `0.0..=1.0`)
+    /// selects which ADUs emit named flight-recorder events. The decision
+    /// is a pure function of `(seed, assoc, name)`, so one ADU's span is
+    /// kept or dropped **whole** (every lifecycle edge agrees), and
+    /// same-seed runs emit byte-identical traces. Unnamed events (ACKs,
+    /// probes, net-layer frames) are never sampled away.
+    pub fn enable_span_sampling(&self, seed: u64, rate: f64) {
+        let rate = rate.clamp(0.0, 1.0);
+        // 1.0 scales to 2^64, which saturates to u64::MAX — treated as
+        // "sample everything" below, so the clamp endpoints are exact.
+        let threshold = (rate * u64::MAX as f64) as u64;
+        self.inner
+            .sampler
+            .set(Some(SpanSampler { seed, threshold }));
+    }
+
+    /// Disarm span sampling: every named event records again (subject to
+    /// the tracing arm check).
+    pub fn disable_span_sampling(&self) {
+        self.inner.sampler.set(None);
+    }
+
+    /// Whether the span sampler is armed.
+    pub fn span_sampling_enabled(&self) -> bool {
+        self.inner.sampler.get().is_some()
+    }
+
+    /// The sampling decision for `(assoc, name)`: `true` when the sampler
+    /// is disarmed or the seeded hash of the pair falls under the rate
+    /// threshold. Allocation-free — the name's `Display` output streams
+    /// straight into the hash state.
+    pub fn span_sampled(&self, assoc: u32, name: &dyn fmt::Display) -> bool {
+        let Some(s) = self.inner.sampler.get() else {
+            return true;
+        };
+        if s.threshold == u64::MAX {
+            return true;
+        }
+        if s.threshold == 0 {
+            return false;
+        }
+        let mut h = FnvWriter(FNV_OFFSET);
+        h.push_bytes(&s.seed.to_le_bytes());
+        h.push_bytes(&assoc.to_le_bytes());
+        let _ = write!(h, "{name}");
+        h.0 < s.threshold
+    }
+
+    /// The sampling decision for `(assoc, key)`, where `key` is a stable
+    /// 64-bit digest of the ADU name (e.g. `AduName::span_key`). Same
+    /// contract as [`Self::span_sampled`] but hot-path cheap: no `fmt`
+    /// machinery, just 20 bytes through FNV-1a. Layers tracing the same
+    /// ADU must agree on which form they hash — the stack's ADU datapath
+    /// uses this one everywhere, so spans stay whole.
+    pub fn span_sampled_key(&self, assoc: u32, key: u64) -> bool {
+        let Some(s) = self.inner.sampler.get() else {
+            return true;
+        };
+        if s.threshold == u64::MAX {
+            return true;
+        }
+        if s.threshold == 0 {
+            return false;
+        }
+        let mut h = FnvWriter(FNV_OFFSET);
+        h.push_bytes(&s.seed.to_le_bytes());
+        h.push_bytes(&assoc.to_le_bytes());
+        h.push_bytes(&key.to_le_bytes());
+        h.0 < s.threshold
     }
 
     /// Mutable access to the metrics registry.
@@ -253,6 +363,85 @@ mod tests {
         assert_eq!(parsed[0].kind, "truncated");
         assert_eq!(parsed[0].a, 3);
         assert_eq!(SpanReport::from_parsed(&parsed).truncated_events, 3);
+    }
+
+    #[test]
+    fn span_sampling_is_deterministic_and_rate_shaped() {
+        let t = Telemetry::new();
+        // Disarmed: everything passes.
+        assert!(!t.span_sampling_enabled());
+        assert!(t.span_sampled(7, &"file[0..4096)"));
+
+        // Rate endpoints are exact.
+        t.enable_span_sampling(42, 1.0);
+        assert!(t.span_sampled(7, &"anything"));
+        t.enable_span_sampling(42, 0.0);
+        assert!(!t.span_sampled(7, &"anything"));
+
+        // The decision is a pure function of (seed, assoc, name): two
+        // handles with the same seed agree on every pair.
+        t.enable_span_sampling(42, 0.25);
+        let u = Telemetry::new();
+        u.enable_span_sampling(42, 0.25);
+        let mut kept = 0usize;
+        for assoc in 0..64u32 {
+            for i in 0..16u32 {
+                let name = format!("rpc#{i}");
+                let a = t.span_sampled(assoc, &name);
+                assert_eq!(a, u.span_sampled(assoc, &name));
+                kept += usize::from(a);
+            }
+        }
+        // 1024 pairs at rate 0.25: expect ~256, accept a generous band.
+        assert!(
+            (100..=400).contains(&kept),
+            "rate 0.25 kept {kept}/1024 spans"
+        );
+
+        // A different seed selects a different subset (with overwhelming
+        // probability over 1024 pairs).
+        let w = Telemetry::new();
+        w.enable_span_sampling(43, 0.25);
+        let differs = (0..64u32).any(|assoc| {
+            (0..16u32).any(|i| {
+                let name = format!("rpc#{i}");
+                t.span_sampled(assoc, &name) != w.span_sampled(assoc, &name)
+            })
+        });
+        assert!(differs, "seed must perturb the sampled subset");
+
+        t.disable_span_sampling();
+        assert!(t.span_sampled(7, &"anything"));
+    }
+
+    #[test]
+    fn span_key_sampling_matches_display_contract() {
+        let t = Telemetry::new();
+        // Disarmed and rate endpoints behave exactly like the Display form.
+        assert!(t.span_sampled_key(7, 0xABCD));
+        t.enable_span_sampling(42, 1.0);
+        assert!(t.span_sampled_key(7, 0xABCD));
+        t.enable_span_sampling(42, 0.0);
+        assert!(!t.span_sampled_key(7, 0xABCD));
+
+        // Pure function of (seed, assoc, key): two same-seed handles agree
+        // on every pair, and the rate shapes the kept fraction.
+        t.enable_span_sampling(42, 0.25);
+        let u = Telemetry::new();
+        u.enable_span_sampling(42, 0.25);
+        let mut kept = 0usize;
+        for assoc in 0..64u32 {
+            for key in 0..16u64 {
+                let key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let a = t.span_sampled_key(assoc, key);
+                assert_eq!(a, u.span_sampled_key(assoc, key));
+                kept += usize::from(a);
+            }
+        }
+        assert!(
+            (100..=400).contains(&kept),
+            "rate 0.25 kept {kept}/1024 keyed spans"
+        );
     }
 
     #[test]

@@ -124,6 +124,20 @@ impl Histogram {
             .collect()
     }
 
+    /// Fold `other` into this histogram: counts, sums, and buckets add
+    /// (saturating); `min`/`max` take the extremes across both. Merging is
+    /// associative and commutative, so per-shard histograms roll up into
+    /// one server-wide view in any order with the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
     /// This histogram minus an `earlier` snapshot of it: counts, sums, and
     /// buckets subtract; `min`/`max` are kept from `self` (extrema cannot
     /// be un-observed).
@@ -211,6 +225,50 @@ impl MetricsRegistry {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// All counters as `(name, value)` pairs, in deterministic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges as `(name, value)` pairs, in deterministic name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms as `(name, histogram)` pairs, in deterministic
+    /// name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Fold `other` into this registry: counters add, histograms
+    /// [`Histogram::merge`], and gauges take the **maximum** — the
+    /// rollup convention for worst-observed values (peak occupancy,
+    /// latency ceilings), matching `AlfStats::merge`. Merging is
+    /// associative and commutative, so per-shard registries roll up
+    /// into one server-wide snapshot in any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for (name, &v) in &other.gauges {
+            match self.gauges.get_mut(name) {
+                Some(g) => *g = g.max(v),
+                None => {
+                    self.gauges.insert(name.clone(), v);
+                }
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
     }
 
     /// A point-in-time copy, for later [`MetricsRegistry::diff`].
@@ -451,6 +509,75 @@ mod tests {
         assert_eq!(d.histogram("h").unwrap().count(), 2);
         assert_eq!(d.histogram("h").unwrap().sum(), 10);
         assert_eq!(d.gauge("g"), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_and_takes_extremes() {
+        let mut a = Histogram::default();
+        for v in [1, 4, 100] {
+            a.observe(v);
+        }
+        let mut b = Histogram::default();
+        for v in [0, 2, 2000] {
+            b.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), 0);
+        assert_eq!(merged.max(), 2000);
+        // Commutative: b.merge(a) gives the identical histogram.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(merged, other);
+        // Merging an empty histogram is the identity.
+        let mut id = a.clone();
+        id.merge(&Histogram::default());
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn registry_merge_rolls_up_shards() {
+        let mut shard0 = MetricsRegistry::new();
+        shard0.counter_add("frames_in", 10);
+        shard0.gauge_set("wheel_pending", 3.0);
+        shard0.observe("batch_frames", 8);
+        let mut shard1 = MetricsRegistry::new();
+        shard1.counter_add("frames_in", 32);
+        shard1.counter_add("timer_fires", 4);
+        shard1.gauge_set("wheel_pending", 7.0);
+        shard1.observe("batch_frames", 2);
+
+        let mut total = MetricsRegistry::new();
+        total.merge(&shard0);
+        total.merge(&shard1);
+        assert_eq!(total.counter("frames_in"), 42);
+        assert_eq!(total.counter("timer_fires"), 4);
+        // Gauges take the max (worst-observed), not the sum.
+        assert_eq!(total.gauge("wheel_pending"), Some(7.0));
+        let h = total.histogram("batch_frames").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+
+        // Any merge order produces the same snapshot.
+        let mut reversed = MetricsRegistry::new();
+        reversed.merge(&shard1);
+        reversed.merge(&shard0);
+        assert_eq!(total, reversed);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 2);
+        r.gauge_set("g", 0.5);
+        r.observe("h", 3);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "z"]);
+        assert_eq!(r.gauges().count(), 1);
+        assert_eq!(r.histograms().count(), 1);
     }
 
     #[test]

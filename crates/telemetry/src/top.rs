@@ -1,0 +1,331 @@
+//! Rollup rendering for `ct-top`: the per-shard table, server-wide
+//! rollup gauges, and batch-phase / tail attribution, derived from a
+//! [`MetricsRegistry`] — live, or parsed back from a JSONL snapshot.
+//!
+//! One code path serves both: the `ct-top` binary feeds
+//! [`MetricsRegistry::from_jsonl`] output through [`render_top`], and an
+//! in-process caller renders the registry it holds. Because the JSONL
+//! round trip is exact (counters, histograms, and finite gauges), the two
+//! renderings are byte-identical — a dump is sufficient evidence, pinned
+//! by `tests/observability.rs`.
+//!
+//! The shard table discovers groups structurally: any metric family
+//! `base.shard<N>.leaf` whose shards carry the `wheel_pending` occupancy
+//! gauge is a rollup group ([`AlfServer::publish_rollup`]'s shape — the
+//! gauge requirement keeps the transport-stats families published by
+//! `publish_stats` out of the table). Everything renders in `BTreeMap`
+//! order: deterministic, like the rest of the crate.
+//!
+//! [`AlfServer::publish_rollup`]: ../../ct_server/struct.AlfServer.html
+
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The per-shard leaves the table renders, in column order. Counters
+/// except the last four; `slab_slots`/`slab_occupied` fold into one
+/// `occ/slots` column.
+const SHARD_COLUMNS: &[&str] = &[
+    "assocs",
+    "frames_in",
+    "frames_out",
+    "timer_fires",
+    "polls",
+    "misdelivered",
+    "malformed",
+    "stuck_assocs",
+];
+
+/// One discovered `base.shard<N>.*` family, keyed by shard index.
+#[derive(Debug, Default)]
+struct ShardGroup {
+    /// shard index → (leaf → counter value)
+    counters: BTreeMap<u64, BTreeMap<String, u64>>,
+    /// shard index → (leaf → gauge value)
+    gauges: BTreeMap<u64, BTreeMap<String, f64>>,
+}
+
+/// Split `name` at a `.shard<digits>.` segment into
+/// `(base, shard index, leaf)`.
+fn split_shard_name(name: &str) -> Option<(&str, u64, &str)> {
+    let mut from = 0;
+    while let Some(pos) = name[from..].find(".shard") {
+        let start = from + pos;
+        let rest = &name[start + ".shard".len()..];
+        let digits: usize = rest.chars().take_while(char::is_ascii_digit).count();
+        if digits > 0 && rest[digits..].starts_with('.') {
+            let idx = rest[..digits].parse().ok()?;
+            return Some((&name[..start], idx, &rest[digits + 1..]));
+        }
+        from = start + ".shard".len();
+    }
+    None
+}
+
+/// Collect every rollup-shaped shard family in the registry: a family
+/// qualifies when at least one of its shards carries the `wheel_pending`
+/// occupancy gauge.
+fn shard_groups(reg: &MetricsRegistry) -> BTreeMap<String, ShardGroup> {
+    let mut groups: BTreeMap<String, ShardGroup> = BTreeMap::new();
+    for (name, v) in reg.counters() {
+        if let Some((base, idx, leaf)) = split_shard_name(name) {
+            groups
+                .entry(base.to_string())
+                .or_default()
+                .counters
+                .entry(idx)
+                .or_default()
+                .insert(leaf.to_string(), v);
+        }
+    }
+    for (name, v) in reg.gauges() {
+        if let Some((base, idx, leaf)) = split_shard_name(name) {
+            groups
+                .entry(base.to_string())
+                .or_default()
+                .gauges
+                .entry(idx)
+                .or_default()
+                .insert(leaf.to_string(), v);
+        }
+    }
+    groups.retain(|_, g| {
+        g.gauges
+            .values()
+            .any(|leaves| leaves.contains_key("wheel_pending"))
+    });
+    groups
+}
+
+/// Render one rollup group: the per-shard table plus the base-level
+/// totals row and gauges.
+fn render_group(out: &mut String, reg: &MetricsRegistry, base: &str, group: &ShardGroup) {
+    let _ = writeln!(out, "--- per-shard table ({base}) ---");
+    let _ = write!(out, "{:<6}", "shard");
+    for col in SHARD_COLUMNS {
+        let _ = write!(out, "  {col:>12}");
+    }
+    let _ = writeln!(out, "  {:>6}  {:>6}  {:>12}", "wheel", "dirty", "slab");
+    let shards: Vec<u64> = group
+        .counters
+        .keys()
+        .chain(group.gauges.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for idx in shards {
+        let c = group.counters.get(&idx);
+        let g = group.gauges.get(&idx);
+        let counter = |leaf: &str| c.and_then(|m| m.get(leaf)).copied().unwrap_or(0);
+        let gauge = |leaf: &str| g.and_then(|m| m.get(leaf)).copied().unwrap_or(0.0);
+        let _ = write!(out, "{idx:<6}");
+        for col in SHARD_COLUMNS {
+            let _ = write!(out, "  {:>12}", counter(col));
+        }
+        let _ = writeln!(
+            out,
+            "  {:>6}  {:>6}  {:>12}",
+            gauge("wheel_pending") as u64,
+            gauge("dirty_len") as u64,
+            format!(
+                "{}/{}",
+                gauge("slab_occupied") as u64,
+                gauge("slab_slots") as u64
+            ),
+        );
+    }
+    // Totals row from the base-level merged counters (publish_rollup
+    // writes them alongside the shards).
+    let _ = write!(out, "{:<6}", "total");
+    for col in SHARD_COLUMNS {
+        let _ = write!(out, "  {:>12}", reg.counter(&format!("{base}.{col}")));
+    }
+    let wheel = reg
+        .gauge(&format!("{base}.wheel.pending_total"))
+        .unwrap_or(0.0);
+    let dirty = reg.gauge(&format!("{base}.dirty.total")).unwrap_or(0.0);
+    let _ = writeln!(out, "  {:>6}  {:>6}", wheel as u64, dirty as u64);
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- rollup gauges ({base}) ---");
+    for leaf in [
+        "imbalance.assocs",
+        "imbalance.frames_in",
+        "slab.occupancy",
+        "wheel.pending_total",
+        "dirty.total",
+        "batch.mean_frames",
+    ] {
+        if let Some(v) = reg.gauge(&format!("{base}.{leaf}")) {
+            let _ = writeln!(out, "{leaf:<22}  {v:.3}");
+        }
+    }
+    if let Some(batches) = non_zero(reg.counter(&format!("{base}.batches"))) {
+        let _ = writeln!(out, "{:<22}  {batches}", "batches");
+    }
+}
+
+fn non_zero(v: u64) -> Option<u64> {
+    (v > 0).then_some(v)
+}
+
+/// True when [`render_top`] would attribute anything: a rollup shard
+/// family, or batch-phase / tail histograms. The `--self-check` gate.
+pub fn has_attribution(reg: &MetricsRegistry) -> bool {
+    !shard_groups(reg).is_empty()
+        || reg
+            .histograms()
+            .any(|(name, _)| name.contains(".phase.") || name.contains(".slowest_assoc"))
+}
+
+/// Render the full ct-top report from a registry: per-shard tables with
+/// rollup gauges, batch-phase attribution (p50/p99/max/mean work units
+/// per event-loop phase), and tail attribution (slowest-association work
+/// and stuck-watchdog counts). Deterministic: `BTreeMap` order
+/// throughout, no clocks, no host state.
+pub fn render_top(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let groups = shard_groups(reg);
+    for (base, group) in &groups {
+        render_group(&mut out, reg, base, group);
+        let _ = writeln!(&mut out);
+    }
+
+    let phases: Vec<&str> = reg
+        .histograms()
+        .map(|(name, _)| name)
+        .filter(|name| name.contains(".phase."))
+        .collect();
+    if !phases.is_empty() {
+        let _ = writeln!(&mut out, "--- batch phase attribution (work units) ---");
+        let width = phases.iter().map(|n| n.len()).max().unwrap_or(0);
+        for name in phases {
+            let h = reg.histogram(name).expect("listed histogram");
+            let _ = writeln!(
+                &mut out,
+                "{name:<width$}  count={} p50<={} p99<={} max={} mean={:.1}",
+                h.count(),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+                h.max(),
+                h.mean(),
+            );
+        }
+        let _ = writeln!(&mut out);
+    }
+
+    let tails: Vec<&str> = reg
+        .histograms()
+        .map(|(name, _)| name)
+        .filter(|name| name.contains(".slowest_assoc"))
+        .collect();
+    // Per-shard stuck counts already appear in the shard tables; only the
+    // merged totals belong here.
+    let stuck: Vec<(&str, u64)> = reg
+        .counters()
+        .filter(|(name, _)| name.ends_with(".stuck_assocs") && split_shard_name(name).is_none())
+        .collect();
+    if !tails.is_empty() || !stuck.is_empty() {
+        let _ = writeln!(&mut out, "--- tail attribution ---");
+        let width = tails
+            .iter()
+            .map(|n| n.len())
+            .chain(stuck.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for name in tails {
+            let h = reg.histogram(name).expect("listed histogram");
+            let _ = writeln!(
+                &mut out,
+                "{name:<width$}  count={} p50<={} p99<={} max={} mean={:.1}",
+                h.count(),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+                h.max(),
+                h.mean(),
+            );
+        }
+        for (name, v) in stuck {
+            let _ = writeln!(&mut out, "{name:<width$}  {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rollup_fixture() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (i, frames) in [(0u64, 100u64), (1, 140)] {
+            let p = format!("srv.rollup.shard{i}");
+            reg.counter_set(&format!("{p}.assocs"), 4);
+            reg.counter_set(&format!("{p}.frames_in"), frames);
+            reg.gauge_set(&format!("{p}.wheel_pending"), 2.0);
+            reg.gauge_set(&format!("{p}.dirty_len"), 0.0);
+            reg.gauge_set(&format!("{p}.slab_occupied"), 4.0);
+            reg.gauge_set(&format!("{p}.slab_slots"), 4.0);
+        }
+        reg.counter_set("srv.rollup.assocs", 8);
+        reg.counter_set("srv.rollup.frames_in", 240);
+        reg.counter_set("srv.rollup.batches", 12);
+        reg.gauge_set("srv.rollup.imbalance.frames_in", 140.0 / 120.0);
+        reg.gauge_set("srv.rollup.wheel.pending_total", 4.0);
+        for v in [3, 9, 200] {
+            reg.observe("server.phase.dirty_polls", v);
+            reg.observe("server.batch.slowest_assoc_work", v);
+        }
+        reg.counter_set("server.stuck_assocs", 1);
+        reg
+    }
+
+    #[test]
+    fn shard_name_splitting() {
+        assert_eq!(
+            split_shard_name("srv.rollup.shard3.frames_in"),
+            Some(("srv.rollup", 3, "frames_in"))
+        );
+        assert_eq!(
+            split_shard_name("a.shard10.wheel_pending"),
+            Some(("a", 10, "wheel_pending"))
+        );
+        assert_eq!(split_shard_name("a.shardx.b"), None);
+        assert_eq!(split_shard_name("a.shard3"), None);
+        assert_eq!(split_shard_name("plain.counter"), None);
+    }
+
+    #[test]
+    fn renders_table_gauges_and_attribution() {
+        let reg = rollup_fixture();
+        assert!(has_attribution(&reg));
+        let out = render_top(&reg);
+        assert!(out.contains("per-shard table (srv.rollup)"));
+        assert!(out.contains("total"));
+        assert!(out.contains("imbalance.frames_in"));
+        assert!(out.contains("server.phase.dirty_polls"));
+        assert!(out.contains("server.batch.slowest_assoc_work"));
+        assert!(out.contains("server.stuck_assocs"));
+        // Determinism: rendering twice is byte-identical.
+        assert_eq!(out, render_top(&reg));
+    }
+
+    #[test]
+    fn offline_render_matches_live_render() {
+        let reg = rollup_fixture();
+        let back = MetricsRegistry::from_jsonl(&reg.to_jsonl()).unwrap();
+        assert_eq!(render_top(&reg), render_top(&back));
+    }
+
+    #[test]
+    fn transport_stat_families_are_not_tables() {
+        // publish_stats-shaped names (no wheel_pending gauge) must not
+        // produce a table, and an empty registry attributes nothing.
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("server.shard0.adus_sent", 5);
+        reg.counter_set("server.shard0.frames_in", 5);
+        assert!(!has_attribution(&reg));
+        assert_eq!(render_top(&reg), "");
+    }
+}

@@ -28,7 +28,7 @@ cargo run --release -q -p ct-bench --bin harness x9 > /dev/null
 # Snapshot them before the harness overwrites them in place.
 BASE_DIR=$(mktemp -d)
 trap 'rm -rf "$BASE_DIR"' EXIT
-cp BENCH_x10.json BENCH_x11.json BENCH_x12.json BENCH_x13.json "$BASE_DIR"/
+cp BENCH_x10.json BENCH_x11.json BENCH_x12.json BENCH_x13.json BENCH_x14.json "$BASE_DIR"/
 
 cargo run --release -q -p ct-bench --bin harness x10 > /dev/null
 
@@ -59,6 +59,19 @@ cargo run --release -q -p ct-bench --bin harness x12 > /dev/null
 cargo run --release -q -p ct-bench --bin harness x13 --assoc 512 > /dev/null
 cargo run --release -q -p ct-bench --bin harness x13 > /dev/null
 
+# Observability plane: an X14 smoke (small armed point — sampler, rollup
+# publisher and ct-top snapshot all exercised), then the full X14 run,
+# which asserts the armed plane costs <= 2% ns/ADU against an unarmed
+# twin at 100k associations with bit-identical delivery, and refreshes
+# BENCH_x14.json plus target/x14_rollup.jsonl.
+cargo run --release -q -p ct-bench --bin harness x14 --assoc 512 > /dev/null
+cargo run --release -q -p ct-bench --bin harness x14 > /dev/null
+
+# ct-top self-check: the offline renderer must find shard tables and
+# tail attribution in X14's own rollup snapshot.
+cargo run --release -q -p ct-telemetry --bin ct-top -- \
+    --self-check target/x14_rollup.jsonl > /dev/null
+
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x10.json BENCH_x10.json
 cargo run --release -q -p ct-bench --bin bench-gate -- \
@@ -67,6 +80,8 @@ cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x12.json BENCH_x12.json
 cargo run --release -q -p ct-bench --bin bench-gate -- \
     "$BASE_DIR"/BENCH_x13.json BENCH_x13.json
+cargo run --release -q -p ct-bench --bin bench-gate -- \
+    "$BASE_DIR"/BENCH_x14.json BENCH_x14.json
 
 if [ "${SOAK:-0}" = "1" ]; then
     SOAK=1 cargo test -q -p ct-bench --test chaos chaos_soak_extended

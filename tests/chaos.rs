@@ -34,8 +34,10 @@
 //! The second half of the file soaks the many-association `AlfServer`
 //! under the same storm while associations are created and destroyed
 //! mid-run (`server_churn_run`): no cross-association payload bleed, no
-//! delivery for destroyed associations, at-most-once delivery, and
-//! per-peer reassembly quotas that hold every iteration.
+//! delivery for destroyed associations, at-most-once delivery, per-peer
+//! reassembly quotas that hold every iteration, and occupancy telemetry
+//! (slab, timer-wheel, dirty-list gauges — DESIGN.md §13) that matches
+//! the ground-truth structures exactly while churn is in flight.
 
 use std::collections::{HashMap, HashSet};
 
@@ -646,6 +648,76 @@ fn server_churn_run(seed: u64) -> ct_telemetry::Telemetry {
                         "peer {peer} holds {bytes} reassembly bytes across {count} \
                          associations — exceeds its {} byte quota at {now}",
                         count * SRV_BUDGET
+                    ),
+                );
+            }
+        }
+
+        // Occupancy gauges vs ground truth, mid-churn: the slab, wheel
+        // and dirty list are authoritative, and the §13 rollup gauges
+        // must agree with them exactly while associations are being
+        // destroyed and created under fire — a leaked wheel entry or a
+        // stale slab gauge shows up here long before it would wedge the
+        // run.
+        let shards = ServerConfig::default().shards;
+        let (mut occupied_total, mut wheel_total, mut dirty_total) = (0, 0, 0);
+        for i in 0..shards {
+            let truth = server.shard_occupancy(i);
+            if truth.armed != truth.wheel_pending {
+                violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "shard {i}: {} armed deadlines but {} wheel entries — the \
+                         one-entry-per-association wheel protocol broke at {now}",
+                        truth.armed, truth.wheel_pending
+                    ),
+                );
+            }
+            let reg = server.shard_registry(i);
+            for (gauge, want) in [
+                ("slab_slots", truth.slots),
+                ("slab_occupied", truth.occupied),
+                ("wheel_pending", truth.wheel_pending),
+                ("dirty_len", truth.dirty),
+            ] {
+                if reg.gauge(gauge) != Some(want as f64) {
+                    violation(
+                        &tel,
+                        seed,
+                        &format!(
+                            "shard {i}: gauge {gauge} = {:?} but ground truth is {want} at {now}",
+                            reg.gauge(gauge)
+                        ),
+                    );
+                }
+            }
+            occupied_total += truth.occupied;
+            wheel_total += truth.wheel_pending;
+            dirty_total += truth.dirty;
+        }
+        if occupied_total != live.len() {
+            violation(
+                &tel,
+                seed,
+                &format!(
+                    "slab holds {occupied_total} associations but {} are live at {now}",
+                    live.len()
+                ),
+            );
+        }
+        let roll = server.rollup();
+        for (gauge, want) in [
+            ("wheel.pending_total", wheel_total),
+            ("dirty.total", dirty_total),
+        ] {
+            if roll.gauge(gauge) != Some(want as f64) {
+                violation(
+                    &tel,
+                    seed,
+                    &format!(
+                        "rollup gauge {gauge} = {:?} but shard sum is {want} at {now}",
+                        roll.gauge(gauge)
                     ),
                 );
             }

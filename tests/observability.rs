@@ -1,0 +1,253 @@
+//! The server-scale observability plane (DESIGN.md §13), end to end:
+//!
+//! * determinism — same-seed 1 000-association armed runs emit
+//!   byte-identical span JSONL and rollup snapshots;
+//! * non-interference — the sampling rate shapes *observation volume
+//!   only*: every simulator-derived cluster number is bit-identical
+//!   armed (at any rate) vs fully unarmed;
+//! * `ct-top` fidelity — rendering a live registry and rendering its
+//!   JSONL round trip produce byte-identical reports;
+//! * the metric-name audit — every name the armed plane emits matches a
+//!   pattern documented in DESIGN.md §13's table;
+//! * the x14 CLI validates its arguments and exits 2 on malformed input.
+
+use alf_core::transport::AlfConfig;
+use ct_netsim::fault::FaultConfig;
+use ct_netsim::link::LinkConfig;
+use ct_server::cluster::{run_cluster, ClusterConfig, ClusterReport};
+use ct_server::{AlfServer, AssocKey, ServerConfig};
+use ct_telemetry::top::{has_attribution, render_top};
+use ct_telemetry::{MetricsRegistry, Telemetry};
+use std::collections::BTreeSet;
+
+/// A 1 000-association lossy cluster config (the tests/server.rs shape).
+fn cluster_cfg(assocs_per_client: usize) -> ClusterConfig {
+    ClusterConfig {
+        clients: 2,
+        assocs_per_client,
+        adus_per_assoc: 2,
+        adu_bytes: 300,
+        link: LinkConfig::lan(),
+        faults: FaultConfig::loss(0.01),
+        ..ClusterConfig::default()
+    }
+}
+
+/// One armed run: tracing ring + span sampling at `rate`. Returns the
+/// report and the telemetry handle.
+fn armed_run(
+    seed: u64,
+    cfg: &ClusterConfig,
+    sample_seed: u64,
+    rate: f64,
+) -> (ClusterReport, Telemetry) {
+    let tel = Telemetry::with_tracing(1 << 14);
+    tel.enable_span_sampling(sample_seed, rate);
+    let r = run_cluster(seed, cfg, Some(tel.clone()));
+    assert!(r.complete && r.verified, "armed run failed: {r:?}");
+    (r, tel)
+}
+
+#[test]
+fn same_seed_armed_runs_emit_byte_identical_snapshots() {
+    let cfg = cluster_cfg(500);
+    let (_, a) = armed_run(42, &cfg, 9, 0.05);
+    let (_, b) = armed_run(42, &cfg, 9, 0.05);
+    let (spans_a, spans_b) = (a.trace_jsonl(), b.trace_jsonl());
+    let (roll_a, roll_b) = (a.metrics().to_jsonl(), b.metrics().to_jsonl());
+    assert!(!spans_a.is_empty(), "sampled runs must record spans");
+    assert!(!roll_a.is_empty());
+    assert_eq!(spans_a, spans_b, "span JSONL must be byte-identical");
+    assert_eq!(roll_a, roll_b, "rollup snapshots must be byte-identical");
+}
+
+/// The sim-derived numbers a sampling rate must never perturb.
+fn behaviour(r: &ClusterReport) -> (u64, u64, u64, u64, u64, u64, ct_netsim::time::SimDuration) {
+    (
+        r.adus_offered,
+        r.adus_delivered,
+        r.adus_lost,
+        r.batches,
+        r.frames_in,
+        r.frames_out,
+        r.elapsed,
+    )
+}
+
+#[test]
+fn sampling_rate_never_changes_delivery_behaviour() {
+    let cfg = cluster_cfg(100);
+    let unarmed = run_cluster(7, &cfg, None);
+    assert!(unarmed.complete && unarmed.verified);
+
+    let mut event_totals = Vec::new();
+    for rate in [0.0, 0.35, 1.0] {
+        let (r, tel) = armed_run(7, &cfg, 13, rate);
+        assert_eq!(
+            behaviour(&unarmed),
+            behaviour(&r),
+            "rate {rate}: the plane observed the run and changed it"
+        );
+        event_totals.push(tel.trace_len() as u64 + tel.trace_overwritten());
+    }
+    // The rate shapes what IS allowed to change: recorded volume. Full
+    // sampling must record strictly more than none (named spans exist).
+    assert!(
+        event_totals[2] > event_totals[0],
+        "rate 1.0 ({}) must record more events than rate 0.0 ({})",
+        event_totals[2],
+        event_totals[0]
+    );
+}
+
+#[test]
+fn ct_top_renders_live_and_offline_snapshots_identically() {
+    let (_, tel) = armed_run(21, &cluster_cfg(100), 5, 0.25);
+    let live = render_top(&tel.metrics());
+    let offline_reg =
+        MetricsRegistry::from_jsonl(&tel.metrics().to_jsonl()).expect("registry JSONL round trip");
+    assert!(has_attribution(&offline_reg), "snapshot must self-check");
+    assert_eq!(
+        live,
+        render_top(&offline_reg),
+        "live and offline ct-top reports must be byte-identical"
+    );
+    assert!(live.contains("shard") && live.contains("tail attribution"));
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name audit: emitted names ⊆ DESIGN.md §13's documented table
+// ---------------------------------------------------------------------------
+
+/// Backticked patterns from the first cell of each table row in §13.
+fn documented_patterns() -> Vec<String> {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("DESIGN.md");
+    let sect = text
+        .split("\n## ")
+        .find(|s| s.starts_with("13."))
+        .expect("DESIGN.md must keep §13");
+    let mut pats = Vec::new();
+    for line in sect.lines().filter(|l| l.starts_with('|')) {
+        let first_cell = line.trim_start_matches('|').split('|').next().unwrap_or("");
+        let mut rest = first_cell;
+        while let Some(start) = rest.find('`') {
+            let tail = &rest[start + 1..];
+            let Some(end) = tail.find('`') else { break };
+            let tok = &tail[..end];
+            if tok.contains('.') && !tok.contains(' ') {
+                pats.push(tok.to_string());
+            }
+            rest = &tail[end + 1..];
+        }
+    }
+    assert!(pats.len() >= 10, "§13 audit table went missing: {pats:?}");
+    pats
+}
+
+/// The `alf.rx_rejected.<reason>` label set (transport `count_rejected`).
+const REJECT_REASONS: &[&str] = &[
+    "truncated",
+    "unknown_type",
+    "bad_checksum",
+    "length_mismatch",
+    "bad_name",
+    "frag_out_of_range",
+    "assoc_mismatch",
+    "bad_parity",
+    "replayed",
+    "other",
+];
+
+/// Expand a pattern segment-wise against a name. `<role>` matches the two
+/// event-loop roles, `shard<N>` any shard index, `<stat>`/`<leaf>` the
+/// probed transport-stat and shard-registry leaf sets.
+fn pattern_matches(
+    pat: &str,
+    name: &str,
+    stats: &BTreeSet<String>,
+    leaves: &BTreeSet<String>,
+) -> bool {
+    let ps: Vec<&str> = pat.split('.').collect();
+    let ns: Vec<&str> = name.split('.').collect();
+    ps.len() == ns.len()
+        && ps.iter().zip(&ns).all(|(p, n)| match *p {
+            "<role>" => *n == "server" || *n == "client",
+            "<stat>" => stats.contains(*n),
+            "<leaf>" => leaves.contains(*n),
+            "<reason>" => REJECT_REASONS.contains(n),
+            "shard<N>" => n
+                .strip_prefix("shard")
+                .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit())),
+            p => p == *n,
+        })
+}
+
+#[test]
+fn emitted_metric_names_are_documented() {
+    // Probe the two open-ended leaf sets from the publishers themselves,
+    // so the audit tracks new stats without hand-maintained lists.
+    let mut probe = AlfServer::new(ServerConfig::default());
+    probe
+        .add_association(AssocKey { peer: 0, assoc: 1 }, AlfConfig::default())
+        .expect("probe assoc");
+    let mut stats_reg = MetricsRegistry::new();
+    probe.publish_stats(&mut stats_reg, "p");
+    let stats: BTreeSet<String> = stats_reg
+        .counters()
+        .map(|(n, _)| n.to_string())
+        .chain(stats_reg.gauges().map(|(n, _)| n.to_string()))
+        .filter_map(|n| n.rsplit('.').next().map(str::to_string))
+        .collect();
+    let shard_reg = probe.shard_registry(0);
+    let leaves: BTreeSet<String> = shard_reg
+        .counters()
+        .map(|(n, _)| n.to_string())
+        .chain(shard_reg.gauges().map(|(n, _)| n.to_string()))
+        .collect();
+    assert!(stats.contains("tus_sent") && leaves.contains("wheel_pending"));
+
+    let pats = documented_patterns();
+    let (_, tel) = armed_run(3, &cluster_cfg(50), 1, 0.5);
+    let reg = tel.metrics();
+    let emitted: Vec<String> = reg
+        .counters()
+        .map(|(n, _)| n.to_string())
+        .chain(reg.gauges().map(|(n, _)| n.to_string()))
+        .chain(reg.histograms().map(|(n, _)| n.to_string()))
+        .collect();
+    assert!(emitted.len() > 50, "armed run must populate the registry");
+    let undocumented: Vec<&String> = emitted
+        .iter()
+        .filter(|n| !pats.iter().any(|p| pattern_matches(p, n, &stats, &leaves)))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metric names missing from DESIGN.md §13's audit table: {undocumented:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// X14 CLI argument validation (x8/x13 convention: malformed input exits 2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn x14_cli_rejects_malformed_args_with_exit_2() {
+    for bad in [
+        &["x14", "--assoc", "banana"][..],
+        &["x14", "--assoc"][..],
+        &["x14", "--adus", "0"][..],
+        &["x14", "--frobnicate", "1"][..],
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_harness"))
+            .args(bad)
+            .output()
+            .expect("spawn harness");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "harness {bad:?} must exit 2, got {:?}",
+            out.status
+        );
+    }
+}
